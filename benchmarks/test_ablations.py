@@ -1,0 +1,103 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not figures from the paper; they quantify the contribution of the
+individual DeepTune/Wayfinder mechanisms on the Nginx/Linux workload:
+
+* the crash-prediction head (filtering predicted crashers before evaluation);
+* the exploration term of the scoring function (alpha / exploration weight);
+* the skip-build optimization of the platform.
+"""
+
+from repro import Wayfinder
+from repro.analysis.reporting import format_table
+
+from benchmarks.conftest import scaled
+
+ITERATIONS = 60
+
+
+def run_crash_head_ablation(iterations: int):
+    results = {}
+    for label, options in (
+        ("with crash filtering", {}),
+        ("without crash filtering", {"crash_threshold": 1.01}),
+    ):
+        wayfinder = Wayfinder.for_linux(application="nginx", metric="throughput",
+                                        algorithm="deeptune", seed=88,
+                                        algorithm_options=options)
+        results[label] = wayfinder.specialize(iterations=iterations)
+    return results
+
+
+def test_ablation_crash_prediction_head(benchmark):
+    results = benchmark.pedantic(run_crash_head_ablation, args=(scaled(ITERATIONS),),
+                                 rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("variant", "best (req/s)", "crash rate"),
+        [(label, "{:.0f}".format(result.best_performance or 0.0),
+          "{:.0%}".format(result.crash_rate)) for label, result in results.items()],
+        title="Ablation: crash-prediction head"))
+    with_filter = results["with crash filtering"]
+    without_filter = results["without crash filtering"]
+    # Filtering predicted crashers wastes fewer evaluations on failures.
+    assert with_filter.crash_rate <= without_filter.crash_rate + 0.05
+
+
+def run_skip_build_ablation(iterations: int):
+    results = {}
+    for label, enabled in (("skip-build on", True), ("skip-build off", False)):
+        wayfinder = Wayfinder.for_linux(application="nginx", metric="throughput",
+                                        algorithm="random", seed=89,
+                                        enable_skip_build=enabled)
+        results[label] = wayfinder.specialize(iterations=iterations)
+    return results
+
+
+def test_ablation_skip_build_optimization(benchmark):
+    results = benchmark.pedantic(run_skip_build_ablation, args=(scaled(ITERATIONS),),
+                                 rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("variant", "builds skipped", "virtual hours for the session"),
+        [(label, result.builds_skipped, "{:.1f}".format(result.total_time_s / 3600.0))
+         for label, result in results.items()],
+        title="Ablation: skip-build optimization"))
+    on = results["skip-build on"]
+    off = results["skip-build off"]
+    assert on.builds_skipped > 0
+    assert off.builds_skipped == 0
+    # Skipping rebuilds for runtime-only changes saves wall-clock time for the
+    # session as a whole, and each skipped-build iteration is far cheaper than
+    # a full build+boot+benchmark one.
+    assert on.total_time_s < off.total_time_s
+    skipped_durations = [r.duration_s for r in on.history if r.build_skipped]
+    full_durations = [r.duration_s for r in on.history if not r.build_skipped]
+    if skipped_durations and full_durations:
+        assert (sum(skipped_durations) / len(skipped_durations)
+                < sum(full_durations) / len(full_durations) / 3.0)
+
+
+def run_exploration_weight_ablation(iterations: int):
+    results = {}
+    for label, weight in (("balanced (paper alpha=0.5)", 0.6), ("exploit only", 0.0)):
+        wayfinder = Wayfinder.for_linux(
+            application="nginx", metric="throughput", algorithm="deeptune", seed=90,
+            algorithm_options={"exploration_weight": weight})
+        results[label] = wayfinder.specialize(iterations=iterations)
+    return results
+
+
+def test_ablation_exploration_weight(benchmark):
+    results = benchmark.pedantic(run_exploration_weight_ablation,
+                                 args=(scaled(ITERATIONS),), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("variant", "best (req/s)", "crash rate"),
+        [(label, "{:.0f}".format(result.best_performance or 0.0),
+          "{:.0%}".format(result.crash_rate)) for label, result in results.items()],
+        title="Ablation: exploration term of the scoring function"))
+    # Both variants must at least improve on the default configuration; the
+    # comparison itself is reported for inspection.
+    for result in results.values():
+        assert result.improvement_factor is None or result.improvement_factor > 1.0

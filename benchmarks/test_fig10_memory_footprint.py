@@ -1,0 +1,61 @@
+"""Figure 10: memory-footprint specialization of RISC-V Linux images.
+
+Wayfinder and random search each get the same budget to minimize the resident
+memory of the booted image, favouring compile-time options (as in §4.4).  The
+benchmark reports the footprint-over-time curves and checks the paper's
+claims: the default image sits around 210 MB, Wayfinder finds a configuration
+several percent smaller, beats random search, and crashes less towards the
+end of the session.
+"""
+
+from repro import Wayfinder
+from repro.analysis.reporting import format_series
+from repro.analysis.smoothing import downsample
+
+from benchmarks.conftest import scaled
+
+ITERATIONS = 110
+
+
+def run_footprint_search(iterations: int):
+    results = {}
+    for algorithm in ("random", "deeptune"):
+        wayfinder = Wayfinder.for_linux(
+            application="nginx", metric="memory", architecture="riscv64",
+            algorithm=algorithm, favor="compile", seed=55)
+        results[algorithm] = wayfinder.specialize(iterations=iterations)
+    return results
+
+
+def test_fig10_memory_footprint_search(benchmark):
+    results = benchmark.pedantic(run_footprint_search, args=(scaled(ITERATIONS),),
+                                 rounds=1, iterations=1)
+
+    print()
+    for name, result in results.items():
+        series = downsample(result.history.best_so_far_series(), max_points=12)
+        print(format_series(series, x_label="time (s)", y_label="best footprint (MB)",
+                            title="Figure 10 ({}): smallest footprint found".format(name),
+                            max_points=12))
+        print("  {}: default={:.1f} MB, best={:.1f} MB ({:.1%} reduction), "
+              "crash rate={:.0%}".format(
+                  name, result.default_objective, result.best_performance,
+                  1.0 - result.best_performance / result.default_objective,
+                  result.crash_rate))
+
+    deeptune = results["deeptune"]
+    random_result = results["random"]
+
+    # Default RISC-V image sits around 200-220 MB, as in the paper.
+    assert 180.0 <= deeptune.default_objective <= 240.0
+    # Wayfinder shrinks the image measurably (the paper's 8.5% needs the full
+    # 3-hour budget; the reduced default budget reaches a few percent, and
+    # higher REPRO_BENCH_SCALE values close the gap)...
+    reduction = 1.0 - deeptune.best_performance / deeptune.default_objective
+    assert reduction > 0.015
+    # ...and finds a smaller image than random search given the same budget.
+    assert deeptune.best_performance <= random_result.best_performance + 1.0
+    # Crash avoidance: DeepTune's late crash rate is no worse than random's.
+    deeptune_late = deeptune.history.crash_rate_series(window=25)[-1][1]
+    random_late = random_result.history.crash_rate_series(window=25)[-1][1]
+    assert deeptune_late <= random_late + 0.1

@@ -1,0 +1,28 @@
+"""Figure 1: growth of the Linux compile-time configuration space over time.
+
+Regenerates the option-count-per-release series the paper plots and checks
+its headline properties: monotone growth, ~5k options in the v2.6 era, ~20k
+options by v6.0.
+"""
+
+from repro.analysis.reporting import format_series
+from repro.kconfig.history import KCONFIG_OPTION_COUNTS, kconfig_growth_series
+
+
+def test_fig1_kconfig_growth(benchmark):
+    series = benchmark.pedantic(kconfig_growth_series, rounds=1, iterations=1)
+
+    print()
+    print(format_series(
+        [(float(index), float(count)) for index, (_, count) in enumerate(series)],
+        x_label="release #", y_label="compile-time options",
+        title="Figure 1: Linux Kconfig compile-time options per release"))
+    for version, count in series:
+        print("  {:>8}: {}".format(version, count))
+
+    counts = [count for _, count in series]
+    assert counts == sorted(counts), "option count must grow monotonically"
+    assert counts[0] < 6000
+    assert counts[-1] > 20000
+    assert series[-1][0] == "v6.0"
+    assert len(series) == len(KCONFIG_OPTION_COUNTS)

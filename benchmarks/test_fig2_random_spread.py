@@ -1,0 +1,77 @@
+"""Figure 2: Nginx throughput across random Linux configurations.
+
+Generates random runtime configurations (re-drawing when one crashes, exactly
+as the paper does), benchmarks Nginx on each, and reports the sorted
+throughput curve against the default configuration.  The headline properties:
+a wide spread (worst configurations lose tens of percent), the best random
+configuration beats the default by ~10 %, a majority of random configurations
+are worse than the default, and roughly a third of raw draws crash.
+"""
+
+import random
+
+from repro.analysis.reporting import format_series
+from repro.apps.registry import default_bench_tool_for, get_application
+from repro.config.parameter import ParameterKind
+from repro.vm.os_model import linux_os_model
+from repro.vm.simulator import SystemSimulator
+
+from benchmarks.conftest import scaled
+
+N_VALID_CONFIGURATIONS = 300
+
+
+def run_random_spread(n_valid: int):
+    os_model = linux_os_model(version="v4.19", seed=7)
+    simulator = SystemSimulator(os_model, get_application("nginx"),
+                                default_bench_tool_for("nginx"), seed=7)
+    space = os_model.space
+    default = space.default_configuration()
+    default_outcome = simulator.evaluate(default)
+
+    rng = random.Random(7)
+    throughputs = []
+    attempts = 0
+    crashes = 0
+    while len(throughputs) < n_valid:
+        attempts += 1
+        config = space.mutate_configuration(default, rng, mutation_rate=1.0,
+                                            kinds=[ParameterKind.RUNTIME])
+        outcome = simulator.evaluate(config)
+        if outcome.crashed:
+            crashes += 1
+            continue
+        throughputs.append(outcome.metric_value)
+    throughputs.sort()
+    return {
+        "default": default_outcome.metric_value,
+        "throughputs": throughputs,
+        "attempts": attempts,
+        "crash_fraction": crashes / attempts,
+    }
+
+
+def test_fig2_random_configuration_spread(benchmark):
+    n_valid = scaled(N_VALID_CONFIGURATIONS)
+    data = benchmark.pedantic(run_random_spread, args=(n_valid,), rounds=1, iterations=1)
+
+    throughputs = data["throughputs"]
+    default = data["default"]
+    print()
+    print(format_series(
+        [(float(i), value) for i, value in enumerate(throughputs)],
+        x_label="configuration #", y_label="throughput (req/s)",
+        title="Figure 2: Nginx throughput of {} random configurations "
+              "(default = {:.0f} req/s)".format(len(throughputs), default)))
+    below_default = sum(1 for value in throughputs if value < default) / len(throughputs)
+    print("  crash fraction of raw draws: {:.0%}".format(data["crash_fraction"]))
+    print("  fraction below default:      {:.0%}".format(below_default))
+    print("  spread: {:.0f} .. {:.0f} req/s".format(throughputs[0], throughputs[-1]))
+
+    # Paper: ~1/3 of random draws crash.
+    assert 0.2 <= data["crash_fraction"] <= 0.5
+    # Paper: best random config ~12% above default; most configs below default.
+    assert throughputs[-1] > default * 1.05
+    assert below_default >= 0.5
+    # Paper: large spread between worst and best (tens of percent).
+    assert throughputs[0] < default * 0.85

@@ -1,0 +1,68 @@
+"""Figure 5: cross-similarity of per-application parameter importance.
+
+Collects random configurations, computes which parameters matter for each
+application's performance (feature importance over the encoded space), and
+compares the importance vectors across applications.  The expected structure:
+Nginx, Redis and SQLite — all system-intensive — cluster together, Redis is
+closer to SQLite than to Nginx is not required, and NPB stands clearly apart.
+"""
+
+import random
+
+import numpy as np
+
+from repro.analysis.similarity import cross_similarity_matrix, similarity_report
+from repro.apps.registry import get_application
+from repro.config.encoding import ConfigEncoder
+from repro.config.parameter import ParameterKind
+from repro.deeptune.importance import parameter_importance
+from repro.vm.os_model import linux_os_model
+
+from benchmarks.conftest import scaled
+
+APPLICATIONS = ("nginx", "redis", "sqlite", "npb")
+N_CONFIGURATIONS = 600
+
+
+def build_similarity(n_configurations: int):
+    os_model = linux_os_model(version="v4.19", seed=13)
+    space = os_model.space
+    encoder = ConfigEncoder(space)
+    rng = random.Random(13)
+    default = space.default_configuration()
+    configurations = [
+        space.mutate_configuration(default, rng, mutation_rate=1.0,
+                                   kinds=[ParameterKind.RUNTIME])
+        for _ in range(n_configurations)
+    ]
+    features = encoder.encode_batch(configurations)
+
+    importances = {}
+    for name in APPLICATIONS:
+        application = get_application(name)
+        targets = np.array([application.performance(config) for config in configurations])
+        importances[name] = parameter_importance(encoder, features, targets)
+    matrix = cross_similarity_matrix(importances, APPLICATIONS)
+    return matrix, importances
+
+
+def test_fig5_cross_similarity_matrix(benchmark):
+    matrix, importances = benchmark.pedantic(
+        build_similarity, args=(scaled(N_CONFIGURATIONS),), rounds=1, iterations=1)
+
+    print()
+    print("Figure 5: cross-similarity matrix of parameter importance")
+    print(similarity_report(matrix, APPLICATIONS))
+
+    index = {name: i for i, name in enumerate(APPLICATIONS)}
+    assert np.allclose(np.diag(matrix), 1.0)
+    assert np.allclose(matrix, matrix.T, atol=1e-9)
+    # The three system-intensive applications are mutually similar...
+    assert matrix[index["nginx"], index["redis"]] > 0.5
+    # ...and every one of them is much closer to the others than to NPB.
+    for name in ("nginx", "redis", "sqlite"):
+        assert matrix[index[name], index["npb"]] < \
+            matrix[index["nginx"], index["redis"]]
+    # NPB's top parameters are memory-management knobs, not network knobs.
+    npb_top = max(importances["npb"], key=importances["npb"].get)
+    assert not npb_top.startswith("net.")

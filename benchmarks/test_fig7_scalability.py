@@ -1,0 +1,121 @@
+"""Figure 7: per-iteration cost of DeepTune vs the Unicorn causal baseline.
+
+Runs both optimizers on the same synthetic configuration space (sized like the
+one used in the Unicorn paper, since Unicorn cannot handle Linux-scale
+spaces), records the wall-clock time and peak memory of every iteration with
+``tracemalloc`` — the same instrument the paper uses — and checks the
+scalability claims: Unicorn's per-iteration time and memory keep growing as
+the observation history grows, while DeepTune's stay essentially flat.
+"""
+
+import random
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.config.parameter import IntParameter, ParameterKind
+from repro.config.space import ConfigSpace
+from repro.deeptune.algorithm import DeepTuneSearch
+from repro.platform.history import ExplorationHistory, TrialRecord
+from repro.platform.metrics import ThroughputMetric
+from repro.search.unicorn import UnicornSearch
+from repro.vm.failures import FailureStage
+
+from benchmarks.conftest import scaled
+
+N_PARAMETERS = 18
+N_ITERATIONS = 30
+
+
+def synthetic_space(n_parameters: int) -> ConfigSpace:
+    parameters = [
+        IntParameter("option_{:02d}".format(index), ParameterKind.RUNTIME,
+                     default=50, minimum=0, maximum=100)
+        for index in range(n_parameters)
+    ]
+    return ConfigSpace(parameters, name="unicorn-synthetic")
+
+
+def synthetic_objective(configuration) -> float:
+    """A smooth objective with known local and global structure."""
+    values = np.array([configuration["option_{:02d}".format(i)] for i in range(N_PARAMETERS)],
+                      dtype=float) / 100.0
+    return float(
+        100.0 * np.exp(-np.sum((values[:4] - 0.7) ** 2))
+        + 30.0 * np.sin(3.0 * values[4])
+        + 10.0 * values[5]
+    )
+
+
+def run_algorithm(algorithm, space, iterations):
+    history = ExplorationHistory(ThroughputMetric())
+    times, memories = [], []
+    clock = 0.0
+    for index in range(iterations):
+        tracemalloc.start()
+        started = time.perf_counter()
+        configuration = algorithm.propose(history)
+        objective = synthetic_objective(configuration)
+        record = TrialRecord(
+            index=index, configuration=configuration, objective=objective,
+            crashed=False, failure_stage=FailureStage.NONE, failure_reason="",
+            metric_value=objective, memory_mb=None, duration_s=60.0,
+            started_at_s=clock)
+        clock += 60.0
+        history.add(record)
+        algorithm.observe(record)
+        elapsed = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        times.append(elapsed)
+        memories.append(peak)
+    return times, memories
+
+
+def run_comparison(iterations: int):
+    space = synthetic_space(N_PARAMETERS)
+    unicorn = UnicornSearch(space, seed=3, candidate_pool_size=24, top_k=6)
+    deeptune = DeepTuneSearch(space, seed=3, warmup_iterations=5,
+                              candidate_pool_size=48,
+                              training_steps_per_iteration=10)
+    unicorn_times, unicorn_memory = run_algorithm(unicorn, space, iterations)
+    deeptune_times, deeptune_memory = run_algorithm(deeptune, space, iterations)
+    return {
+        "unicorn": (unicorn_times, unicorn_memory),
+        "deeptune": (deeptune_times, deeptune_memory),
+    }
+
+
+def _growth(series, head=8):
+    """Ratio of the mean of the last *head* values to the mean of the first."""
+    head = min(head, len(series) // 2)
+    early = float(np.mean(series[:head]))
+    late = float(np.mean(series[-head:]))
+    return late / max(early, 1e-9)
+
+
+def test_fig7_scalability_vs_unicorn(benchmark):
+    iterations = scaled(N_ITERATIONS)
+    data = benchmark.pedantic(run_comparison, args=(iterations,), rounds=1, iterations=1)
+
+    print()
+    for name in ("unicorn", "deeptune"):
+        times, memories = data[name]
+        print(format_series([(float(i), t) for i, t in enumerate(times)],
+                            x_label="iteration", y_label="{} time (s)".format(name),
+                            max_points=10,
+                            title="Figure 7 ({}): per-iteration cost".format(name)))
+        print("  {}: time growth x{:.1f}, memory growth x{:.1f}".format(
+            name, _growth(times), _growth(memories)))
+
+    unicorn_time_growth = _growth(data["unicorn"][0])
+    unicorn_memory_growth = _growth(data["unicorn"][1])
+    deeptune_time_growth = _growth(data["deeptune"][0])
+
+    # Unicorn's causal relearning grows super-linearly with the history...
+    assert unicorn_time_growth > 3.0
+    assert unicorn_memory_growth > 1.5
+    # ...while DeepTune's bounded incremental updates grow far more slowly.
+    assert deeptune_time_growth < unicorn_time_growth / 2.0

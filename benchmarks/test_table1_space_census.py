@@ -1,0 +1,54 @@
+"""Table 1: configuration-space census for Linux 6.0.
+
+Builds the full-scale synthetic configuration space and counts options per
+kind and type, checking that the counts match the paper's census (7585 bool,
+10034 tristate, 154 string, 94 hex, 3405 int compile-time options, 231
+boot-time options, 13328 runtime options).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.config.parameter import ParameterKind
+from repro.kconfig.linux import LinuxSpaceBuilder, linux_census
+
+
+def build_and_count():
+    builder = LinuxSpaceBuilder("v6.0", seed=0)
+    space = builder.full_space()
+    counts = space.describe()
+    compile_counts = {
+        type_name: counts.get("compile-time/" + type_name, 0)
+        for type_name in ("bool", "tristate", "string", "hex", "int")
+    }
+    boot = sum(count for key, count in counts.items() if key.startswith("boot-time/"))
+    runtime = sum(count for key, count in counts.items() if key.startswith("runtime/"))
+    return space, compile_counts, boot, runtime
+
+
+def test_table1_space_census(benchmark):
+    space, compile_counts, boot, runtime = benchmark.pedantic(
+        build_and_count, rounds=1, iterations=1)
+    census = linux_census("v6.0")
+
+    print()
+    print(format_table(
+        ("option class", "paper (Table 1)", "reproduced"),
+        [
+            ("compile-time bool", census["bool"], compile_counts["bool"]),
+            ("compile-time tristate", census["tristate"], compile_counts["tristate"]),
+            ("compile-time string", census["string"], compile_counts["string"]),
+            ("compile-time hex", census["hex"], compile_counts["hex"]),
+            ("compile-time int", census["int"], compile_counts["int"]),
+            ("boot-time options", census["boot"], boot),
+            ("runtime options", census["runtime"], runtime),
+        ],
+        title="Table 1: Linux 6.0 configuration-space census"))
+
+    assert compile_counts["bool"] == census["bool"]
+    assert compile_counts["tristate"] == census["tristate"]
+    assert compile_counts["string"] == census["string"]
+    assert compile_counts["hex"] == census["hex"]
+    assert compile_counts["int"] == census["int"]
+    assert boot == census["boot"]
+    assert runtime == census["runtime"]
+    # The space as a whole is unsearchable exhaustively.
+    assert len(space) > 30000

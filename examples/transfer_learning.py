@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Transfer learning: pre-train DeepTune on Redis, reuse it for Nginx (§3.3).
+
+Redis and Nginx are both network-intensive, so the configuration parameters
+that matter for one largely matter for the other.  This example pre-trains a
+DeepTune model while specializing Redis, transfers it, and shows that the
+Nginx search starts from better configurations and crashes less often than a
+cold-started search — the behaviour of the "DeepTune+TL" curves in Figure 6.
+
+Usage:
+    python examples/transfer_learning.py [pretrain_iterations] [search_iterations]
+"""
+
+import sys
+
+from repro import Wayfinder
+from repro.analysis.reporting import format_table
+from repro.deeptune.transfer import transfer_model
+
+
+def main() -> None:
+    pretrain_iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    search_iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+
+    print("Pre-training DeepTune on Redis ({} iterations)...".format(pretrain_iterations))
+    redis_wayfinder = Wayfinder.for_linux(application="redis", metric="throughput",
+                                          algorithm="deeptune", seed=11)
+    redis_result = redis_wayfinder.specialize(iterations=pretrain_iterations)
+    print("  Redis best throughput: {:.0f} req/s ({:.2f}x default)".format(
+        redis_result.best_performance, redis_result.improvement_factor))
+
+    pretrained = transfer_model(redis_wayfinder.trained_model())
+
+    print("\nSearching Nginx configurations with and without the transferred model...")
+    warm = Wayfinder.for_linux(
+        application="nginx", metric="throughput", algorithm="deeptune", seed=12,
+        algorithm_options={"model": pretrained, "warmup_iterations": 0})
+    cold = Wayfinder.for_linux(application="nginx", metric="throughput",
+                               algorithm="deeptune", seed=12)
+
+    warm_result = warm.specialize(iterations=search_iterations)
+    cold_result = cold.specialize(iterations=search_iterations)
+
+    def first_valid_objective(result):
+        for record in result.history:
+            if not record.crashed and record.objective is not None:
+                return record.objective
+        return float("nan")
+
+    print(format_table(
+        ("quantity", "cold start", "transfer from Redis"),
+        [
+            ("first valid configuration (req/s)",
+             "{:.0f}".format(first_valid_objective(cold_result)),
+             "{:.0f}".format(first_valid_objective(warm_result))),
+            ("best configuration (req/s)",
+             "{:.0f}".format(cold_result.best_performance),
+             "{:.0f}".format(warm_result.best_performance)),
+            ("time to best (min)",
+             "{:.0f}".format((cold_result.time_to_best_s or 0) / 60),
+             "{:.0f}".format((warm_result.time_to_best_s or 0) / 60)),
+            ("crash rate",
+             "{:.0%}".format(cold_result.crash_rate),
+             "{:.0%}".format(warm_result.crash_rate)),
+        ],
+        title="Nginx specialization, {} iterations".format(search_iterations),
+    ))
+
+
+if __name__ == "__main__":
+    main()

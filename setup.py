@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` keeps working on environments whose packaging
+toolchain lacks the ``wheel`` package (legacy editable installs run
+``setup.py develop`` and need this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Wayfinder: Automated Operating System Specialization — Python reproduction.
+
+This package reproduces the Wayfinder system (EuroSys'26): an automated OS
+specialization framework that searches the configuration space of an operating
+system (compile-time, boot-time and runtime parameters) for configurations
+specialized towards a target application, workload and metric.  The search is
+driven by DeepTune, a multitask neural network that predicts configuration
+performance, crash likelihood and prediction uncertainty.
+
+The public entry point is :class:`repro.core.Wayfinder`:
+
+    >>> from repro import Wayfinder
+    >>> wf = Wayfinder.for_linux(application="nginx", metric="throughput", seed=1)
+    >>> result = wf.specialize(iterations=30)
+    >>> result.best_performance > 0
+    True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Wayfinder",
+    "SpecializationSession",
+    "SearchResult",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {"Wayfinder", "SpecializationSession", "SearchResult"}
+
+
+def __getattr__(name):
+    """Lazily expose the high-level API from :mod:`repro.core`.
+
+    The subpackages (``repro.config``, ``repro.vm``, ...) stay importable on
+    their own without pulling in the whole stack.
+    """
+    if name in _LAZY_EXPORTS:
+        from repro import core
+
+        return getattr(core, name)
+    raise AttributeError("module {!r} has no attribute {!r}".format(__name__, name))

@@ -1,0 +1,21 @@
+"""Analysis utilities shared by the benchmarks, tests and examples."""
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.similarity import cross_similarity_matrix
+from repro.analysis.smoothing import moving_average, smooth_series
+from repro.analysis.stats import (
+    classification_accuracy,
+    failure_and_run_accuracy,
+    normalized_mae,
+)
+
+__all__ = [
+    "cross_similarity_matrix",
+    "moving_average",
+    "smooth_series",
+    "classification_accuracy",
+    "failure_and_run_accuracy",
+    "normalized_mae",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,50 @@
+"""Plain-text rendering of the tables and figure series the benchmarks emit.
+
+The benchmark harness has no plotting dependency, so every figure is reported
+as the series of points the paper plots (downsampled and smoothed the same
+way), and every table as a fixed-width text table.  The rendering is kept in
+one place so reports look consistent across all experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width table with a separator under the header."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series: Sequence[Tuple[float, float]], x_label: str, y_label: str,
+                  title: Optional[str] = None, max_points: int = 25) -> str:
+    """Render an (x, y) series as a two-column table, downsampled for brevity."""
+    points = list(series)
+    if len(points) > max_points:
+        step = max(1, len(points) // max_points)
+        points = points[::step]
+    return format_table(
+        (x_label, y_label),
+        [("{:.1f}".format(x), "{:.3f}".format(y)) for x, y in points],
+        title=title,
+    )
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return "{:.3f}".format(value)
+    return str(value)

@@ -1,0 +1,62 @@
+"""Cross-application similarity of configuration-parameter importance.
+
+Figure 5 of the paper compares the parameter-importance vectors of the four
+applications: a value close to 1 at the intersection of two applications
+means their performance is impacted by similar parameters (Nginx, Redis and
+SQLite cluster together; NPB stands apart).  The similarity of two importance
+vectors is their cosine similarity, which is 1 on the diagonal by
+construction and decreases as the sets of influential parameters diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _as_matrix(importances: Dict[str, Dict[str, float]],
+               applications: Sequence[str]) -> Tuple[Array, List[str]]:
+    """Stack per-application importance dicts into an aligned matrix."""
+    parameter_names = sorted({name for app in applications
+                              for name in importances[app]})
+    matrix = np.zeros((len(applications), len(parameter_names)))
+    for row, app in enumerate(applications):
+        for column, name in enumerate(parameter_names):
+            matrix[row, column] = importances[app].get(name, 0.0)
+    return matrix, parameter_names
+
+
+def cosine_similarity(first: Array, second: Array) -> float:
+    """Cosine similarity of two non-negative importance vectors."""
+    first = np.asarray(first, dtype=np.float64).reshape(-1)
+    second = np.asarray(second, dtype=np.float64).reshape(-1)
+    norm = np.linalg.norm(first) * np.linalg.norm(second)
+    if norm < 1e-12:
+        return 0.0
+    return float(np.dot(first, second) / norm)
+
+
+def cross_similarity_matrix(importances: Dict[str, Dict[str, float]],
+                            applications: Sequence[str]) -> Array:
+    """Return the (len(applications) x len(applications)) similarity matrix."""
+    matrix, _ = _as_matrix(importances, applications)
+    n = len(applications)
+    result = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            result[i, j] = cosine_similarity(matrix[i], matrix[j])
+    return result
+
+
+def similarity_report(matrix: Array, applications: Sequence[str]) -> str:
+    """Render the similarity matrix as a fixed-width text table."""
+    header = "          " + "  ".join("{:>8}".format(app[:8]) for app in applications)
+    lines = [header]
+    for index, app in enumerate(applications):
+        cells = "  ".join("{:8.3f}".format(matrix[index, j])
+                          for j in range(len(applications)))
+        lines.append("{:<10}".format(app[:10]) + cells)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Curve smoothing used when rendering the evaluation figures.
+
+The paper smooths the per-iteration series of Figures 6, 9, 10 and 11 "for
+readability"; the helpers below provide the same treatment for the series the
+benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def moving_average(values: Sequence[float], window: int = 10) -> List[float]:
+    """Trailing moving average; NaN entries (crashes) are ignored in each window."""
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    values = list(values)
+    smoothed: List[float] = []
+    for index in range(len(values)):
+        chunk = [v for v in values[max(0, index - window + 1): index + 1]
+                 if v is not None and not (isinstance(v, float) and np.isnan(v))]
+        if chunk:
+            smoothed.append(float(np.mean(chunk)))
+        else:
+            smoothed.append(float("nan"))
+    return smoothed
+
+
+def smooth_series(series: Sequence[Tuple[float, Optional[float]]],
+                  window: int = 10) -> List[Tuple[float, float]]:
+    """Smooth an (x, y) series, dropping leading points with no finite value."""
+    xs = [x for x, _ in series]
+    ys = moving_average([y for _, y in series], window=window)
+    return [(x, y) for x, y in zip(xs, ys) if not np.isnan(y)]
+
+
+def downsample(series: Sequence[Tuple[float, float]], max_points: int = 50
+               ) -> List[Tuple[float, float]]:
+    """Keep at most *max_points* evenly spaced points of a series (for reports)."""
+    series = list(series)
+    if len(series) <= max_points:
+        return series
+    indices = np.linspace(0, len(series) - 1, max_points).astype(int)
+    return [series[int(index)] for index in indices]

@@ -1,0 +1,73 @@
+"""Prediction-quality statistics (Table 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def classification_accuracy(predicted: Sequence[bool], actual: Sequence[bool]) -> float:
+    """Plain accuracy of a boolean prediction series."""
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError("prediction and ground truth must have the same shape")
+    if predicted.size == 0:
+        return 0.0
+    return float(np.mean(predicted == actual))
+
+
+def failure_and_run_accuracy(crash_probability: Sequence[float],
+                             actually_crashed: Sequence[bool],
+                             threshold: float = 0.5) -> Tuple[float, float]:
+    """Per-class accuracies of the crash predictor (Table 3).
+
+    *failure accuracy* is the accuracy on configurations that actually
+    failed (how often the model called the crash); *run accuracy* is the
+    accuracy on configurations that actually ran (how often the model
+    predicted a clean run for them).
+    """
+    probability = np.asarray(crash_probability, dtype=np.float64)
+    crashed = np.asarray(actually_crashed, dtype=bool)
+    predicted_crash = probability >= threshold
+    failure_mask = crashed
+    run_mask = ~crashed
+    failure_accuracy = (
+        float(np.mean(predicted_crash[failure_mask])) if failure_mask.any() else 0.0
+    )
+    run_accuracy = (
+        float(np.mean(~predicted_crash[run_mask])) if run_mask.any() else 0.0
+    )
+    return failure_accuracy, run_accuracy
+
+
+def normalized_mae(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean absolute error normalized by the observed range of the target."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    mask = ~np.isnan(actual) & ~np.isnan(predicted)
+    if not mask.any():
+        return 0.0
+    predicted = predicted[mask]
+    actual = actual[mask]
+    spread = float(actual.max() - actual.min())
+    if spread < 1e-12:
+        spread = max(abs(float(actual.mean())), 1e-12)
+    return float(np.mean(np.abs(predicted - actual))) / spread
+
+
+def prediction_quality_summary(crash_probability: Sequence[float],
+                               actually_crashed: Sequence[bool],
+                               predicted_performance: Sequence[float],
+                               actual_performance: Sequence[float]) -> Dict[str, float]:
+    """Bundle the three Table 3 statistics for one application."""
+    failure_accuracy, run_accuracy = failure_and_run_accuracy(
+        crash_probability, actually_crashed)
+    return {
+        "failure_accuracy": failure_accuracy,
+        "run_accuracy": run_accuracy,
+        "normalized_mae": normalized_mae(predicted_performance, actual_performance),
+    }

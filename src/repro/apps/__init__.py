@@ -1,0 +1,35 @@
+"""Application and benchmark-tool models.
+
+Each application model maps an OS configuration to the metric the paper
+measures for that application (request throughput for Nginx and Redis,
+per-operation latency for SQLite, aggregate Mop/s for the NAS Parallel
+Benchmarks), reproducing which configuration parameters matter for which
+application.  Benchmark-tool models add measurement noise and the wall-clock
+cost of running the benchmark.
+"""
+
+from repro.apps.base import Application, BenchmarkTool, Measurement
+from repro.apps.nginx import NginxApplication, WrkBenchmark
+from repro.apps.npb import NPBApplication, NPBSuiteBenchmark
+from repro.apps.redis import RedisApplication, RedisBenchmark
+from repro.apps.registry import available_applications, get_application, get_bench_tool
+from repro.apps.sqlite import SQLiteApplication, SQLiteBenchmark
+from repro.apps.unikraft_nginx import UnikraftNginxApplication
+
+__all__ = [
+    "Application",
+    "BenchmarkTool",
+    "Measurement",
+    "NginxApplication",
+    "WrkBenchmark",
+    "RedisApplication",
+    "RedisBenchmark",
+    "SQLiteApplication",
+    "SQLiteBenchmark",
+    "NPBApplication",
+    "NPBSuiteBenchmark",
+    "UnikraftNginxApplication",
+    "get_application",
+    "get_bench_tool",
+    "available_applications",
+]

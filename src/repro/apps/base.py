@@ -1,0 +1,112 @@
+"""Base classes for application and benchmark-tool models."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Mapping, Optional
+
+from repro.vm.machine import PAPER_TESTBED, HardwareSpec
+
+
+class Measurement:
+    """A single benchmark measurement of one configuration."""
+
+    def __init__(self, value: float, unit: str, metric: str, duration_s: float) -> None:
+        self.value = value
+        self.unit = unit
+        self.metric = metric
+        self.duration_s = duration_s
+
+    def __repr__(self) -> str:
+        return "Measurement({:.1f} {} [{}], {:.0f}s)".format(
+            self.value, self.unit, self.metric, self.duration_s
+        )
+
+
+class Application:
+    """Base class for an application whose performance depends on OS knobs.
+
+    Subclasses implement :meth:`performance`, the noise-free response
+    surface mapping a configuration to the application's metric value on the
+    given hardware.  The direction attribute states whether larger metric
+    values are better (throughput) or worse (latency).
+    """
+
+    #: short identifier used in job files and the registry.
+    name = "application"
+    #: human-readable metric name, e.g. "throughput".
+    metric = "throughput"
+    #: measurement unit, e.g. "req/s".
+    unit = ""
+    #: "maximize" or "minimize".
+    direction = "maximize"
+    #: number of cores the application is configured to use in the paper.
+    cores_used = 1
+
+    def performance(self, config: Mapping[str, object],
+                    hardware: HardwareSpec = PAPER_TESTBED) -> float:
+        """Noise-free metric value for *config* on *hardware*."""
+        raise NotImplementedError
+
+    def sensitive_parameters(self) -> List[str]:
+        """Names of the OS parameters this application is sensitive to.
+
+        Ground truth used by the cross-similarity analysis tests; the search
+        algorithms never see this list.
+        """
+        return []
+
+    @property
+    def maximize(self) -> bool:
+        return self.direction == "maximize"
+
+    def is_improvement(self, candidate: float, incumbent: float) -> bool:
+        """True when *candidate* beats *incumbent* under this app's direction."""
+        if self.maximize:
+            return candidate > incumbent
+        return candidate < incumbent
+
+    def __repr__(self) -> str:
+        return "{}(metric={}, unit={}, direction={})".format(
+            type(self).__name__, self.metric, self.unit, self.direction
+        )
+
+
+class BenchmarkTool:
+    """Base class for the tool that measures an application's metric.
+
+    The tool contributes measurement noise (benchmarks are never perfectly
+    repeatable) and the wall-clock duration of a benchmark run, both of which
+    matter to the platform: the paper reports 60-80 s per configuration
+    evaluation, dominated by the benchmark itself.
+    """
+
+    #: registry identifier, e.g. "wrk".
+    name = "bench"
+    #: relative standard deviation of the measurement noise.
+    noise_fraction = 0.015
+    #: seconds a single benchmark run takes on the paper's testbed.
+    nominal_duration_s = 40.0
+
+    def run_duration_s(self, rng: random.Random) -> float:
+        """Simulated wall-clock duration of one benchmark run."""
+        jitter = 1.0 + 0.2 * (2.0 * rng.random() - 1.0)
+        return self.nominal_duration_s * jitter
+
+    def measure(self, application: Application, config: Mapping[str, object],
+                hardware: HardwareSpec, rng: random.Random) -> Measurement:
+        """Measure *application* under *config*: true value plus noise."""
+        true_value = application.performance(config, hardware)
+        noisy = true_value * (1.0 + rng.gauss(0.0, self.noise_fraction))
+        noisy = max(noisy, 0.0)
+        return Measurement(
+            value=noisy,
+            unit=application.unit,
+            metric=application.metric,
+            duration_s=self.run_duration_s(rng),
+        )
+
+    def __repr__(self) -> str:
+        return "{}(noise={:.1%}, duration~{:.0f}s)".format(
+            type(self).__name__, self.noise_fraction, self.nominal_duration_s
+        )

@@ -1,0 +1,194 @@
+"""Nginx web server model, benchmarked with wrk (throughput in req/s).
+
+Nginx on Linux is network- and event-loop-intensive: the paper reports that
+Wayfinder finds the accept backlog (``net.core.somaxconn``), default socket
+receive buffer (``net.core.rmem_default``) and TCP keepalive time as the top
+positive-impact parameters, ``vm.stat_interval`` as a non-obvious positive
+one, and kernel verbosity (``kernel.printk``, ``kernel.printk_delay``) and
+block I/O debugging (``vm.block_dump``) as the top negative ones.  The
+response surface below encodes exactly those sensitivities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping
+
+from repro.apps.base import Application, BenchmarkTool
+from repro.apps.perfmodel import (
+    as_float,
+    choice_bonus,
+    feature_enabled,
+    linear_preference,
+    log_peak,
+    log_saturating,
+    value_of,
+)
+from repro.vm.machine import PAPER_TESTBED, HardwareSpec
+
+
+class NginxApplication(Application):
+    """Nginx serving static content to a wrk load generator."""
+
+    name = "nginx"
+    metric = "throughput"
+    unit = "req/s"
+    direction = "maximize"
+    cores_used = 16
+
+    #: baseline throughput with essential features present but every tunable
+    #: at its least favourable (yet valid) value.
+    BASE_THROUGHPUT = 13800.0
+
+    def _runtime_contributions(self, config: Mapping[str, object]) -> float:
+        total = 0.0
+        # Connection acceptance and socket buffer sizing.
+        total += 1400.0 * log_peak(as_float(value_of(config, "net.core.somaxconn", 128), 128),
+                                   best=8192, width_decades=1.3)
+        total += 900.0 * log_peak(
+            as_float(value_of(config, "net.core.rmem_default", 212992), 212992),
+            best=8388608, width_decades=1.2)
+        total += 500.0 * log_peak(
+            as_float(value_of(config, "net.core.wmem_default", 212992), 212992),
+            best=4194304, width_decades=1.4)
+        total += 400.0 * log_saturating(
+            as_float(value_of(config, "net.core.netdev_max_backlog", 1000), 1000), 10000)
+        total += 300.0 * log_saturating(
+            as_float(value_of(config, "net.ipv4.tcp_max_syn_backlog", 512), 512), 8192)
+        # Keepalive: shorter keepalive recycles idle connections faster under wrk.
+        keepalive = as_float(value_of(config, "net.ipv4.tcp_keepalive_time", 7200), 7200)
+        total += 350.0 * linear_preference(math.log10(max(keepalive, 1.0)),
+                                           math.log10(60), math.log10(32767),
+                                           prefer_low=True)
+        # Busy polling trades CPU for latency; moderate values help throughput.
+        total += 300.0 * log_peak(as_float(value_of(config, "net.core.busy_poll", 0), 0) + 1.0,
+                                  best=50, width_decades=0.8)
+        total += choice_bonus(value_of(config, "net.ipv4.tcp_congestion_control", "cubic"),
+                              {"bbr": 280.0, "cubic": 170.0, "htcp": 120.0, "reno": 0.0})
+        total += choice_bonus(value_of(config, "net.core.default_qdisc", "pfifo_fast"),
+                              {"fq": 160.0, "fq_codel": 120.0, "cake": 80.0,
+                               "pfifo_fast": 60.0})
+        total += choice_bonus(value_of(config, "net.ipv4.tcp_fastopen", 1),
+                              {3: 120.0, 1: 40.0, 0: 0.0})
+        # Less frequent vmstat refreshes reduce jitter (the "non-obvious" knob).
+        total += 250.0 * log_saturating(
+            as_float(value_of(config, "vm.stat_interval", 1), 1), 30)
+        if value_of(config, "net.ipv4.tcp_tw_reuse", 0) in (1, True):
+            total += 60.0
+        total += 120.0 * linear_preference(
+            as_float(value_of(config, "net.ipv4.tcp_fin_timeout", 60), 60), 1, 600,
+            prefer_low=True)
+        total += 200.0 * log_saturating(
+            as_float(value_of(config, "kernel.sched_migration_cost_ns", 500000), 500000),
+            5_000_000)
+        if value_of(config, "kernel.sched_autogroup_enabled", 1) in (0, False):
+            total += 50.0
+        if value_of(config, "kernel.numa_balancing", 1) in (0, False):
+            total += 80.0
+        total += 100.0 * linear_preference(
+            as_float(value_of(config, "vm.swappiness", 60), 60), 0, 200, prefer_low=True)
+        total += choice_bonus(
+            value_of(config, "sys.kernel.mm.transparent_hugepage.enabled", "madvise"),
+            {"never": 60.0, "madvise": 40.0, "always": 0.0})
+        if value_of(config, "net.ipv4.tcp_slow_start_after_idle", 1) in (0, False):
+            total += 90.0
+        if value_of(config, "net.ipv4.tcp_autocorking", 1) in (0, False):
+            total += 30.0
+        if value_of(config, "net.ipv4.tcp_low_latency", 0) in (1, True):
+            total += 40.0
+        return total
+
+    def _runtime_penalties(self, config: Mapping[str, object]) -> float:
+        total = 0.0
+        # Kernel logging and debugging: the documented Nginx throughput killers.
+        printk = as_float(value_of(config, "kernel.printk", 7), 7)
+        total += 90.0 * max(0.0, printk - 4.0)
+        # Starving the accept queue or the socket buffers collapses throughput
+        # well before the point where the run outright fails.
+        if as_float(value_of(config, "net.core.somaxconn", 128), 128) < 64:
+            total += 700.0
+        if as_float(value_of(config, "net.core.rmem_default", 212992), 212992) < 65536:
+            total += 600.0
+        total += 700.0 * log_saturating(
+            as_float(value_of(config, "kernel.printk_delay", 0), 0), 100)
+        if value_of(config, "vm.block_dump", 0) in (1, True):
+            total += 400.0
+        if value_of(config, "kernel.watchdog", 1) in (1, True):
+            total += 40.0
+        if value_of(config, "kernel.nmi_watchdog", 1) in (1, True):
+            total += 60.0
+        # Disabling fundamental TCP features is catastrophic for wrk throughput.
+        if value_of(config, "net.ipv4.tcp_window_scaling", 1) in (0, False):
+            total += 1500.0
+        if value_of(config, "net.ipv4.tcp_sack", 1) in (0, False):
+            total += 250.0
+        if value_of(config, "net.ipv4.tcp_timestamps", 1) in (0, False):
+            total += 120.0
+        return total
+
+    def _compile_boot_factor(self, config: Mapping[str, object]) -> float:
+        factor = 1.0
+        if feature_enabled(config, "CONFIG_KASAN", False):
+            factor *= 0.45
+        if feature_enabled(config, "CONFIG_UBSAN", False):
+            factor *= 0.80
+        if feature_enabled(config, "CONFIG_LOCKDEP", False):
+            factor *= 0.85
+        if feature_enabled(config, "CONFIG_DEBUG_PAGEALLOC", False):
+            factor *= 0.80
+        if feature_enabled(config, "CONFIG_DEBUG_KERNEL", False):
+            factor *= 0.93
+        if feature_enabled(config, "CONFIG_SLUB_DEBUG_ON", False):
+            factor *= 0.92
+        factor *= choice_bonus(value_of(config, "CONFIG_PREEMPT_MODEL", "voluntary"),
+                               {"none": 1.02, "voluntary": 1.0, "full": 0.97}, default=1.0)
+        factor *= choice_bonus(value_of(config, "CONFIG_HZ", "250"),
+                               {"100": 1.01, "250": 1.0, "300": 0.999, "1000": 0.985},
+                               default=1.0)
+        factor *= choice_bonus(value_of(config, "CONFIG_SLAB_ALLOCATOR", "SLUB"),
+                               {"SLUB": 1.0, "SLAB": 0.98, "SLOB": 0.90}, default=1.0)
+        if not feature_enabled(config, "CONFIG_RETPOLINE", True):
+            factor *= 1.02
+        if not feature_enabled(config, "CONFIG_PAGE_TABLE_ISOLATION", True):
+            factor *= 1.03
+        factor *= choice_bonus(value_of(config, "boot.mitigations", "auto"),
+                               {"off": 1.04, "auto,nosmt": 0.99, "auto": 1.0}, default=1.0)
+        factor *= choice_bonus(value_of(config, "boot.pti", "auto"),
+                               {"off": 1.01, "on": 0.995, "auto": 1.0}, default=1.0)
+        return factor
+
+    def _core_scaling(self, config: Mapping[str, object], hardware: HardwareSpec) -> float:
+        available = min(hardware.cores, int(as_float(value_of(config, "boot.maxcpus", 16), 16)))
+        available = max(1, available)
+        usable = min(self.cores_used, available)
+        return (usable / float(self.cores_used)) ** 0.9
+
+    def performance(self, config: Mapping[str, object],
+                    hardware: HardwareSpec = PAPER_TESTBED) -> float:
+        throughput = self.BASE_THROUGHPUT
+        throughput += self._runtime_contributions(config)
+        throughput -= self._runtime_penalties(config)
+        throughput = max(throughput, 2000.0)
+        throughput *= self._compile_boot_factor(config)
+        throughput *= self._core_scaling(config, hardware)
+        throughput *= hardware.compute_scale ** 0.6
+        return max(throughput, 500.0)
+
+    def sensitive_parameters(self) -> List[str]:
+        return [
+            "net.core.somaxconn", "net.core.rmem_default", "net.core.wmem_default",
+            "net.core.netdev_max_backlog", "net.ipv4.tcp_max_syn_backlog",
+            "net.ipv4.tcp_keepalive_time", "net.core.busy_poll",
+            "net.ipv4.tcp_congestion_control", "net.core.default_qdisc",
+            "net.ipv4.tcp_fastopen", "vm.stat_interval", "kernel.printk",
+            "kernel.printk_delay", "vm.block_dump", "net.ipv4.tcp_window_scaling",
+            "net.ipv4.tcp_sack", "kernel.sched_migration_cost_ns", "vm.swappiness",
+        ]
+
+
+class WrkBenchmark(BenchmarkTool):
+    """The wrk HTTP load generator used to benchmark Nginx."""
+
+    name = "wrk"
+    noise_fraction = 0.018
+    nominal_duration_s = 45.0

@@ -1,0 +1,115 @@
+"""NAS Parallel Benchmarks (NPB) model: FT, MG, CG and IS (OpenMP).
+
+The metric is the aggregate operation rate (Mop/s) across the selected
+kernels and size classes.  NPB is CPU- and memory-bound and requests almost
+no OS functionality once running, so — as the paper observes — the OS
+configuration has very little impact on it (about 2 % in Table 2).  The
+response surface therefore consists of small contributions from memory
+management (transparent hugepages, NUMA balancing) and scheduler knobs, and
+is otherwise flat.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.apps.base import Application, BenchmarkTool
+from repro.apps.perfmodel import (
+    as_float,
+    choice_bonus,
+    feature_enabled,
+    linear_preference,
+    log_saturating,
+    value_of,
+)
+from repro.vm.machine import PAPER_TESTBED, HardwareSpec
+
+
+class NPBApplication(Application):
+    """The FT/MG/CG/IS mix of the NAS Parallel Benchmarks, classes S-B."""
+
+    name = "npb"
+    metric = "rate"
+    unit = "Mop/s"
+    direction = "maximize"
+    cores_used = 16
+
+    BASE_RATE = 1480.0
+
+    def _runtime_contributions(self, config: Mapping[str, object]) -> float:
+        total = 0.0
+        # Large pages reduce TLB pressure for the FT/MG working sets.
+        total += choice_bonus(
+            value_of(config, "sys.kernel.mm.transparent_hugepage.enabled", "madvise"),
+            {"always": 25.0, "madvise": 12.0, "never": 0.0})
+        total += 10.0 * log_saturating(
+            as_float(value_of(config, "vm.nr_hugepages", 0), 0), 512)
+        if value_of(config, "kernel.numa_balancing", 1) in (0, False):
+            total += 8.0
+        total += 5.0 * log_saturating(
+            as_float(value_of(config, "kernel.sched_migration_cost_ns", 500000), 500000),
+            5_000_000)
+        total += 3.0 * linear_preference(
+            as_float(value_of(config, "vm.swappiness", 60), 60), 0, 200, prefer_low=True)
+        total += 2.0 * log_saturating(
+            as_float(value_of(config, "vm.stat_interval", 1), 1), 30)
+        if value_of(config, "kernel.watchdog", 1) in (0, False):
+            total += 2.0
+        if value_of(config, "kernel.nmi_watchdog", 1) in (0, False):
+            total += 2.0
+        return total
+
+    def _runtime_penalties(self, config: Mapping[str, object]) -> float:
+        total = 0.0
+        printk = as_float(value_of(config, "kernel.printk", 7), 7)
+        total += 0.5 * max(0.0, printk - 4.0)
+        total += 5.0 * log_saturating(
+            as_float(value_of(config, "kernel.printk_delay", 0), 0), 100)
+        return total
+
+    def _compile_boot_factor(self, config: Mapping[str, object]) -> float:
+        factor = 1.0
+        if feature_enabled(config, "CONFIG_KASAN", False):
+            factor *= 0.30
+        if feature_enabled(config, "CONFIG_UBSAN", False):
+            factor *= 0.75
+        if feature_enabled(config, "CONFIG_DEBUG_KERNEL", False):
+            factor *= 0.97
+        factor *= choice_bonus(value_of(config, "CONFIG_PREEMPT_MODEL", "voluntary"),
+                               {"none": 1.005, "voluntary": 1.0, "full": 0.995}, default=1.0)
+        factor *= choice_bonus(value_of(config, "CONFIG_HZ", "250"),
+                               {"100": 1.003, "250": 1.0, "300": 1.0, "1000": 0.996},
+                               default=1.0)
+        return factor
+
+    def _core_scaling(self, config: Mapping[str, object], hardware: HardwareSpec) -> float:
+        available = min(hardware.cores, int(as_float(value_of(config, "boot.maxcpus", 16), 16)))
+        available = max(1, available)
+        usable = min(self.cores_used, available)
+        # OpenMP scaling on this kernel mix is close to linear but not perfect.
+        return (usable / float(self.cores_used)) ** 0.95
+
+    def performance(self, config: Mapping[str, object],
+                    hardware: HardwareSpec = PAPER_TESTBED) -> float:
+        rate = self.BASE_RATE
+        rate += self._runtime_contributions(config)
+        rate -= self._runtime_penalties(config)
+        rate *= self._compile_boot_factor(config)
+        rate *= self._core_scaling(config, hardware)
+        rate *= hardware.compute_scale
+        return max(rate, 10.0)
+
+    def sensitive_parameters(self) -> List[str]:
+        return [
+            "sys.kernel.mm.transparent_hugepage.enabled", "vm.nr_hugepages",
+            "kernel.numa_balancing", "kernel.sched_migration_cost_ns",
+            "vm.swappiness", "vm.stat_interval",
+        ]
+
+
+class NPBSuiteBenchmark(BenchmarkTool):
+    """Runs the FT/MG/CG/IS programs for each size class and aggregates Mop/s."""
+
+    name = "npb-suite"
+    noise_fraction = 0.01
+    nominal_duration_s = 70.0

@@ -1,0 +1,96 @@
+"""Response-curve helpers shared by the application performance models.
+
+Every application model is a sum of smooth contributions, one per OS knob the
+application is sensitive to.  The helpers below provide the common shapes:
+
+* :func:`log_peak` — a bell on a logarithmic axis: too small starves the
+  resource, too large wastes cache/memory (socket buffers, backlogs).
+* :func:`log_saturating` — grows with the (log of the) value and saturates
+  (e.g. file-descriptor limits: enough is enough).
+* :func:`linear_preference` — a linear pull towards one end of a bounded
+  range (e.g. swappiness: lower is better for a latency-sensitive server).
+* :func:`step_penalty` — a flat penalty when a condition holds (debug
+  features enabled, feature compiled out).
+
+All helpers return values in [0, 1] so the application model can scale them
+by a per-knob weight expressed in metric units.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+def value_of(config: Mapping[str, object], name: str, default):
+    """Read a knob from the configuration, falling back to *default*."""
+    value = config.get(name, default)
+    if value is None:
+        return default
+    return value
+
+
+def as_float(value, default: float = 0.0) -> float:
+    """Best-effort numeric coercion (categorical values fall back to default)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def log_peak(value: float, best: float, width_decades: float = 1.0) -> float:
+    """A Gaussian bump on a log10 axis, peaking at *best*.
+
+    ``width_decades`` is the standard deviation in decades: with the default
+    of 1.0, a value ten times smaller or larger than the optimum scores
+    ``exp(-0.5) ~= 0.61``.
+    """
+    if best <= 0:
+        raise ValueError("log_peak requires a positive optimum")
+    value = max(float(value), 1e-9)
+    distance = (math.log10(value) - math.log10(best)) / width_decades
+    return math.exp(-0.5 * distance * distance)
+
+
+def log_saturating(value: float, half_point: float) -> float:
+    """Grows with log(value) and saturates towards 1; 0.5 is reached at *half_point*."""
+    if half_point <= 0:
+        raise ValueError("log_saturating requires a positive half point")
+    value = max(float(value), 0.0)
+    ratio = math.log1p(value) / math.log1p(half_point)
+    return ratio / (1.0 + ratio)
+
+
+def saturating(value: float, half_point: float) -> float:
+    """Michaelis-Menten style saturation: value/(value+half_point)."""
+    if half_point <= 0:
+        raise ValueError("saturating requires a positive half point")
+    value = max(float(value), 0.0)
+    return value / (value + half_point)
+
+
+def linear_preference(value: float, low: float, high: float, prefer_low: bool = True) -> float:
+    """Score 1.0 at the preferred end of [low, high], 0.0 at the other end."""
+    if high <= low:
+        raise ValueError("linear_preference requires high > low")
+    unit = (float(value) - low) / (high - low)
+    unit = min(1.0, max(0.0, unit))
+    return 1.0 - unit if prefer_low else unit
+
+
+def step_penalty(condition: bool) -> float:
+    """1.0 when the (penalising) condition holds, else 0.0."""
+    return 1.0 if condition else 0.0
+
+
+def choice_bonus(value: object, scores: Mapping[object, float], default: float = 0.0) -> float:
+    """Look up a per-choice score for a categorical knob."""
+    return float(scores.get(value, default))
+
+
+def feature_enabled(config: Mapping[str, object], name: str, default: bool = True) -> bool:
+    """Interpret a bool/tristate knob as 'enabled'."""
+    value = config.get(name, default)
+    return value in (True, 1, "y", "m")

@@ -1,0 +1,64 @@
+"""Registry mapping application and bench-tool names to their models."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.apps.base import Application, BenchmarkTool
+from repro.apps.nginx import NginxApplication, WrkBenchmark
+from repro.apps.npb import NPBApplication, NPBSuiteBenchmark
+from repro.apps.redis import RedisApplication, RedisBenchmark
+from repro.apps.sqlite import SQLiteApplication, SQLiteBenchmark
+from repro.apps.unikraft_nginx import UnikraftNginxApplication, UnikraftWrkBenchmark
+
+#: application name -> (application class, default bench-tool class)
+_REGISTRY: Dict[str, Tuple[Type[Application], Type[BenchmarkTool]]] = {
+    "nginx": (NginxApplication, WrkBenchmark),
+    "redis": (RedisApplication, RedisBenchmark),
+    "sqlite": (SQLiteApplication, SQLiteBenchmark),
+    "npb": (NPBApplication, NPBSuiteBenchmark),
+    "unikraft-nginx": (UnikraftNginxApplication, UnikraftWrkBenchmark),
+}
+
+_BENCH_TOOLS: Dict[str, Type[BenchmarkTool]] = {
+    cls.name: cls
+    for _, cls in _REGISTRY.values()
+}
+
+
+def available_applications() -> List[str]:
+    """Names of the applications shipped with the reproduction."""
+    return sorted(_REGISTRY.keys())
+
+
+def get_application(name: str) -> Application:
+    """Instantiate the application model registered under *name*."""
+    try:
+        application_cls, _ = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown application {!r}; available: {}".format(
+                name, ", ".join(available_applications())
+            )
+        ) from None
+    return application_cls()
+
+
+def get_bench_tool(name: str) -> BenchmarkTool:
+    """Instantiate a bench tool either by tool name or by application name."""
+    if name in _BENCH_TOOLS:
+        return _BENCH_TOOLS[name]()
+    if name in _REGISTRY:
+        return _REGISTRY[name][1]()
+    raise KeyError(
+        "unknown bench tool {!r}; available: {}".format(
+            name, ", ".join(sorted(_BENCH_TOOLS) + available_applications())
+        )
+    )
+
+
+def default_bench_tool_for(application: str) -> BenchmarkTool:
+    """Return the bench tool the paper pairs with *application*."""
+    if application not in _REGISTRY:
+        raise KeyError("unknown application {!r}".format(application))
+    return _REGISTRY[application][1]()

@@ -1,0 +1,128 @@
+"""SQLite model, benchmarked with LevelDB's SQLite3 INSERT benchmark.
+
+The metric is the average latency per INSERT operation (microseconds,
+lower is better).  SQLite under this workload is storage-intensive: its
+sensitivities are the writeback and dirty-page knobs, the I/O scheduler, and
+the block-queue tuning — not the network stack.  The paper finds that the
+default configuration is already close to optimal for this workload, which
+the model reproduces by centring the response surface on the defaults: most
+deviations make latency worse, and only marginal gains are available.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping
+
+from repro.apps.base import Application, BenchmarkTool
+from repro.apps.perfmodel import (
+    as_float,
+    choice_bonus,
+    feature_enabled,
+    log_peak,
+    log_saturating,
+    value_of,
+)
+from repro.vm.machine import PAPER_TESTBED, HardwareSpec
+
+
+class SQLiteApplication(Application):
+    """SQLite executing a stream of INSERT statements from the LevelDB bench."""
+
+    name = "sqlite"
+    metric = "latency"
+    unit = "us/op"
+    direction = "minimize"
+    cores_used = 1
+
+    #: latency floor with ideal settings.
+    BASE_LATENCY = 278.0
+
+    def _deviation_penalties(self, config: Mapping[str, object]) -> float:
+        """Microseconds added by moving storage knobs away from their sweet spot."""
+        total = 0.0
+        # Dirty page ratios: the defaults (20/10) are the sweet spot for this
+        # steady INSERT stream; very low values force synchronous writeback,
+        # very high values cause periodic stalls.
+        dirty = as_float(value_of(config, "vm.dirty_ratio", 20), 20)
+        total += 90.0 * (1.0 - log_peak(max(dirty, 1.0), best=20, width_decades=0.5))
+        background = as_float(value_of(config, "vm.dirty_background_ratio", 10), 10)
+        total += 45.0 * (1.0 - log_peak(max(background, 1.0), best=10, width_decades=0.5))
+        expire = as_float(value_of(config, "vm.dirty_expire_centisecs", 3000), 3000)
+        total += 40.0 * (1.0 - log_peak(max(expire, 100.0), best=3000, width_decades=0.8))
+        writeback = as_float(value_of(config, "vm.dirty_writeback_centisecs", 500), 500)
+        total += 35.0 * (1.0 - log_peak(max(writeback, 1.0), best=500, width_decades=0.8))
+        # Block layer: mq-deadline with the default queue sizing is best here.
+        total += choice_bonus(value_of(config, "sys.block.vda.queue.scheduler", "mq-deadline"),
+                              {"mq-deadline": 0.0, "kyber": 6.0, "none": 12.0, "bfq": 30.0})
+        read_ahead = as_float(value_of(config, "sys.block.vda.queue.read_ahead_kb", 128), 128)
+        total += 25.0 * (1.0 - log_peak(max(read_ahead, 1.0), best=128, width_decades=1.0))
+        nr_requests = as_float(value_of(config, "sys.block.vda.queue.nr_requests", 256), 256)
+        total += 18.0 * (1.0 - log_peak(max(nr_requests, 4.0), best=256, width_decades=1.0))
+        wbt = as_float(value_of(config, "sys.block.vda.queue.wbt_lat_usec", 75000), 75000)
+        total += 15.0 * (1.0 - log_peak(max(wbt, 1.0), best=75000, width_decades=1.2))
+        # Memory management knobs that interfere with the page cache.
+        swappiness = as_float(value_of(config, "vm.swappiness", 60), 60)
+        if swappiness > 120:
+            total += 20.0
+        if value_of(config, "vm.overcommit_memory", 0) == 2:
+            total += 35.0
+        total += choice_bonus(
+            value_of(config, "sys.kernel.mm.transparent_hugepage.enabled", "madvise"),
+            {"madvise": 0.0, "never": 2.0, "always": 14.0})
+        vfs_pressure = as_float(value_of(config, "vm.vfs_cache_pressure", 100), 100)
+        total += 12.0 * (1.0 - log_peak(max(vfs_pressure, 1.0), best=100, width_decades=0.7))
+        return total
+
+    def _logging_penalties(self, config: Mapping[str, object]) -> float:
+        total = 0.0
+        printk = as_float(value_of(config, "kernel.printk", 7), 7)
+        total += 2.0 * max(0.0, printk - 4.0)
+        total += 60.0 * log_saturating(
+            as_float(value_of(config, "kernel.printk_delay", 0), 0), 100)
+        if value_of(config, "vm.block_dump", 0) in (1, True):
+            # Block I/O debugging logs every request this workload issues.
+            total += 120.0
+        return total
+
+    def _compile_factor(self, config: Mapping[str, object]) -> float:
+        factor = 1.0
+        if feature_enabled(config, "CONFIG_KASAN", False):
+            factor *= 2.6
+        if feature_enabled(config, "CONFIG_UBSAN", False):
+            factor *= 1.3
+        if feature_enabled(config, "CONFIG_DEBUG_KERNEL", False):
+            factor *= 1.08
+        if feature_enabled(config, "CONFIG_LOCKDEP", False):
+            factor *= 1.2
+        factor /= choice_bonus(value_of(config, "CONFIG_HZ", "250"),
+                               {"100": 1.0, "250": 1.0, "300": 1.0, "1000": 0.99},
+                               default=1.0)
+        return factor
+
+    def performance(self, config: Mapping[str, object],
+                    hardware: HardwareSpec = PAPER_TESTBED) -> float:
+        latency = self.BASE_LATENCY
+        latency += self._deviation_penalties(config)
+        latency += self._logging_penalties(config)
+        latency *= self._compile_factor(config)
+        latency /= max(hardware.compute_scale, 0.05) ** 0.7
+        return max(latency, 50.0)
+
+    def sensitive_parameters(self) -> List[str]:
+        return [
+            "vm.dirty_ratio", "vm.dirty_background_ratio", "vm.dirty_expire_centisecs",
+            "vm.dirty_writeback_centisecs", "sys.block.vda.queue.scheduler",
+            "sys.block.vda.queue.read_ahead_kb", "sys.block.vda.queue.nr_requests",
+            "sys.block.vda.queue.wbt_lat_usec", "vm.vfs_cache_pressure",
+            "vm.overcommit_memory", "vm.block_dump", "kernel.printk_delay",
+            "sys.kernel.mm.transparent_hugepage.enabled", "vm.swappiness",
+        ]
+
+
+class SQLiteBenchmark(BenchmarkTool):
+    """LevelDB's db_bench_sqlite3 issuing a fixed number of INSERTs."""
+
+    name = "db_bench_sqlite3"
+    noise_fraction = 0.012
+    nominal_duration_s = 30.0

@@ -1,0 +1,133 @@
+"""Nginx running on the Unikraft unikernel (§4.4, Figure 9).
+
+The configuration space combines 23 Unikraft OS parameters with 10 Nginx
+application parameters.  Because a unikernel has almost no machinery the
+application does not need, well-chosen configurations improve throughput far
+more than on Linux: the paper's Figure 9 shows the search moving from a few
+thousand req/s for poor configurations to roughly 50 000 req/s for the best
+ones found by Wayfinder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.apps.base import Application, BenchmarkTool
+from repro.apps.perfmodel import (
+    as_float,
+    choice_bonus,
+    feature_enabled,
+    log_peak,
+    log_saturating,
+    value_of,
+)
+from repro.vm.machine import PAPER_TESTBED, HardwareSpec
+
+
+class UnikraftNginxApplication(Application):
+    """Nginx built as a Unikraft unikernel image, benchmarked with wrk."""
+
+    name = "unikraft-nginx"
+    metric = "throughput"
+    unit = "req/s"
+    direction = "maximize"
+    cores_used = 1
+
+    BASE_THROUGHPUT = 9000.0
+
+    def _application_contributions(self, config: Mapping[str, object]) -> float:
+        total = 0.0
+        total += 3000.0 * log_peak(
+            as_float(value_of(config, "nginx.worker_processes", 1), 1), best=2,
+            width_decades=0.5)
+        total += 7000.0 * log_peak(
+            as_float(value_of(config, "nginx.worker_connections", 512), 512),
+            best=16384, width_decades=1.2)
+        # Persistent connections are the single biggest win for wrk workloads.
+        keepalive_timeout = as_float(value_of(config, "nginx.keepalive_timeout", 65), 65)
+        keepalive_requests = as_float(value_of(config, "nginx.keepalive_requests", 100), 100)
+        if keepalive_timeout > 0:
+            total += 6000.0 * log_saturating(keepalive_requests, 10000)
+        if not value_of(config, "nginx.access_log", True):
+            total += 5000.0
+        if value_of(config, "nginx.sendfile", True):
+            total += 2500.0
+        if value_of(config, "nginx.tcp_nodelay", True):
+            total += 2000.0
+        if value_of(config, "nginx.tcp_nopush", False):
+            total += 500.0
+        if not value_of(config, "nginx.gzip", False):
+            total += 3000.0
+        total += 2500.0 * log_saturating(
+            as_float(value_of(config, "nginx.open_file_cache", 0), 0), 1000)
+        return total
+
+    def _os_contributions(self, config: Mapping[str, object]) -> float:
+        total = 0.0
+        total += choice_bonus(value_of(config, "uk.allocator", "buddy"),
+                              {"mimalloc": 4000.0, "tlsf": 2500.0, "bbuddy": 1000.0,
+                               "buddy": 0.0})
+        total += choice_bonus(value_of(config, "uk.sched", "coop"),
+                              {"coop": 1500.0, "preempt": 0.0})
+        total += 3000.0 * log_peak(
+            as_float(value_of(config, "uk.lwip_tcp_snd_buf_kb", 64), 64), best=1024,
+            width_decades=1.0)
+        total += 3000.0 * log_peak(
+            as_float(value_of(config, "uk.lwip_tcp_wnd_kb", 64), 64), best=1024,
+            width_decades=1.0)
+        total += 2500.0 * log_saturating(
+            as_float(value_of(config, "uk.lwip_pbuf_pool_size", 256), 256), 2048)
+        total += 1500.0 * log_saturating(
+            as_float(value_of(config, "uk.lwip_num_tcp_pcb", 64), 64), 512)
+        if value_of(config, "uk.lwip_nagle_off", False):
+            total += 1500.0
+        total += 1000.0 * log_peak(
+            as_float(value_of(config, "uk.netdev_rx_descs", 256), 256), best=1024,
+            width_decades=0.8)
+        total += 1000.0 * log_peak(
+            as_float(value_of(config, "uk.netdev_tx_descs", 256), 256), best=1024,
+            width_decades=0.8)
+        total += 2000.0 * log_saturating(
+            as_float(value_of(config, "uk.heap_pages", 8192), 8192), 32768)
+        total += 800.0 * log_saturating(
+            as_float(value_of(config, "uk.vfs_cache_entries", 512), 512), 4096)
+        return total
+
+    def _os_factor(self, config: Mapping[str, object]) -> float:
+        factor = 1.0
+        if feature_enabled(config, "uk.debug_printk", False):
+            factor *= 0.55
+        if feature_enabled(config, "uk.trace", False):
+            factor *= 0.75
+        if feature_enabled(config, "uk.assertions", True):
+            factor *= 0.95
+        if feature_enabled(config, "uk.alloc_stats", False):
+            factor *= 0.90
+        if feature_enabled(config, "uk.pagetable_huge", False):
+            factor *= 1.03
+        return factor
+
+    def performance(self, config: Mapping[str, object],
+                    hardware: HardwareSpec = PAPER_TESTBED) -> float:
+        throughput = self.BASE_THROUGHPUT
+        throughput += self._application_contributions(config)
+        throughput += self._os_contributions(config)
+        throughput *= self._os_factor(config)
+        throughput *= hardware.compute_scale ** 0.7
+        return max(throughput, 500.0)
+
+    def sensitive_parameters(self) -> List[str]:
+        return [
+            "nginx.worker_connections", "nginx.keepalive_requests", "nginx.access_log",
+            "nginx.gzip", "nginx.sendfile", "uk.allocator", "uk.lwip_tcp_snd_buf_kb",
+            "uk.lwip_tcp_wnd_kb", "uk.lwip_pbuf_pool_size", "uk.heap_pages",
+            "uk.debug_printk", "uk.trace",
+        ]
+
+
+class UnikraftWrkBenchmark(BenchmarkTool):
+    """wrk pointed at the Unikraft Nginx image (shorter runs: tiny boot times)."""
+
+    name = "wrk-unikraft"
+    noise_fraction = 0.02
+    nominal_duration_s = 30.0

@@ -1,0 +1,217 @@
+"""Command-line interface to the Wayfinder reproduction.
+
+The original Wayfinder ships ``wfctl``, a CLI that creates jobs from YAML job
+files and starts exploration runs.  This module provides the equivalent for
+the reproduction:
+
+.. code-block:: console
+
+    $ python -m repro.cli census --version v6.0
+    $ python -m repro.cli probe --output probed-job.yaml
+    $ python -m repro.cli run --application nginx --metric throughput \
+          --algorithm deeptune --iterations 100 --results results/
+    $ python -m repro.cli run --job job.yaml
+    $ python -m repro.cli compare --application nginx --iterations 60
+
+Every subcommand prints plain-text tables (no plotting dependencies) and can
+persist histories through :class:`repro.platform.results.ResultsStore`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.config.jobfile import JobFile, dump_job_file, load_job_file
+from repro.config.space import ConfigSpace
+from repro.core.wayfinder import Wayfinder
+from repro.kconfig.linux import linux_census
+from repro.platform.results import ResultsStore
+from repro.search.registry import available_algorithms
+from repro.sysctl.probe import SpaceProber
+from repro.sysctl.procfs import ProcFS
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run", help="run a specialization search for an application/metric")
+    parser.add_argument("--job", help="YAML/JSON job file to execute")
+    parser.add_argument("--application", default="nginx",
+                        help="application to specialize for (default: nginx)")
+    parser.add_argument("--metric", default="auto",
+                        help="throughput | latency | memory | score | auto")
+    parser.add_argument("--algorithm", default="deeptune",
+                        choices=available_algorithms())
+    parser.add_argument("--os", dest="os_name", default="linux",
+                        choices=("linux", "unikraft"))
+    parser.add_argument("--favor", default="runtime",
+                        choices=("runtime", "boot", "compile", "runtime+boot", "none"))
+    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument("--time-budget-s", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--results", help="directory to store the exploration history")
+    parser.add_argument("--name", help="name of the stored history (default: derived)")
+
+
+def _add_probe_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "probe", help="infer the runtime configuration space of a booted kernel (§3.4)")
+    parser.add_argument("--output", default="probed-job.yaml",
+                        help="job file to write (YAML or JSON)")
+    parser.add_argument("--application", default="nginx")
+    parser.add_argument("--scale-factor", type=int, default=10)
+    parser.add_argument("--extra-generic", type=int, default=40,
+                        help="number of synthetic long-tail sysctls in the probe VM")
+
+
+def _add_census_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "census", help="print the configuration-space census (Table 1)")
+    parser.add_argument("--version", default="v6.0", choices=("v6.0", "v4.19"))
+
+
+def _add_compare_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "compare", help="compare search algorithms on one application")
+    parser.add_argument("--application", default="nginx")
+    parser.add_argument("--os", dest="os_name", default="linux",
+                        choices=("linux", "unikraft"))
+    parser.add_argument("--algorithms", nargs="+",
+                        default=["random", "bayesian", "deeptune"])
+    parser.add_argument("--iterations", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wayfinder-repro",
+        description="Wayfinder (EuroSys'26) reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    _add_probe_parser(subparsers)
+    _add_census_parser(subparsers)
+    _add_compare_parser(subparsers)
+    return parser
+
+
+def _build_wayfinder(os_name: str, application: str, metric: str, algorithm: str,
+                     favor: str, seed: int) -> Wayfinder:
+    favor_value = None if favor == "none" else favor
+    if os_name == "unikraft":
+        return Wayfinder.for_unikraft(metric="throughput" if metric == "auto" else metric,
+                                      algorithm=algorithm, seed=seed)
+    return Wayfinder.for_linux(application=application, metric=metric,
+                               algorithm=algorithm, favor=favor_value, seed=seed)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.job:
+        job = load_job_file(args.job)
+        application = job.application
+        metric = job.metric
+        seed = job.seed
+        iterations: Optional[int] = job.iterations
+        time_budget = job.time_budget_s
+        favor = job.favor_kinds[0] if job.favor_kinds else "runtime"
+        algorithm = args.algorithm
+        os_name = job.os_name
+    else:
+        application = args.application
+        metric = args.metric
+        seed = args.seed
+        iterations = args.iterations
+        time_budget = args.time_budget_s
+        favor = args.favor
+        algorithm = args.algorithm
+        os_name = args.os_name
+
+    wayfinder = _build_wayfinder(os_name, application, metric, algorithm, favor, seed)
+    print("Searching {} parameters with {} for {} ({})...".format(
+        len(wayfinder.space), algorithm, application, wayfinder.metric.name))
+    result = wayfinder.specialize(iterations=iterations, time_budget_s=time_budget)
+
+    rows = [
+        ("iterations", result.iterations),
+        ("default objective", "{:.2f}".format(result.default_objective or float("nan"))),
+        ("best objective", "{:.2f}".format(result.best_performance or float("nan"))),
+        ("improvement", "{:.2f}x".format(result.improvement_factor or float("nan"))),
+        ("crash rate", "{:.0%}".format(result.crash_rate)),
+        ("virtual time (h)", "{:.1f}".format(result.total_time_s / 3600.0)),
+    ]
+    print(format_table(("quantity", "value"), rows, title="Search result"))
+
+    if args.results:
+        store = ResultsStore(args.results)
+        name = args.name or "{}-{}-{}".format(os_name, application, algorithm)
+        path = store.save_history(name, result.history, metadata={
+            "application": application, "metric": wayfinder.metric.name,
+            "algorithm": algorithm, "seed": seed,
+        })
+        print("History stored at {}".format(path))
+    return 0
+
+
+def _command_probe(args: argparse.Namespace) -> int:
+    procfs = ProcFS(extra_generic=args.extra_generic)
+    prober = SpaceProber(scale_factor=args.scale_factor)
+    probed = prober.probe(procfs)
+    space = ConfigSpace([record.to_parameter() for record in probed],
+                        name="probed-runtime-space")
+    job = JobFile(name="probed-job", os_name="linux", application=args.application,
+                  bench_tool="wrk", metric="throughput", space=space,
+                  favor_kinds=["runtime"])
+    dump_job_file(job, args.output)
+    print("Probed {} runtime parameters; job file written to {}".format(
+        len(probed), args.output))
+    by_type = {}
+    for record in probed:
+        by_type[record.inferred_type] = by_type.get(record.inferred_type, 0) + 1
+    print(format_table(("inferred type", "count"), sorted(by_type.items()),
+                       title="Probed parameter types"))
+    return 0
+
+
+def _command_census(args: argparse.Namespace) -> int:
+    census = linux_census(args.version)
+    print(format_table(("option class", "count"), sorted(census.items()),
+                       title="Linux {} configuration-space census".format(args.version)))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for algorithm in args.algorithms:
+        wayfinder = _build_wayfinder(args.os_name, args.application, "auto",
+                                     algorithm, "runtime", args.seed)
+        result = wayfinder.specialize(iterations=args.iterations)
+        rows.append((algorithm,
+                     "{:.2f}".format(result.best_performance or float("nan")),
+                     "{:.2f}x".format(result.improvement_factor or float("nan")),
+                     "{:.0%}".format(result.crash_rate),
+                     "{:.0f}".format((result.time_to_best_s or 0.0) / 60.0)))
+    print(format_table(
+        ("algorithm", "best objective", "improvement", "crash rate", "time to best (min)"),
+        rows, title="{} on {}: algorithm comparison".format(args.application,
+                                                            args.os_name)))
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "probe": _command_probe,
+    "census": _command_census,
+    "compare": _command_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

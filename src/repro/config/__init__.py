@@ -1,0 +1,53 @@
+"""Configuration-space modelling.
+
+This subpackage provides the data model that every other part of the
+reproduction builds on: typed configuration parameters, configuration spaces,
+concrete configurations, validity constraints, numeric encodings used by the
+machine-learning optimizers, and the job-file serialization format used to
+describe an exploration to the Wayfinder platform.
+"""
+
+from repro.config.constraints import (
+    Constraint,
+    ConstraintViolation,
+    DependsOn,
+    ForbiddenCombination,
+    RangeConstraint,
+    RequiresValue,
+)
+from repro.config.encoding import ConfigEncoder
+from repro.config.jobfile import JobFile, dump_job_file, load_job_file
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    HexParameter,
+    IntParameter,
+    Parameter,
+    ParameterKind,
+    StringParameter,
+    TristateParameter,
+)
+from repro.config.space import Configuration, ConfigSpace
+
+__all__ = [
+    "Parameter",
+    "ParameterKind",
+    "BoolParameter",
+    "TristateParameter",
+    "IntParameter",
+    "HexParameter",
+    "StringParameter",
+    "CategoricalParameter",
+    "ConfigSpace",
+    "Configuration",
+    "Constraint",
+    "ConstraintViolation",
+    "DependsOn",
+    "RequiresValue",
+    "RangeConstraint",
+    "ForbiddenCombination",
+    "ConfigEncoder",
+    "JobFile",
+    "load_job_file",
+    "dump_job_file",
+]

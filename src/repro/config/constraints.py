@@ -1,0 +1,203 @@
+"""Validity constraints over configurations.
+
+Kconfig expresses dependencies between options (``depends on``, ``select``,
+value ranges).  The platform checks these *declared* constraints before it
+spends time building an image — exactly like KConfig refuses obviously
+inconsistent configurations — but, as in the paper, many configurations that
+satisfy all declared constraints still fail at build, boot, or run time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+
+class ConstraintViolation:
+    """A single violated constraint, with a human-readable explanation."""
+
+    def __init__(self, constraint: "Constraint", message: str) -> None:
+        self.constraint = constraint
+        self.message = message
+
+    def __repr__(self) -> str:
+        return "ConstraintViolation({!r})".format(self.message)
+
+
+class Constraint:
+    """Base class for configuration validity constraints."""
+
+    def parameter_names(self) -> Sequence[str]:
+        """Names of the parameters this constraint reads."""
+        raise NotImplementedError
+
+    def check(self, configuration: Mapping[str, Any]) -> Optional[ConstraintViolation]:
+        """Return a violation if *configuration* breaks this constraint."""
+        raise NotImplementedError
+
+    def repair(self, configuration: Mapping[str, Any], rng: random.Random) -> Dict[str, Any]:
+        """Suggest value updates that would satisfy the constraint."""
+        return {}
+
+
+def _enabled(value: Any) -> bool:
+    """Interpret a bool or tristate value as 'feature enabled'."""
+    return value in (True, 1, "y", "m")
+
+
+class DependsOn(Constraint):
+    """``option`` may only be enabled when ``dependency`` is enabled.
+
+    Models Kconfig ``depends on`` edges between bool/tristate options.
+    """
+
+    def __init__(self, option: str, dependency: str) -> None:
+        self.option = option
+        self.dependency = dependency
+
+    def parameter_names(self):
+        return (self.option, self.dependency)
+
+    def check(self, configuration):
+        if _enabled(configuration[self.option]) and not _enabled(configuration[self.dependency]):
+            return ConstraintViolation(
+                self,
+                "{} is enabled but its dependency {} is disabled".format(
+                    self.option, self.dependency
+                ),
+            )
+        return None
+
+    def repair(self, configuration, rng):
+        # Either disable the dependent option or enable the dependency;
+        # disabling is what "make olddefconfig" style resolution does.
+        value = configuration[self.option]
+        disabled = "n" if isinstance(value, str) else False
+        return {self.option: disabled}
+
+    def __repr__(self):
+        return "DependsOn({} -> {})".format(self.option, self.dependency)
+
+
+class RequiresValue(Constraint):
+    """When ``option`` is enabled, ``target`` must hold one of ``allowed``."""
+
+    def __init__(self, option: str, target: str, allowed: Iterable[Any]) -> None:
+        self.option = option
+        self.target = target
+        self.allowed = tuple(allowed)
+        if not self.allowed:
+            raise ValueError("RequiresValue needs at least one allowed value")
+
+    def parameter_names(self):
+        return (self.option, self.target)
+
+    def check(self, configuration):
+        if _enabled(configuration[self.option]) and configuration[self.target] not in self.allowed:
+            return ConstraintViolation(
+                self,
+                "{} enabled requires {} in {!r}, got {!r}".format(
+                    self.option, self.target, self.allowed, configuration[self.target]
+                ),
+            )
+        return None
+
+    def repair(self, configuration, rng):
+        return {self.target: rng.choice(self.allowed)}
+
+    def __repr__(self):
+        return "RequiresValue({} => {} in {!r})".format(self.option, self.target, self.allowed)
+
+
+class RangeConstraint(Constraint):
+    """An integer parameter must stay within [minimum, maximum].
+
+    Kconfig ``range`` statements on int/hex options.  Mostly redundant with
+    the parameter's own domain, but job files may tighten ranges further.
+    """
+
+    def __init__(self, name: str, minimum: int, maximum: int) -> None:
+        if minimum > maximum:
+            raise ValueError("empty range for {}".format(name))
+        self.name = name
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def parameter_names(self):
+        return (self.name,)
+
+    def check(self, configuration):
+        value = configuration[self.name]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return ConstraintViolation(self, "{} is not numeric".format(self.name))
+        if not self.minimum <= value <= self.maximum:
+            return ConstraintViolation(
+                self,
+                "{}={} outside [{}, {}]".format(self.name, value, self.minimum, self.maximum),
+            )
+        return None
+
+    def repair(self, configuration, rng):
+        value = configuration[self.name]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return {self.name: self.minimum}
+        return {self.name: min(self.maximum, max(self.minimum, int(value)))}
+
+    def __repr__(self):
+        return "RangeConstraint({} in [{}, {}])".format(self.name, self.minimum, self.maximum)
+
+
+class ForbiddenCombination(Constraint):
+    """A specific combination of values is invalid.
+
+    Models mutually exclusive features (e.g. two conflicting preemption
+    models both built-in).
+    """
+
+    def __init__(self, assignment: Mapping[str, Any], reason: str = "") -> None:
+        if not assignment:
+            raise ValueError("ForbiddenCombination needs at least one assignment")
+        self.assignment = dict(assignment)
+        self.reason = reason
+
+    def parameter_names(self):
+        return tuple(self.assignment.keys())
+
+    def check(self, configuration):
+        if all(configuration[name] == value for name, value in self.assignment.items()):
+            return ConstraintViolation(
+                self,
+                self.reason
+                or "forbidden combination: {}".format(
+                    ", ".join("{}={!r}".format(k, v) for k, v in self.assignment.items())
+                ),
+            )
+        return None
+
+    def repair(self, configuration, rng):
+        # Break the combination by flipping one of the pinned bool-ish values.
+        name = rng.choice(list(self.assignment.keys()))
+        value = self.assignment[name]
+        if isinstance(value, bool):
+            return {name: not value}
+        if value in ("y", "m"):
+            return {name: "n"}
+        if value == "n":
+            return {name: "y"}
+        return {}
+
+    def __repr__(self):
+        return "ForbiddenCombination({})".format(self.assignment)
+
+
+def count_satisfied(
+    constraints: Iterable[Constraint], configuration: Mapping[str, Any]
+) -> Tuple[int, int]:
+    """Return (satisfied, total) constraint counts for *configuration*."""
+    satisfied = 0
+    total = 0
+    for constraint in constraints:
+        total += 1
+        if constraint.check(configuration) is None:
+            satisfied += 1
+    return satisfied, total

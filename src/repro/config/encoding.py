@@ -1,0 +1,155 @@
+"""Numeric encoding of configurations for the machine-learning optimizers.
+
+DeepTune and the Bayesian-optimization baseline operate on fixed-width float
+vectors.  Each configuration ``x`` is split, as in §3.2 of the paper, into the
+categorical part ``x_k`` (bools, tristates, strings, enumerations — one-hot
+encoded) and the numeric part ``x_n`` (ints and hex values — min/max or
+log-scaled to [0, 1]).  The encoder additionally supports z-score
+normalization over a reference dataset, which is the form the RBF uncertainty
+branch expects (the paper fits the RBF smoothing parameter gamma assuming
+z-scored inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.parameter import Parameter
+from repro.config.space import Configuration, ConfigSpace
+
+
+class ConfigEncoder:
+    """Encodes configurations of one space into flat numpy vectors."""
+
+    def __init__(self, space: ConfigSpace) -> None:
+        self.space = space
+        self._slices: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        for parameter in space.parameters():
+            width = parameter.encoding_width
+            self._slices[parameter.name] = (offset, offset + width)
+            offset += width
+        self._width = offset
+        # z-score statistics, fitted lazily from observed data.
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Dimension of the encoded vector."""
+        return self._width
+
+    def slice_for(self, name: str) -> Tuple[int, int]:
+        """Return the [start, stop) columns occupied by parameter *name*."""
+        return self._slices[name]
+
+    def parameter_for_column(self, column: int) -> Parameter:
+        """Return the parameter that owns encoded column *column*."""
+        for name, (start, stop) in self._slices.items():
+            if start <= column < stop:
+                return self.space[name]
+        raise IndexError("column {} outside encoded width {}".format(column, self._width))
+
+    def column_labels(self) -> List[str]:
+        """Human-readable label per encoded column (for importance reports)."""
+        labels = []
+        for parameter in self.space.parameters():
+            width = parameter.encoding_width
+            if width == 1:
+                labels.append(parameter.name)
+            else:
+                values = parameter.domain_values() or range(width)
+                labels.extend(
+                    "{}={}".format(parameter.name, value) for value in list(values)[:width]
+                )
+        return labels
+
+    # -- encode / decode --------------------------------------------------------
+    def encode(self, configuration: Configuration) -> np.ndarray:
+        """Encode a single configuration into a float vector of length width."""
+        vector = np.empty(self._width, dtype=np.float64)
+        for parameter in self.space.parameters():
+            start, stop = self._slices[parameter.name]
+            vector[start:stop] = parameter.encode(configuration[parameter.name])
+        return vector
+
+    def encode_batch(self, configurations: Iterable[Configuration]) -> np.ndarray:
+        """Encode many configurations into a (n, width) matrix."""
+        rows = [self.encode(configuration) for configuration in configurations]
+        if not rows:
+            return np.empty((0, self._width), dtype=np.float64)
+        return np.vstack(rows)
+
+    def decode(self, vector: Sequence[float]) -> Configuration:
+        """Best-effort inverse of :meth:`encode`."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self._width,):
+            raise ValueError(
+                "expected vector of shape ({},), got {}".format(self._width, vector.shape)
+            )
+        values = {}
+        for parameter in self.space.parameters():
+            start, stop = self._slices[parameter.name]
+            values[parameter.name] = parameter.decode(list(vector[start:stop]))
+        return Configuration(self.space, values)
+
+    # -- normalization ------------------------------------------------------------
+    def fit_normalization(self, matrix: np.ndarray) -> None:
+        """Fit z-score statistics from an (n, width) matrix of encoded configs."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self._width:
+            raise ValueError("normalization data must be (n, {})".format(self._width))
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit normalization on an empty matrix")
+        self._mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        # Constant columns carry no signal; leave them centred at zero with
+        # unit scale instead of dividing by zero.
+        std[std < 1e-12] = 1.0
+        self._std = std
+
+    @property
+    def is_normalized(self) -> bool:
+        return self._mean is not None
+
+    def normalize(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply the fitted z-score transform (identity if not fitted)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if self._mean is None or self._std is None:
+            return matrix
+        return (matrix - self._mean) / self._std
+
+    def encode_normalized(self, configurations: Iterable[Configuration]) -> np.ndarray:
+        """Encode and z-score a batch in one call."""
+        return self.normalize(self.encode_batch(configurations))
+
+    # -- distances -------------------------------------------------------------------
+    def distance(self, first: Configuration, second: Configuration) -> float:
+        """Euclidean distance between two configurations in encoded space."""
+        return float(np.linalg.norm(self.encode(first) - self.encode(second)))
+
+    def dissimilarity(self, candidate: np.ndarray, known: np.ndarray) -> float:
+        """Dissimilarity term of the DeepTune scoring function (paper eq. 2).
+
+        ``ds(x, X) = 1 - 1 / (1 + ||x - X||^2)`` where ``||x - X||`` is the
+        distance from the candidate to the closest known sample.  A value near
+        0 means the candidate sits on top of an already explored point; a
+        value near 1 means it lies in unexplored territory.
+
+        The squared distance is averaged over the encoded dimensions so the
+        term keeps a useful dynamic range on high-dimensional spaces (with raw
+        Euclidean distances over hundreds of columns the expression saturates
+        at 1 for every candidate).
+        """
+        candidate = np.asarray(candidate, dtype=np.float64)
+        known = np.asarray(known, dtype=np.float64)
+        if known.size == 0:
+            return 1.0
+        if known.ndim == 1:
+            known = known.reshape(1, -1)
+        distances = np.linalg.norm(known - candidate.reshape(1, -1), axis=1)
+        nearest_sq = float(np.min(distances) ** 2) / max(1, self._width)
+        return 1.0 - 1.0 / (1.0 + nearest_sq)

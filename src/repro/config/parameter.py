@@ -1,0 +1,394 @@
+"""Typed configuration parameters.
+
+A parameter describes a single tunable knob of the operating system under
+test: its name, where it lives (compile time, boot time or runtime), its
+default value, and the domain of values it may take.  Parameters know how to
+sample random values, validate values, and encode values into a fixed-width
+numeric vector consumed by the machine-learning optimizers.
+
+The parameter taxonomy mirrors Table 1 of the paper: Linux exposes boolean,
+tristate, string, hex and integer compile-time options, plus boot-time command
+line options and runtime sysctls.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, List, Optional, Sequence
+
+
+class ParameterKind(enum.Enum):
+    """Where a configuration parameter takes effect.
+
+    The kind matters operationally: changing a runtime parameter does not
+    require rebuilding or rebooting the kernel, while changing a compile-time
+    parameter requires a full rebuild (see the skip-build optimization in
+    :mod:`repro.platform.pipeline`).
+    """
+
+    COMPILE_TIME = "compile-time"
+    BOOT_TIME = "boot-time"
+    RUNTIME = "runtime"
+
+    @property
+    def requires_rebuild(self) -> bool:
+        """Whether changing a parameter of this kind forces a kernel rebuild."""
+        return self is ParameterKind.COMPILE_TIME
+
+    @property
+    def requires_reboot(self) -> bool:
+        """Whether changing a parameter of this kind forces a reboot."""
+        return self in (ParameterKind.COMPILE_TIME, ParameterKind.BOOT_TIME)
+
+
+class Parameter:
+    """Base class for a single configuration parameter.
+
+    Subclasses define the value domain.  A parameter is hashable by name so it
+    can be used in sets and as dictionary keys.
+    """
+
+    #: short machine-readable type tag used in job files.
+    type_name = "abstract"
+
+    def __init__(
+        self,
+        name: str,
+        kind: ParameterKind,
+        default: Any,
+        description: str = "",
+    ) -> None:
+        if not name:
+            raise ValueError("parameter name must be non-empty")
+        self.name = name
+        self.kind = kind
+        self.default = default
+        self.description = description
+
+    # -- domain ------------------------------------------------------------
+    def validate(self, value: Any) -> bool:
+        """Return True if *value* is inside this parameter's domain."""
+        raise NotImplementedError
+
+    def sample(self, rng) -> Any:
+        """Draw a uniformly random value from the domain using *rng*.
+
+        *rng* is a :class:`random.Random` instance (never the module-level
+        ``random`` functions, so experiments stay reproducible).
+        """
+        raise NotImplementedError
+
+    def clip(self, value: Any) -> Any:
+        """Coerce *value* to the nearest valid value in the domain."""
+        raise NotImplementedError
+
+    def domain_values(self) -> Optional[Sequence[Any]]:
+        """Enumerate the domain when it is finite, else return ``None``."""
+        return None
+
+    def cardinality(self) -> float:
+        """Number of distinct values, ``math.inf`` for unbounded domains."""
+        values = self.domain_values()
+        if values is None:
+            return math.inf
+        return float(len(values))
+
+    # -- encoding ----------------------------------------------------------
+    @property
+    def encoding_width(self) -> int:
+        """Number of floats this parameter occupies in the encoded vector."""
+        raise NotImplementedError
+
+    def encode(self, value: Any) -> List[float]:
+        """Encode *value* into ``encoding_width`` floats in roughly [0, 1]."""
+        raise NotImplementedError
+
+    def decode(self, floats: Sequence[float]) -> Any:
+        """Invert :meth:`encode` (best effort for lossy encodings)."""
+        raise NotImplementedError
+
+    @property
+    def is_categorical(self) -> bool:
+        """True for parameters with a finite, unordered domain."""
+        return self.domain_values() is not None
+
+    # -- persistence -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize the parameter definition for a job file."""
+        return {
+            "name": self.name,
+            "type": self.type_name,
+            "kind": self.kind.value,
+            "default": self.default,
+            "description": self.description,
+        }
+
+    # -- dunder ------------------------------------------------------------
+    def __repr__(self) -> str:
+        return "{}(name={!r}, kind={}, default={!r})".format(
+            type(self).__name__, self.name, self.kind.value, self.default
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Parameter):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self.name == other.name
+            and self.kind == other.kind
+            and self.default == other.default
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
+
+class BoolParameter(Parameter):
+    """A parameter that is either enabled (True) or disabled (False)."""
+
+    type_name = "bool"
+
+    def __init__(self, name, kind, default=False, description=""):
+        super().__init__(name, kind, bool(default), description)
+
+    def validate(self, value):
+        return isinstance(value, bool) or value in (0, 1)
+
+    def sample(self, rng):
+        return bool(rng.getrandbits(1))
+
+    def clip(self, value):
+        return bool(value)
+
+    def domain_values(self):
+        return (False, True)
+
+    @property
+    def encoding_width(self):
+        return 1
+
+    def encode(self, value):
+        return [1.0 if value else 0.0]
+
+    def decode(self, floats):
+        return floats[0] >= 0.5
+
+
+class TristateParameter(Parameter):
+    """A Kconfig tristate: disabled ('n'), built-in ('y') or module ('m')."""
+
+    type_name = "tristate"
+    STATES = ("n", "y", "m")
+
+    def __init__(self, name, kind, default="n", description=""):
+        if default not in self.STATES:
+            raise ValueError("tristate default must be one of {}".format(self.STATES))
+        super().__init__(name, kind, default, description)
+
+    def validate(self, value):
+        return value in self.STATES
+
+    def sample(self, rng):
+        return rng.choice(self.STATES)
+
+    def clip(self, value):
+        if value in self.STATES:
+            return value
+        if value in (True, 1):
+            return "y"
+        if value in (False, 0, None):
+            return "n"
+        return self.default
+
+    def domain_values(self):
+        return self.STATES
+
+    @property
+    def encoding_width(self):
+        return 3
+
+    def encode(self, value):
+        return [1.0 if value == state else 0.0 for state in self.STATES]
+
+    def decode(self, floats):
+        index = max(range(3), key=lambda i: floats[i])
+        return self.STATES[index]
+
+
+class IntParameter(Parameter):
+    """An integer parameter with an inclusive range.
+
+    ``log_scale`` marks parameters whose effect is multiplicative (buffer
+    sizes, backlog lengths, timeouts): they are sampled and encoded on a
+    logarithmic axis so that the optimizer sees 1 KiB → 2 KiB as the same step
+    as 1 MiB → 2 MiB.
+    """
+
+    type_name = "int"
+
+    def __init__(
+        self,
+        name,
+        kind,
+        default,
+        minimum,
+        maximum,
+        log_scale=False,
+        description="",
+    ):
+        if minimum > maximum:
+            raise ValueError(
+                "minimum {} greater than maximum {} for {}".format(minimum, maximum, name)
+            )
+        default = int(default)
+        if not minimum <= default <= maximum:
+            raise ValueError(
+                "default {} outside [{}, {}] for {}".format(default, minimum, maximum, name)
+            )
+        if log_scale and minimum < 0:
+            raise ValueError("log-scale parameters must have a non-negative range")
+        super().__init__(name, kind, default, description)
+        self.minimum = int(minimum)
+        self.maximum = int(maximum)
+        self.log_scale = bool(log_scale)
+
+    # The +1 shift keeps log encoding defined when the range starts at zero.
+    def _to_unit(self, value: int) -> float:
+        if self.maximum == self.minimum:
+            return 0.0
+        if self.log_scale:
+            lo = math.log1p(self.minimum)
+            hi = math.log1p(self.maximum)
+            return (math.log1p(value) - lo) / (hi - lo)
+        return (value - self.minimum) / float(self.maximum - self.minimum)
+
+    def _from_unit(self, unit: float) -> int:
+        unit = min(1.0, max(0.0, unit))
+        if self.maximum == self.minimum:
+            return self.minimum
+        if self.log_scale:
+            lo = math.log1p(self.minimum)
+            hi = math.log1p(self.maximum)
+            return int(round(math.expm1(lo + unit * (hi - lo))))
+        return int(round(self.minimum + unit * (self.maximum - self.minimum)))
+
+    def validate(self, value):
+        return isinstance(value, int) and not isinstance(value, bool) and (
+            self.minimum <= value <= self.maximum
+        )
+
+    def sample(self, rng):
+        if self.log_scale:
+            return self.clip(self._from_unit(rng.random()))
+        return rng.randint(self.minimum, self.maximum)
+
+    def clip(self, value):
+        try:
+            value = int(value)
+        except (TypeError, ValueError):
+            return self.default
+        return min(self.maximum, max(self.minimum, value))
+
+    def domain_values(self):
+        if self.maximum - self.minimum <= 16:
+            return tuple(range(self.minimum, self.maximum + 1))
+        return None
+
+    def cardinality(self):
+        return float(self.maximum - self.minimum + 1)
+
+    @property
+    def encoding_width(self):
+        return 1
+
+    def encode(self, value):
+        return [self._to_unit(self.clip(value))]
+
+    def decode(self, floats):
+        return self.clip(self._from_unit(floats[0]))
+
+    @property
+    def is_categorical(self):
+        return False
+
+    def to_dict(self):
+        data = super().to_dict()
+        data.update(
+            {"minimum": self.minimum, "maximum": self.maximum, "log_scale": self.log_scale}
+        )
+        return data
+
+
+class HexParameter(IntParameter):
+    """An integer parameter conventionally expressed in hexadecimal.
+
+    Kconfig ``hex`` options (DMA masks, physical load addresses, ...) are
+    integers under the hood; the only difference is rendering.
+    """
+
+    type_name = "hex"
+
+    def render(self, value) -> str:
+        """Render *value* in the 0x... form used by Kconfig fragments."""
+        return "0x{:x}".format(self.clip(value))
+
+
+class CategoricalParameter(Parameter):
+    """A parameter taking one of a fixed set of unordered choices."""
+
+    type_name = "categorical"
+
+    def __init__(self, name, kind, choices, default=None, description=""):
+        choices = tuple(choices)
+        if not choices:
+            raise ValueError("categorical parameter {} needs at least one choice".format(name))
+        if len(set(choices)) != len(choices):
+            raise ValueError("categorical parameter {} has duplicate choices".format(name))
+        if default is None:
+            default = choices[0]
+        if default not in choices:
+            raise ValueError("default {!r} not among choices for {}".format(default, name))
+        super().__init__(name, kind, default, description)
+        self.choices = choices
+
+    def validate(self, value):
+        return value in self.choices
+
+    def sample(self, rng):
+        return rng.choice(self.choices)
+
+    def clip(self, value):
+        return value if value in self.choices else self.default
+
+    def domain_values(self):
+        return self.choices
+
+    @property
+    def encoding_width(self):
+        return len(self.choices)
+
+    def encode(self, value):
+        value = self.clip(value)
+        return [1.0 if choice == value else 0.0 for choice in self.choices]
+
+    def decode(self, floats):
+        index = max(range(len(self.choices)), key=lambda i: floats[i])
+        return self.choices[index]
+
+    def to_dict(self):
+        data = super().to_dict()
+        data["choices"] = list(self.choices)
+        return data
+
+
+class StringParameter(CategoricalParameter):
+    """A free-form string option restricted to a known set of useful values.
+
+    Section 3.4 of the paper notes that string parameters are only explored
+    over the values that can be extracted automatically (e.g. the observed
+    default plus documented alternatives); arbitrary strings are not
+    generated.  We model that as a categorical over the extracted values.
+    """
+
+    type_name = "string"

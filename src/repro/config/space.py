@@ -1,0 +1,338 @@
+"""Configuration spaces and concrete configurations.
+
+A :class:`ConfigSpace` is an ordered collection of parameters plus validity
+constraints; a :class:`Configuration` is an assignment of a value to every
+parameter of a space.  Spaces can be filtered by parameter kind (compile-time,
+boot-time, runtime), frozen (pinning security-critical parameters to fixed
+values, §3.5 of the paper), and sampled.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.config.constraints import Constraint, ConstraintViolation
+from repro.config.parameter import Parameter, ParameterKind
+
+
+class Configuration(Mapping[str, Any]):
+    """An immutable assignment of values to every parameter of a space.
+
+    Configurations behave like read-only mappings from parameter name to
+    value.  They are hashable, which lets the platform de-duplicate already
+    explored configurations cheaply.
+    """
+
+    __slots__ = ("_space", "_values", "_hash")
+
+    def __init__(self, space: "ConfigSpace", values: Mapping[str, Any]) -> None:
+        missing = [name for name in space.parameter_names() if name not in values]
+        if missing:
+            raise KeyError("configuration missing values for: {}".format(", ".join(missing[:5])))
+        extra = [name for name in values if name not in space]
+        if extra:
+            raise KeyError("configuration has unknown parameters: {}".format(", ".join(extra[:5])))
+        self._space = space
+        self._values = {name: values[name] for name in space.parameter_names()}
+        self._hash: Optional[int] = None
+
+    # -- mapping protocol ----------------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- identity ------------------------------------------------------------
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(sorted((k, repr(v)) for k, v in self._values.items())))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            "{}={!r}".format(k, v) for k, v in list(self._values.items())[:4]
+        )
+        return "Configuration({} params: {}{})".format(
+            len(self._values), preview, ", ..." if len(self._values) > 4 else ""
+        )
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def space(self) -> "ConfigSpace":
+        return self._space
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a plain mutable copy of the assignment."""
+        return dict(self._values)
+
+    def with_values(self, updates: Mapping[str, Any]) -> "Configuration":
+        """Return a copy with *updates* applied (values are clipped)."""
+        values = dict(self._values)
+        for name, value in updates.items():
+            parameter = self._space[name]
+            values[name] = parameter.clip(value)
+        return Configuration(self._space, values)
+
+    def subset(self, kind: ParameterKind) -> Dict[str, Any]:
+        """Return only the values of parameters of the given *kind*."""
+        return {
+            name: value
+            for name, value in self._values.items()
+            if self._space[name].kind is kind
+        }
+
+    def differing_parameters(self, other: "Configuration") -> List[str]:
+        """Names of parameters whose values differ between self and *other*."""
+        return [
+            name
+            for name in self._values
+            if name in other and self._values[name] != other[name]
+        ]
+
+    def only_runtime_differs(self, other: "Configuration") -> bool:
+        """True if self and *other* differ only in runtime parameters.
+
+        This is the condition under which the platform can skip the rebuild
+        and reboot of the kernel between two iterations (§3.1).
+        """
+        for name in self.differing_parameters(other):
+            if self._space[name].kind is not ParameterKind.RUNTIME:
+                return False
+        return True
+
+
+class ConfigSpace:
+    """An ordered set of configuration parameters with validity constraints."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter] = (),
+        constraints: Iterable[Constraint] = (),
+        name: str = "config-space",
+    ) -> None:
+        self.name = name
+        self._parameters: Dict[str, Parameter] = {}
+        self._constraints: List[Constraint] = []
+        self._frozen: Dict[str, Any] = {}
+        for parameter in parameters:
+            self.add_parameter(parameter)
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    # -- construction ----------------------------------------------------------
+    def add_parameter(self, parameter: Parameter) -> None:
+        if parameter.name in self._parameters:
+            raise ValueError("duplicate parameter {!r}".format(parameter.name))
+        self._parameters[parameter.name] = parameter
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        for name in constraint.parameter_names():
+            if name not in self._parameters:
+                raise KeyError(
+                    "constraint references unknown parameter {!r}".format(name)
+                )
+        self._constraints.append(constraint)
+
+    def freeze(self, name: str, value: Any) -> None:
+        """Pin *name* to *value*: sampling and mutation will never change it.
+
+        Used to keep security-critical options (ASLR, SMEP, ...) at safe
+        values during the search, as described in §3.5.
+        """
+        parameter = self[name]
+        if not parameter.validate(parameter.clip(value)):
+            raise ValueError("frozen value {!r} invalid for {}".format(value, name))
+        self._frozen[name] = parameter.clip(value)
+
+    def unfreeze(self, name: str) -> None:
+        self._frozen.pop(name, None)
+
+    @property
+    def frozen_parameters(self) -> Dict[str, Any]:
+        return dict(self._frozen)
+
+    # -- lookup -----------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._parameters
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._parameters[name]
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters.values())
+
+    def parameters(self) -> List[Parameter]:
+        return list(self._parameters.values())
+
+    def parameter_names(self) -> List[str]:
+        return list(self._parameters.keys())
+
+    def parameters_of_kind(self, kind: ParameterKind) -> List[Parameter]:
+        return [p for p in self._parameters.values() if p.kind is kind]
+
+    @property
+    def constraints(self) -> List[Constraint]:
+        return list(self._constraints)
+
+    def subspace(self, names: Iterable[str], name: Optional[str] = None) -> "ConfigSpace":
+        """Return a new space restricted to *names* (constraints that only
+        reference retained parameters are carried over)."""
+        names = list(names)
+        retained = set(names)
+        parameters = [self._parameters[n] for n in names]
+        constraints = [
+            c for c in self._constraints if set(c.parameter_names()) <= retained
+        ]
+        sub = ConfigSpace(parameters, constraints, name=name or self.name + "-subspace")
+        for frozen_name, value in self._frozen.items():
+            if frozen_name in retained:
+                sub.freeze(frozen_name, value)
+        return sub
+
+    # -- size --------------------------------------------------------------------
+    def cardinality(self) -> float:
+        """Total number of configurations (may be ``math.inf``)."""
+        total = 1.0
+        for parameter in self._parameters.values():
+            card = parameter.cardinality()
+            if math.isinf(card):
+                return math.inf
+            total *= card
+            if total > 1e300:
+                return math.inf
+        return total
+
+    def log10_cardinality(self) -> float:
+        """log10 of the configuration count, robust to astronomically large spaces."""
+        total = 0.0
+        for parameter in self._parameters.values():
+            card = parameter.cardinality()
+            if math.isinf(card):
+                return math.inf
+            total += math.log10(card)
+        return total
+
+    # -- configurations ------------------------------------------------------------
+    def default_configuration(self) -> Configuration:
+        values = {p.name: p.default for p in self._parameters.values()}
+        values.update(self._frozen)
+        return Configuration(self, values)
+
+    def sample_configuration(self, rng: random.Random) -> Configuration:
+        """Draw a uniformly random configuration (frozen values respected)."""
+        values = {}
+        for parameter in self._parameters.values():
+            if parameter.name in self._frozen:
+                values[parameter.name] = self._frozen[parameter.name]
+            else:
+                values[parameter.name] = parameter.sample(rng)
+        return Configuration(self, values)
+
+    def mutate_configuration(
+        self,
+        configuration: Configuration,
+        rng: random.Random,
+        mutation_rate: float = 0.1,
+        kinds: Optional[Sequence[ParameterKind]] = None,
+    ) -> Configuration:
+        """Return a copy of *configuration* with a random subset of parameters
+        resampled.
+
+        *kinds* optionally restricts mutation to parameters of the given kinds
+        (the paper's experiments favour runtime parameters for performance
+        search and compile-time parameters for footprint search).
+        """
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be within [0, 1]")
+        values = configuration.as_dict()
+        mutated = False
+        eligible = [
+            p
+            for p in self._parameters.values()
+            if p.name not in self._frozen and (kinds is None or p.kind in kinds)
+        ]
+        for parameter in eligible:
+            if rng.random() < mutation_rate:
+                values[parameter.name] = parameter.sample(rng)
+                mutated = True
+        if not mutated and eligible:
+            parameter = rng.choice(eligible)
+            values[parameter.name] = parameter.sample(rng)
+        return Configuration(self, values)
+
+    def coerce(self, values: Mapping[str, Any]) -> Configuration:
+        """Build a configuration from a possibly partial/poorly typed mapping.
+
+        Missing parameters get their defaults; provided values are clipped to
+        the parameter's domain.  Frozen values always win.
+        """
+        result = {p.name: p.default for p in self._parameters.values()}
+        for name, value in values.items():
+            if name in self._parameters:
+                result[name] = self._parameters[name].clip(value)
+        result.update(self._frozen)
+        return Configuration(self, result)
+
+    # -- validity -------------------------------------------------------------------
+    def violations(self, configuration: Configuration) -> List[ConstraintViolation]:
+        """Return every constraint violated by *configuration*."""
+        found = []
+        for constraint in self._constraints:
+            violation = constraint.check(configuration)
+            if violation is not None:
+                found.append(violation)
+        return found
+
+    def is_valid(self, configuration: Configuration) -> bool:
+        """True when *configuration* satisfies every declared constraint.
+
+        Note that — exactly as with KConfig — a configuration may satisfy all
+        declared constraints and still fail to build, boot or run; those
+        failures come from the simulated system under test, not from the
+        space definition.
+        """
+        return not self.violations(configuration)
+
+    def repair(self, configuration: Configuration, rng: random.Random,
+               max_rounds: int = 16) -> Configuration:
+        """Attempt to fix constraint violations by applying constraint repairs."""
+        current = configuration
+        for _ in range(max_rounds):
+            violations = self.violations(current)
+            if not violations:
+                return current
+            updates: Dict[str, Any] = {}
+            for violation in violations:
+                updates.update(violation.constraint.repair(current, rng))
+            if not updates:
+                return current
+            current = current.with_values(updates)
+        return current
+
+    # -- misc --------------------------------------------------------------------------
+    def describe(self) -> Dict[str, int]:
+        """Count parameters by (kind, type), mirroring Table 1 of the paper."""
+        counts: Dict[str, int] = {}
+        for parameter in self._parameters.values():
+            key = "{}/{}".format(parameter.kind.value, parameter.type_name)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return "ConfigSpace(name={!r}, parameters={}, constraints={})".format(
+            self.name, len(self._parameters), len(self._constraints)
+        )

@@ -1,0 +1,9 @@
+"""Public high-level API of the Wayfinder reproduction."""
+
+from repro.core.wayfinder import SearchResult, SpecializationSession, Wayfinder
+
+__all__ = [
+    "Wayfinder",
+    "SpecializationSession",
+    "SearchResult",
+]

@@ -1,0 +1,279 @@
+"""The Wayfinder facade: configure, search, and report in a few lines.
+
+``Wayfinder`` wires together the configuration space of the target OS, the
+simulated system under test, the metric, and a search algorithm, and runs the
+specialization loop.  It is the API the examples and benchmarks use:
+
+    >>> from repro import Wayfinder
+    >>> wf = Wayfinder.for_linux(application="nginx", metric="throughput", seed=7)
+    >>> result = wf.specialize(iterations=40)
+    >>> result.improvement_factor >= 0.9
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.apps.base import Application, BenchmarkTool
+from repro.apps.registry import default_bench_tool_for, get_application
+from repro.config.parameter import ParameterKind
+from repro.config.space import Configuration, ConfigSpace
+from repro.platform.history import ExplorationHistory
+from repro.platform.metrics import (
+    CompositeScoreMetric,
+    LatencyMetric,
+    MemoryFootprintMetric,
+    Metric,
+    ThroughputMetric,
+    metric_for_application,
+)
+from repro.platform.pipeline import BenchmarkingPipeline, VirtualClock
+from repro.platform.runner import SearchSession, SessionResult
+from repro.search.base import SearchAlgorithm
+from repro.search.registry import create_algorithm
+from repro.vm.machine import PAPER_TESTBED, RISCV_EMBEDDED_BOARD, HardwareSpec
+from repro.vm.os_model import OSModel, linux_os_model, unikraft_os_model
+from repro.vm.simulator import SystemSimulator
+
+_FAVOR_PRESETS = {
+    "runtime": [ParameterKind.RUNTIME],
+    "boot": [ParameterKind.BOOT_TIME],
+    "compile": [ParameterKind.COMPILE_TIME],
+    "runtime+boot": [ParameterKind.RUNTIME, ParameterKind.BOOT_TIME],
+    None: None,
+}
+
+
+def _build_metric(metric: str, application: Application) -> Metric:
+    if metric in ("throughput", "performance"):
+        return ThroughputMetric(unit=application.unit)
+    if metric == "latency":
+        return LatencyMetric(unit=application.unit)
+    if metric == "memory":
+        return MemoryFootprintMetric()
+    if metric == "score":
+        return CompositeScoreMetric()
+    if metric == "auto":
+        return metric_for_application(application.name)
+    raise ValueError("unknown metric {!r}".format(metric))
+
+
+class SearchResult:
+    """User-facing result of one specialization run."""
+
+    def __init__(self, session_result: SessionResult, metric: Metric,
+                 default_objective: Optional[float],
+                 default_crashed: bool) -> None:
+        self._session_result = session_result
+        self.metric = metric
+        self.default_objective = default_objective
+        self.default_crashed = default_crashed
+
+    # -- the configuration found -------------------------------------------------
+    @property
+    def best_configuration(self) -> Optional[Configuration]:
+        return self._session_result.best_configuration
+
+    @property
+    def best_performance(self) -> Optional[float]:
+        return self._session_result.best_objective
+
+    @property
+    def history(self) -> ExplorationHistory:
+        return self._session_result.history
+
+    @property
+    def algorithm_name(self) -> str:
+        return self._session_result.algorithm_name
+
+    @property
+    def iterations(self) -> int:
+        return self._session_result.iterations
+
+    @property
+    def crash_rate(self) -> float:
+        return self._session_result.crash_rate
+
+    @property
+    def time_to_best_s(self) -> Optional[float]:
+        return self._session_result.time_to_best_s
+
+    @property
+    def total_time_s(self) -> float:
+        return self.history.total_elapsed_s()
+
+    @property
+    def builds_skipped(self) -> int:
+        return self._session_result.builds_skipped
+
+    @property
+    def improvement_factor(self) -> Optional[float]:
+        """Best objective relative to the default configuration (>1 is better).
+
+        For minimization metrics the ratio is inverted so that values above
+        1.0 always mean "the found configuration is better than the default",
+        matching the "Relative Perf." column of Table 2.
+        """
+        best = self.best_performance
+        if best is None or self.default_objective in (None, 0.0):
+            return None
+        if self.metric.maximize:
+            return best / self.default_objective
+        return self.default_objective / best
+
+    def summary(self) -> Dict[str, Any]:
+        data = self._session_result.summary()
+        data.update({
+            "metric": self.metric.name,
+            "default_objective": self.default_objective,
+            "improvement_factor": self.improvement_factor,
+        })
+        return data
+
+    def __repr__(self) -> str:
+        return "SearchResult(best={!r}, improvement={!r}, crash_rate={:.2f})".format(
+            self.best_performance, self.improvement_factor, self.crash_rate
+        )
+
+
+class SpecializationSession:
+    """A fully wired specialization run: simulator, pipeline, algorithm."""
+
+    def __init__(self, os_model: OSModel, application: Application,
+                 bench_tool: BenchmarkTool, metric: Metric,
+                 algorithm: SearchAlgorithm, hardware: HardwareSpec,
+                 seed: int, enable_skip_build: bool = True) -> None:
+        self.os_model = os_model
+        self.application = application
+        self.bench_tool = bench_tool
+        self.metric = metric
+        self.algorithm = algorithm
+        self.hardware = hardware
+        self.seed = seed
+        self.simulator = SystemSimulator(os_model, application, bench_tool,
+                                         hardware=hardware, seed=seed)
+        self.pipeline = BenchmarkingPipeline(self.simulator, metric,
+                                             clock=VirtualClock(),
+                                             enable_skip_build=enable_skip_build)
+        # The default configuration is always benchmarked first: it is the
+        # incumbent every specialized configuration is compared against.
+        self.session = SearchSession(self.pipeline, algorithm, metric,
+                                     evaluate_default_first=True)
+
+    def evaluate_default(self) -> Dict[str, Any]:
+        """Evaluate the default configuration outside the search history."""
+        simulator = SystemSimulator(self.os_model, self.application, self.bench_tool,
+                                    hardware=self.hardware, seed=self.seed + 9999)
+        outcome = simulator.evaluate(self.os_model.default_configuration())
+        return {
+            "objective": self.metric.extract(outcome),
+            "crashed": outcome.crashed,
+            "memory_mb": outcome.memory_mb,
+            "metric_value": outcome.metric_value,
+        }
+
+    def run(self, iterations: Optional[int] = None,
+            time_budget_s: Optional[float] = None) -> SearchResult:
+        default = self.evaluate_default()
+        session_result = self.session.run(iterations=iterations,
+                                          time_budget_s=time_budget_s)
+        return SearchResult(session_result, self.metric,
+                            default_objective=default["objective"],
+                            default_crashed=default["crashed"])
+
+
+class Wayfinder:
+    """Facade constructing specialization sessions for the supported OSes."""
+
+    def __init__(self, os_model: OSModel, application: Application,
+                 bench_tool: BenchmarkTool, metric: Metric,
+                 algorithm: str = "deeptune", seed: int = 0,
+                 favor: Optional[str] = "runtime",
+                 hardware: HardwareSpec = PAPER_TESTBED,
+                 frozen: Optional[Dict[str, Any]] = None,
+                 algorithm_options: Optional[Dict[str, Any]] = None,
+                 enable_skip_build: bool = True) -> None:
+        self.os_model = os_model
+        self.application = application
+        self.bench_tool = bench_tool
+        self.metric = metric
+        self.algorithm_name = algorithm
+        self.seed = seed
+        self.hardware = hardware
+        self.enable_skip_build = enable_skip_build
+        if favor not in _FAVOR_PRESETS:
+            raise ValueError("unknown favor preset {!r}".format(favor))
+        self.favored_kinds = _FAVOR_PRESETS[favor]
+        for name, value in (frozen or {}).items():
+            self.os_model.space.freeze(name, value)
+        options = dict(algorithm_options or {})
+        if algorithm in ("deeptune", "bayesian", "unicorn"):
+            options.setdefault("maximize", metric.maximize)
+        self.algorithm = create_algorithm(
+            algorithm, self.os_model.space, seed=seed,
+            favored_kinds=self.favored_kinds, **options)
+        self._session: Optional[SpecializationSession] = None
+
+    # -- constructors -----------------------------------------------------------------
+    @classmethod
+    def for_linux(cls, application: str = "nginx", metric: str = "auto",
+                  version: str = "v4.19", seed: int = 0,
+                  algorithm: str = "deeptune", favor: Optional[str] = "runtime",
+                  architecture: str = "x86_64",
+                  hardware: Optional[HardwareSpec] = None,
+                  space_options: Optional[Dict[str, Any]] = None,
+                  **kwargs) -> "Wayfinder":
+        """Build a Wayfinder instance targeting the simulated Linux kernel."""
+        app = get_application(application)
+        bench = default_bench_tool_for(application)
+        os_model = linux_os_model(version=version, seed=seed,
+                                  architecture=architecture,
+                                  **(space_options or {}))
+        if hardware is None:
+            hardware = RISCV_EMBEDDED_BOARD if architecture == "riscv64" else PAPER_TESTBED
+        return cls(os_model, app, bench, _build_metric(metric, app),
+                   algorithm=algorithm, seed=seed, favor=favor,
+                   hardware=hardware, **kwargs)
+
+    @classmethod
+    def for_unikraft(cls, metric: str = "throughput", seed: int = 0,
+                     algorithm: str = "deeptune", **kwargs) -> "Wayfinder":
+        """Build a Wayfinder instance targeting the Unikraft+Nginx image (§4.4)."""
+        app = get_application("unikraft-nginx")
+        bench = default_bench_tool_for("unikraft-nginx")
+        os_model = unikraft_os_model(seed=seed)
+        kwargs.setdefault("favor", None)
+        return cls(os_model, app, bench, _build_metric(metric, app),
+                   algorithm=algorithm, seed=seed, **kwargs)
+
+    # -- running -----------------------------------------------------------------------
+    def build_session(self) -> SpecializationSession:
+        """Wire up (or return the already wired) specialization session."""
+        if self._session is None:
+            self._session = SpecializationSession(
+                self.os_model, self.application, self.bench_tool, self.metric,
+                self.algorithm, self.hardware, self.seed,
+                enable_skip_build=self.enable_skip_build,
+            )
+        return self._session
+
+    def specialize(self, iterations: Optional[int] = None,
+                   time_budget_s: Optional[float] = None) -> SearchResult:
+        """Run the specialization search and return its result."""
+        return self.build_session().run(iterations=iterations,
+                                        time_budget_s=time_budget_s)
+
+    @property
+    def space(self) -> ConfigSpace:
+        return self.os_model.space
+
+    def trained_model(self):
+        """The DeepTune model after a run (None for other algorithms)."""
+        return getattr(self.algorithm, "model", None)
+
+    def __repr__(self) -> str:
+        return "Wayfinder(os={!r}, app={!r}, metric={!r}, algorithm={!r})".format(
+            self.os_model.name, self.application.name, self.metric.name,
+            self.algorithm_name,
+        )

@@ -1,0 +1,20 @@
+"""Cozart-style compile-time debloating (§4.4, Figure 11, Table 4).
+
+Cozart (Kuo et al., 2020) observes which kernel components a workload
+actually exercises (via dynamic analysis) and disables every compile-time
+option the workload never touches.  The result is a much smaller kernel — and
+a much smaller remaining configuration space — that Wayfinder then optimizes
+further through runtime options.  This subpackage reproduces that pipeline:
+``trace`` simulates the dynamic analysis, ``debloat`` derives the reduced
+baseline configuration and the reduced search space.
+"""
+
+from repro.cozart.debloat import CozartDebloater, DebloatResult
+from repro.cozart.trace import WorkloadTrace, trace_workload
+
+__all__ = [
+    "WorkloadTrace",
+    "trace_workload",
+    "CozartDebloater",
+    "DebloatResult",
+]

@@ -1,0 +1,94 @@
+"""Deriving a debloated baseline configuration and a reduced search space."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.config.parameter import ParameterKind
+from repro.config.space import Configuration, ConfigSpace
+from repro.cozart.trace import WorkloadTrace, trace_workload
+from repro.vm.os_model import OSModel
+
+
+class DebloatResult:
+    """Outcome of Cozart-style debloating for one application."""
+
+    def __init__(self, baseline: Configuration, reduced_space: ConfigSpace,
+                 disabled_options: List[str], kept_options: List[str]) -> None:
+        self.baseline = baseline
+        self.reduced_space = reduced_space
+        self.disabled_options = disabled_options
+        self.kept_options = kept_options
+
+    @property
+    def disabled_count(self) -> int:
+        return len(self.disabled_options)
+
+    def __repr__(self) -> str:
+        return "DebloatResult(disabled={}, kept={})".format(
+            len(self.disabled_options), len(self.kept_options)
+        )
+
+
+class CozartDebloater:
+    """Turns a workload trace into a debloated baseline + reduced space.
+
+    Compile-time feature options the trace never exercised are switched off
+    (and frozen in the reduced space, so the subsequent Wayfinder search
+    focuses on the runtime parameters — the synergy experiment of §4.4);
+    everything the workload exercised is kept at its default value.
+    """
+
+    def __init__(self, os_model: OSModel, seed: int = 0) -> None:
+        self.os_model = os_model
+        self.seed = seed
+
+    def _disabled_value(self, parameter) -> object:
+        if parameter.type_name == "tristate":
+            return "n"
+        if parameter.type_name == "bool":
+            return False
+        return parameter.default
+
+    def debloat(self, application: str,
+                trace: Optional[WorkloadTrace] = None) -> DebloatResult:
+        """Compute the debloated baseline for *application*."""
+        trace = trace or trace_workload(self.os_model, application)
+        space = self.os_model.space
+        default = space.default_configuration()
+        rng = random.Random(self.seed)
+
+        disabled: List[str] = []
+        kept: List[str] = []
+        updates = {}
+        for parameter in space.parameters_of_kind(ParameterKind.COMPILE_TIME):
+            is_feature = parameter.type_name in ("bool", "tristate")
+            enabled_by_default = default[parameter.name] in (True, "y", "m")
+            if not is_feature or not enabled_by_default:
+                continue
+            if trace.exercises(parameter.name):
+                kept.append(parameter.name)
+            else:
+                updates[parameter.name] = self._disabled_value(parameter)
+                disabled.append(parameter.name)
+
+        baseline = default.with_values(updates)
+        baseline = space.repair(baseline, rng)
+
+        # The reduced space keeps every runtime/boot parameter searchable but
+        # freezes the compile-time options at their debloated values.
+        reduced = ConfigSpace(
+            space.parameters(), space.constraints,
+            name=space.name + "-cozart-{}".format(application),
+        )
+        for name, value in space.frozen_parameters.items():
+            reduced.freeze(name, value)
+        for parameter in space.parameters_of_kind(ParameterKind.COMPILE_TIME):
+            reduced.freeze(parameter.name, baseline[parameter.name])
+        return DebloatResult(
+            baseline=baseline,
+            reduced_space=reduced,
+            disabled_options=disabled,
+            kept_options=kept,
+        )

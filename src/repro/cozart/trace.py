@@ -1,0 +1,111 @@
+"""Simulated dynamic-analysis tracing of a workload's kernel usage.
+
+The real Cozart boots an instrumented kernel, runs the workload, and records
+which kernel components (and therefore which Kconfig options) were exercised.
+We simulate the same observation: given the OS model's metadata and the
+application's behavioural profile, the trace reports every compile-time
+option the workload touches — the essential features it cannot run without,
+the features its performance responds to, the machinery any boot needs, and a
+deterministic sprinkle of incidentally-exercised driver options (real traces
+are never perfectly minimal).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Set
+
+from repro.config.parameter import ParameterKind
+from repro.vm.os_model import OSModel
+
+#: compile-time options every boot of the simulated kernel exercises,
+#: regardless of the application.
+BASELINE_REQUIRED = (
+    "CONFIG_NET",
+    "CONFIG_INET",
+    "CONFIG_BLOCK",
+    "CONFIG_EXT4_FS",
+    "CONFIG_TMPFS",
+    "CONFIG_VIRTIO_PCI",
+    "CONFIG_VIRTIO_BLK",
+    "CONFIG_VIRTIO_NET",
+    "CONFIG_SMP",
+    "CONFIG_PROC_SYSCTL",
+    "CONFIG_FUTEX",
+    "CONFIG_SHMEM",
+    "CONFIG_EPOLL",
+    "CONFIG_EVENTFD",
+    "CONFIG_MODULES",
+    "CONFIG_PRINTK",
+    "CONFIG_KALLSYMS",
+    "CONFIG_CGROUPS",
+    "CONFIG_NAMESPACES",
+    "CONFIG_MEMCG",
+    "CONFIG_SWAP",
+    "CONFIG_HIGH_RES_TIMERS",
+    "CONFIG_NO_HZ_IDLE",
+    "CONFIG_JUMP_LABEL",
+    "CONFIG_HZ",
+    "CONFIG_PREEMPT_MODEL",
+    "CONFIG_SLAB_ALLOCATOR",
+    "CONFIG_NR_CPUS",
+    "CONFIG_LOG_BUF_SHIFT",
+    "CONFIG_RETPOLINE",
+    "CONFIG_PAGE_TABLE_ISOLATION",
+)
+
+#: options exercised by specific application behaviours beyond the essentials.
+PER_APPLICATION_EXTRAS = {
+    "nginx": ("CONFIG_TRANSPARENT_HUGEPAGE", "CONFIG_COMPACTION", "CONFIG_NUMA"),
+    "redis": ("CONFIG_TRANSPARENT_HUGEPAGE", "CONFIG_COMPACTION", "CONFIG_AIO"),
+    "sqlite": ("CONFIG_AIO",),
+    "npb": ("CONFIG_TRANSPARENT_HUGEPAGE", "CONFIG_COMPACTION", "CONFIG_HUGETLBFS",
+            "CONFIG_NUMA"),
+}
+
+
+class WorkloadTrace:
+    """The set of compile-time options a workload was observed to exercise."""
+
+    def __init__(self, application: str, exercised_options: Set[str]) -> None:
+        self.application = application
+        self.exercised_options = set(exercised_options)
+
+    def exercises(self, option_name: str) -> bool:
+        return option_name in self.exercised_options
+
+    def __len__(self) -> int:
+        return len(self.exercised_options)
+
+    def __repr__(self) -> str:
+        return "WorkloadTrace({!r}, {} options exercised)".format(
+            self.application, len(self.exercised_options)
+        )
+
+
+def _incidental_fraction(application: str, option_name: str) -> bool:
+    """Deterministically mark ~8% of filler options as incidentally exercised."""
+    digest = hashlib.sha256((application + ":" + option_name).encode()).digest()
+    return digest[0] < int(0.08 * 256)
+
+
+def trace_workload(os_model: OSModel, application: str) -> WorkloadTrace:
+    """Simulate the dynamic-analysis trace of *application* on *os_model*."""
+    exercised: Set[str] = set()
+    compile_names = {
+        parameter.name
+        for parameter in os_model.space.parameters_of_kind(ParameterKind.COMPILE_TIME)
+    }
+    for name in BASELINE_REQUIRED:
+        if name in compile_names:
+            exercised.add(name)
+    for name in os_model.essential_for(application):
+        if name in compile_names:
+            exercised.add(name)
+    for name in PER_APPLICATION_EXTRAS.get(application, ()):
+        if name in compile_names:
+            exercised.add(name)
+    for name in compile_names:
+        if name.startswith("CONFIG_") and "_OPT" in name and _incidental_fraction(application, name):
+            exercised.add(name)
+    return WorkloadTrace(application, exercised)

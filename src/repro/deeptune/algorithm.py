@@ -1,0 +1,163 @@
+"""DeepTune as a Wayfinder search algorithm.
+
+Each iteration follows the loop of Figure 3: generate a diverse pool of
+random candidate permutations (step 1), predict their crash probability,
+performance and uncertainty with the DTM (step 2), rank them with the scoring
+function (step 3), hand the top candidate to the platform for evaluation
+(step 4), and update the model with the new observation (step 5).
+
+The candidate pool mixes fresh random samples with mutations of the best
+configurations found so far, which concentrates candidates in promising
+regions once the model has identified them while keeping genuinely new
+regions in play — the exploration/exploitation balance the paper discusses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config.encoding import ConfigEncoder
+from repro.config.parameter import ParameterKind
+from repro.config.space import Configuration, ConfigSpace
+from repro.deeptune.model import DeepTuneModel
+from repro.deeptune.scoring import score_candidates
+from repro.platform.history import ExplorationHistory, TrialRecord
+from repro.search.base import SearchAlgorithm
+
+
+class DeepTuneSearch(SearchAlgorithm):
+    """The DeepTune optimization algorithm (§3.2)."""
+
+    name = "deeptune"
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        seed: int = 0,
+        favored_kinds: Optional[Sequence[ParameterKind]] = None,
+        maximize: bool = True,
+        candidate_pool_size: int = 192,
+        warmup_iterations: int = 10,
+        alpha: float = 0.5,
+        exploration_weight: float = 0.6,
+        crash_threshold: float = 0.6,
+        exploit_fraction: float = 0.4,
+        training_steps_per_iteration: int = 25,
+        batch_size: int = 32,
+        model: Optional[DeepTuneModel] = None,
+        hidden_dims=(96, 48),
+        n_centroids: int = 24,
+    ) -> None:
+        super().__init__(space, seed=seed, favored_kinds=favored_kinds)
+        self.encoder = ConfigEncoder(space)
+        self.maximize = maximize
+        self.candidate_pool_size = candidate_pool_size
+        self.warmup_iterations = warmup_iterations
+        self.alpha = alpha
+        self.exploration_weight = exploration_weight
+        self.crash_threshold = crash_threshold
+        self.exploit_fraction = exploit_fraction
+        self.training_steps_per_iteration = training_steps_per_iteration
+        self.batch_size = batch_size
+
+        if model is not None and model.input_dim != self.encoder.width:
+            raise ValueError(
+                "pre-trained model expects {} features, space encodes to {}".format(
+                    model.input_dim, self.encoder.width)
+            )
+        self.model = model or DeepTuneModel(
+            input_dim=self.encoder.width,
+            hidden_dims=hidden_dims,
+            n_centroids=n_centroids,
+            seed=seed,
+        )
+        #: True when the model was pre-trained on another application.
+        self.transferred = model is not None and model.observation_count > 0
+
+        self._observed_vectors: List[np.ndarray] = []
+        self._best_configurations: List[Configuration] = []
+        self._best_objectives: List[float] = []
+        #: seconds of model update time per iteration (Figure 8).
+        self.update_times_s: List[float] = []
+        #: seconds spent proposing (prediction + scoring) per iteration.
+        self.proposal_times_s: List[float] = []
+
+    # -- candidate generation -------------------------------------------------------
+    def _generate_candidates(self, history: ExplorationHistory) -> List[Configuration]:
+        pool: List[Configuration] = []
+        n_exploit = int(self.candidate_pool_size * self.exploit_fraction)
+        if self._best_configurations:
+            for _ in range(n_exploit):
+                base = self.sampler.rng.choice(self._best_configurations)
+                pool.append(self.sampler.mutate(base, mutation_rate=0.08))
+        while len(pool) < self.candidate_pool_size:
+            pool.append(self.sampler.sample())
+        # Drop exact repeats of what has already been evaluated.
+        unique = [c for c in pool if not history.contains_configuration(c)]
+        return unique or pool
+
+    def _track_best(self, record: TrialRecord) -> None:
+        if record.crashed or record.objective is None:
+            return
+        self._best_configurations.append(record.configuration)
+        self._best_objectives.append(record.objective)
+        order = np.argsort(self._best_objectives)
+        if self.maximize:
+            order = order[::-1]
+        keep = list(order[:8])
+        self._best_configurations = [self._best_configurations[i] for i in keep]
+        self._best_objectives = [self._best_objectives[i] for i in keep]
+
+    # -- search interface ---------------------------------------------------------------
+    def propose(self, history: ExplorationHistory) -> Configuration:
+        ready = self.model.observation_count >= self.warmup_iterations or self.transferred
+        if not ready:
+            return self.sampler.sample_unique(history)
+
+        started = time.perf_counter()
+        candidates = self._generate_candidates(history)
+        matrix = self.encoder.encode_batch(candidates)
+        prediction = self.model.predict(matrix)
+
+        known = (np.vstack(self._observed_vectors)
+                 if self._observed_vectors else np.empty((0, self.encoder.width)))
+        scores = score_candidates(
+            candidates=self.model.feature_scaler.transform(matrix),
+            known=self.model.feature_scaler.transform(known) if known.size else known,
+            predicted_performance=prediction.performance,
+            predicted_uncertainty=prediction.uncertainty,
+            predicted_crash_probability=prediction.crash_probability,
+            maximize=self.maximize,
+            alpha=self.alpha,
+            exploration_weight=self.exploration_weight,
+            crash_threshold=self.crash_threshold,
+        )
+        best_index = int(np.argmax(scores))
+        self.proposal_times_s.append(time.perf_counter() - started)
+        return candidates[best_index]
+
+    def observe(self, record: TrialRecord) -> None:
+        started = time.perf_counter()
+        vector = self.encoder.encode(record.configuration)
+        self._observed_vectors.append(vector)
+        self.model.add_observation(vector, record.objective, record.crashed)
+        self._track_best(record)
+        self.model.fit_incremental(
+            steps=self.training_steps_per_iteration, batch_size=self.batch_size
+        )
+        self.update_times_s.append(time.perf_counter() - started)
+
+    # -- inspection ------------------------------------------------------------------------
+    def mean_update_time_s(self) -> float:
+        """Average model-update time per iteration (plotted in Figure 8)."""
+        if not self.update_times_s:
+            return 0.0
+        return float(np.mean(self.update_times_s))
+
+    def predicted_crash_probability(self, configuration: Configuration) -> float:
+        """Crash probability the current model assigns to *configuration*."""
+        vector = self.encoder.encode(configuration).reshape(1, -1)
+        return float(self.model.predict(vector).crash_probability[0])

@@ -1,0 +1,222 @@
+"""Random-forest regression and feature importance (numpy only).
+
+The cross-similarity analysis of the paper (§3.3, Figure 5) uses a
+random-forest feature-importance algorithm (Breiman 2001) to score how much
+each configuration option influences an application's performance.  scikit-
+learn is not available offline, so this module implements the required subset
+from scratch: CART-style regression trees grown on bootstrap samples with
+random feature subsets per split, mean-decrease-in-impurity importances, and
+out-of-bag error estimation.
+
+The implementation favours clarity over raw speed; the forests fitted by the
+benchmarks (a few hundred samples, a few hundred encoded columns, shallow
+trees) train in well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class _TreeNode:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value: float) -> None:
+        self.feature: Optional[int] = None
+        self.threshold: float = 0.0
+        self.left: Optional["_TreeNode"] = None
+        self.right: Optional["_TreeNode"] = None
+        self.value = value
+
+
+class RegressionTree:
+    """A CART regression tree with random feature subsets per split."""
+
+    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 3,
+                 max_features: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._root: Optional[_TreeNode] = None
+        self._n_features = 0
+        self.feature_importances_: Optional[Array] = None
+
+    # -- fitting ---------------------------------------------------------------
+    def fit(self, features: Array, targets: Array) -> "RegressionTree":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] != targets.shape[0]:
+            raise ValueError("features must be (n, d) aligned with targets (n,)")
+        self._n_features = features.shape[1]
+        self.feature_importances_ = np.zeros(self._n_features)
+        self._root = self._grow(features, targets, depth=0)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    def _best_split(self, features: Array, targets: Array,
+                    columns: Array) -> Tuple[Optional[int], float, float]:
+        """Return (feature, threshold, impurity decrease) of the best split."""
+        n = targets.shape[0]
+        parent_sse = float(np.sum((targets - targets.mean()) ** 2))
+        best = (None, 0.0, 0.0)
+        for column in columns:
+            values = features[:, column]
+            order = np.argsort(values, kind="mergesort")
+            sorted_values = values[order]
+            sorted_targets = targets[order]
+            # Cumulative sums let every candidate threshold be scored in O(1).
+            cumulative = np.cumsum(sorted_targets)
+            cumulative_sq = np.cumsum(sorted_targets ** 2)
+            total = cumulative[-1]
+            total_sq = cumulative_sq[-1]
+            for split in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if split < 1 or split >= n:
+                    continue
+                if sorted_values[split - 1] == sorted_values[split]:
+                    continue
+                left_sum = cumulative[split - 1]
+                left_sq = cumulative_sq[split - 1]
+                right_sum = total - left_sum
+                right_sq = total_sq - left_sq
+                left_sse = left_sq - left_sum ** 2 / split
+                right_sse = right_sq - right_sum ** 2 / (n - split)
+                decrease = parent_sse - (left_sse + right_sse)
+                if decrease > best[2]:
+                    threshold = 0.5 * (sorted_values[split - 1] + sorted_values[split])
+                    best = (int(column), float(threshold), float(decrease))
+        return best
+
+    def _grow(self, features: Array, targets: Array, depth: int) -> _TreeNode:
+        node = _TreeNode(float(targets.mean()))
+        if (depth >= self.max_depth or targets.shape[0] < 2 * self.min_samples_leaf
+                or float(np.var(targets)) < 1e-12):
+            return node
+        n_candidates = self.max_features or self._n_features
+        n_candidates = min(n_candidates, self._n_features)
+        columns = self.rng.choice(self._n_features, size=n_candidates, replace=False)
+        feature, threshold, decrease = self._best_split(features, targets, columns)
+        if feature is None or decrease <= 0.0:
+            return node
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        self.feature_importances_[feature] += decrease
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    # -- prediction ----------------------------------------------------------------
+    def predict(self, features: Array) -> Array:
+        if self._root is None:
+            raise RuntimeError("predict called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        return np.array([self._predict_row(row) for row in features])
+
+    def _predict_row(self, row: Array) -> float:
+        node = self._root
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees with impurity importances."""
+
+    def __init__(self, n_trees: int = 30, max_depth: int = 6,
+                 min_samples_leaf: int = 3, feature_fraction: float = 0.4,
+                 seed: int = 0) -> None:
+        if n_trees < 1:
+            raise ValueError("need at least one tree")
+        if not 0.0 < feature_fraction <= 1.0:
+            raise ValueError("feature_fraction must be in (0, 1]")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.feature_fraction = feature_fraction
+        self.seed = seed
+        self.trees: List[RegressionTree] = []
+        self.feature_importances_: Optional[Array] = None
+        self.oob_score_: Optional[float] = None
+
+    def fit(self, features: Array, targets: Array) -> "RandomForestRegressor":
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        mask = ~np.isnan(targets)
+        features = features[mask]
+        targets = targets[mask]
+        if features.shape[0] < 2:
+            raise ValueError("need at least two samples to fit a forest")
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = features.shape
+        max_features = max(1, int(round(self.feature_fraction * n_features)))
+
+        self.trees = []
+        importances = np.zeros(n_features)
+        oob_sum = np.zeros(n_samples)
+        oob_count = np.zeros(n_samples)
+        for _ in range(self.n_trees):
+            indices = rng.integers(0, n_samples, size=n_samples)
+            tree = RegressionTree(max_depth=self.max_depth,
+                                  min_samples_leaf=self.min_samples_leaf,
+                                  max_features=max_features, rng=rng)
+            tree.fit(features[indices], targets[indices])
+            self.trees.append(tree)
+            importances += tree.feature_importances_
+            out_of_bag = np.setdiff1d(np.arange(n_samples), indices, assume_unique=False)
+            if out_of_bag.size:
+                oob_sum[out_of_bag] += tree.predict(features[out_of_bag])
+                oob_count[out_of_bag] += 1
+        self.feature_importances_ = importances / self.n_trees
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ = self.feature_importances_ / total
+        covered = oob_count > 0
+        if covered.any() and float(np.var(targets[covered])) > 1e-12:
+            predictions = oob_sum[covered] / oob_count[covered]
+            residual = float(np.mean((predictions - targets[covered]) ** 2))
+            self.oob_score_ = 1.0 - residual / float(np.var(targets[covered]))
+        return self
+
+    def predict(self, features: Array) -> Array:
+        if not self.trees:
+            raise RuntimeError("predict called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        predictions = np.zeros(features.shape[0] if features.ndim == 2 else 1)
+        for tree in self.trees:
+            predictions = predictions + tree.predict(features)
+        return predictions / len(self.trees)
+
+
+def forest_parameter_importance(encoder, features: Array, targets: Array,
+                                n_trees: int = 30, seed: int = 0) -> dict:
+    """Per-parameter importance using the random forest (Figure 5 variant).
+
+    Equivalent in role to :func:`repro.deeptune.importance.parameter_importance`
+    but using the Breiman forest the paper cites; one-hot parameters take the
+    maximum importance over their columns.
+    """
+    forest = RandomForestRegressor(n_trees=n_trees, seed=seed)
+    forest.fit(features, targets)
+    importances = forest.feature_importances_
+    result = {}
+    for parameter in encoder.space.parameters():
+        start, stop = encoder.slice_for(parameter.name)
+        result[parameter.name] = float(np.max(importances[start:stop])) \
+            if stop > start else 0.0
+    return result

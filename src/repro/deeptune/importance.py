@@ -1,0 +1,115 @@
+"""Feature/parameter importance extraction.
+
+The cross-similarity analysis of §3.3 (Figure 5) collects random
+configurations per application, fits a feature-importance model on the
+measured performance, and compares the per-parameter importance vectors
+across applications.  The importance estimator here is a binned
+variance-reduction score per encoded column — the importance a depth-one
+regression tree would assign — aggregated per configuration parameter, plus a
+permutation-importance variant that can interrogate a trained DeepTune model
+directly (used for the "high-impact parameters" discussion of §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config.encoding import ConfigEncoder
+
+Array = np.ndarray
+
+
+def variance_reduction_importance(features: Array, targets: Array,
+                                  n_bins: int = 8) -> Array:
+    """Per-column importance: fraction of target variance explained by binning.
+
+    For every feature column the samples are split into up to *n_bins*
+    equal-width bins; the importance is the relative reduction of target
+    variance achieved by replacing each sample's target with its bin mean.
+    Columns that do not influence the target score ~0; columns the target
+    responds to monotonically or unimodally score close to their explained
+    variance share.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    if features.ndim != 2 or features.shape[0] != targets.shape[0]:
+        raise ValueError("features must be (n, d) aligned with targets (n,)")
+    mask = ~np.isnan(targets)
+    features = features[mask]
+    targets = targets[mask]
+    n_samples, n_columns = features.shape
+    importances = np.zeros(n_columns)
+    if n_samples < 4:
+        return importances
+    total_variance = float(np.var(targets))
+    if total_variance < 1e-12:
+        return importances
+    for column in range(n_columns):
+        values = features[:, column]
+        low, high = float(values.min()), float(values.max())
+        if high - low < 1e-12:
+            continue
+        edges = np.linspace(low, high, n_bins + 1)
+        bins = np.clip(np.digitize(values, edges[1:-1]), 0, n_bins - 1)
+        residual = 0.0
+        for bin_index in range(n_bins):
+            members = targets[bins == bin_index]
+            if members.size:
+                residual += float(np.sum((members - members.mean()) ** 2))
+        importances[column] = max(0.0, 1.0 - residual / (n_samples * total_variance))
+    return importances
+
+
+def parameter_importance(encoder: ConfigEncoder, features: Array, targets: Array,
+                         n_bins: int = 8) -> Dict[str, float]:
+    """Aggregate column importances per configuration parameter.
+
+    Multi-column parameters (one-hot categoricals) take the maximum of their
+    columns' importances.
+    """
+    column_importances = variance_reduction_importance(features, targets, n_bins=n_bins)
+    result: Dict[str, float] = {}
+    for parameter in encoder.space.parameters():
+        start, stop = encoder.slice_for(parameter.name)
+        result[parameter.name] = float(np.max(column_importances[start:stop])) \
+            if stop > start else 0.0
+    return result
+
+
+def top_parameters(importances: Dict[str, float], count: int = 10) -> List[str]:
+    """Return the *count* highest-importance parameter names, best first."""
+    return [name for name, _ in
+            sorted(importances.items(), key=lambda item: item[1], reverse=True)[:count]]
+
+
+def model_permutation_importance(model, features: Array,
+                                 encoder: Optional[ConfigEncoder] = None,
+                                 repeats: int = 3, seed: int = 0) -> Array:
+    """Permutation importance of each encoded column under a trained DTM.
+
+    Measures how much the model's performance prediction changes when one
+    column is shuffled — i.e. which parameters the *model* has learned to pay
+    attention to, which is how §4.1 queries the learned models for
+    high-impact parameters.
+    """
+    rng = np.random.default_rng(seed)
+    features = np.asarray(features, dtype=np.float64)
+    baseline = model.predict(features).performance
+    n_columns = features.shape[1]
+    importances = np.zeros(n_columns)
+    for column in range(n_columns):
+        deltas = []
+        for _ in range(repeats):
+            shuffled = features.copy()
+            shuffled[:, column] = rng.permutation(shuffled[:, column])
+            perturbed = model.predict(shuffled).performance
+            deltas.append(float(np.mean(np.abs(perturbed - baseline))))
+        importances[column] = float(np.mean(deltas))
+    return importances
+
+
+def importance_vector(importances: Dict[str, float], order: Sequence[str]) -> Array:
+    """Turn a per-parameter importance mapping into a vector following *order*."""
+    return np.array([importances.get(name, 0.0) for name in order], dtype=np.float64)

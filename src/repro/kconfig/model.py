@@ -1,0 +1,241 @@
+"""Generic Kconfig-style option model and synthetic option generator.
+
+The real Linux Kconfig hierarchy is a tree of menus containing typed options
+(bool, tristate, string, hex, int) connected by ``depends on`` edges and
+``range`` statements.  We cannot ship the kernel sources, so this module
+generates a synthetic hierarchy with the same statistical structure: the same
+mix of option types, realistic dependency fan-out, subsystem grouping, and a
+fraction of "fragile" options whose unusual values make the resulting kernel
+likely to fail at build, boot, or run time (the source of the ~1/3 crash rate
+the paper observes for random configurations).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config.constraints import Constraint, DependsOn
+from repro.config.parameter import (
+    BoolParameter,
+    HexParameter,
+    IntParameter,
+    Parameter,
+    ParameterKind,
+    StringParameter,
+    TristateParameter,
+)
+
+#: Subsystem prefixes used when generating synthetic compile-time options.
+#: The weights roughly follow the share of options per kernel subsystem.
+SUBSYSTEMS: Sequence[Tuple[str, float]] = (
+    ("NET", 0.22),
+    ("DRIVERS", 0.30),
+    ("FS", 0.10),
+    ("MM", 0.06),
+    ("SCHED", 0.04),
+    ("BLOCK", 0.05),
+    ("CRYPTO", 0.05),
+    ("SECURITY", 0.04),
+    ("SOUND", 0.04),
+    ("ARCH", 0.06),
+    ("DEBUG", 0.04),
+)
+
+
+class KconfigOption:
+    """A single synthetic Kconfig option plus its generation metadata.
+
+    Attributes
+    ----------
+    parameter:
+        The :class:`repro.config.Parameter` describing the option.
+    subsystem:
+        Subsystem prefix the option belongs to (``NET``, ``MM``, ...).
+    fragile:
+        If True, unusual values of this option tend to break the build or
+        boot (modelled by :mod:`repro.vm.failures`).
+    footprint_cost:
+        Approximate number of kilobytes the option adds to the kernel image
+        and resident memory when enabled (used by the memory-footprint
+        experiments, Figure 10).
+    performance_relevant:
+        If True, the option participates in the application performance
+        response surfaces (most compile-time options do not).
+    """
+
+    def __init__(
+        self,
+        parameter: Parameter,
+        subsystem: str,
+        fragile: bool = False,
+        footprint_cost: float = 0.0,
+        performance_relevant: bool = False,
+    ) -> None:
+        self.parameter = parameter
+        self.subsystem = subsystem
+        self.fragile = fragile
+        self.footprint_cost = footprint_cost
+        self.performance_relevant = performance_relevant
+
+    @property
+    def name(self) -> str:
+        return self.parameter.name
+
+    def __repr__(self) -> str:
+        return "KconfigOption({!r}, subsystem={!r}, fragile={})".format(
+            self.name, self.subsystem, self.fragile
+        )
+
+
+class KconfigGenerator:
+    """Generates a synthetic Kconfig option population.
+
+    The generator is deterministic for a given seed, so two runs of the same
+    experiment see the exact same configuration space.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- helpers ---------------------------------------------------------------
+    def _pick_subsystem(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for name, weight in SUBSYSTEMS:
+            cumulative += weight
+            if roll <= cumulative:
+                return name
+        return SUBSYSTEMS[-1][0]
+
+    def _option_name(self, subsystem: str, index: int, suffix: str = "") -> str:
+        return "CONFIG_{}_OPT{}{}".format(subsystem, index, suffix)
+
+    # -- generation --------------------------------------------------------------
+    def generate(
+        self,
+        n_bool: int,
+        n_tristate: int,
+        n_string: int,
+        n_hex: int,
+        n_int: int,
+        dependency_fraction: float = 0.35,
+        fragile_fraction: float = 0.12,
+    ) -> Tuple[List[KconfigOption], List[Constraint]]:
+        """Generate compile-time options and their dependency constraints.
+
+        *dependency_fraction* of the bool/tristate options depend on another
+        option in the same subsystem; *fragile_fraction* of all options are
+        marked fragile.
+        """
+        options: List[KconfigOption] = []
+        index = 0
+
+        def make(parameter: Parameter, subsystem: str) -> KconfigOption:
+            fragile = self._rng.random() < fragile_fraction
+            footprint = 0.0
+            if isinstance(parameter, (BoolParameter, TristateParameter)):
+                # Enabled features cost between a few KiB and a couple of MiB.
+                footprint = self._rng.uniform(2.0, 2048.0) * self._rng.random() ** 2
+            option = KconfigOption(
+                parameter,
+                subsystem,
+                fragile=fragile,
+                footprint_cost=footprint,
+                performance_relevant=self._rng.random() < 0.05,
+            )
+            options.append(option)
+            return option
+
+        for _ in range(n_bool):
+            subsystem = self._pick_subsystem()
+            default = self._rng.random() < 0.45
+            parameter = BoolParameter(
+                self._option_name(subsystem, index), ParameterKind.COMPILE_TIME, default
+            )
+            make(parameter, subsystem)
+            index += 1
+
+        for _ in range(n_tristate):
+            subsystem = self._pick_subsystem()
+            default = self._rng.choice(["n", "n", "m", "y"])
+            parameter = TristateParameter(
+                self._option_name(subsystem, index), ParameterKind.COMPILE_TIME, default
+            )
+            make(parameter, subsystem)
+            index += 1
+
+        for _ in range(n_string):
+            subsystem = self._pick_subsystem()
+            choices = ["", "default", "{}-profile".format(subsystem.lower())]
+            parameter = StringParameter(
+                self._option_name(subsystem, index, "_NAME"),
+                ParameterKind.COMPILE_TIME,
+                choices=choices,
+                default="",
+            )
+            make(parameter, subsystem)
+            index += 1
+
+        for _ in range(n_hex):
+            subsystem = self._pick_subsystem()
+            maximum = 0xFFFFFFFF
+            default = self._rng.choice([0x0, 0x1000, 0x100000, 0x80000000])
+            parameter = HexParameter(
+                self._option_name(subsystem, index, "_ADDR"),
+                ParameterKind.COMPILE_TIME,
+                default=default,
+                minimum=0,
+                maximum=maximum,
+                log_scale=True,
+            )
+            make(parameter, subsystem)
+            index += 1
+
+        for _ in range(n_int):
+            subsystem = self._pick_subsystem()
+            magnitude = self._rng.choice([16, 64, 256, 1024, 4096, 65536, 1 << 20])
+            default = max(1, magnitude // 2)
+            parameter = IntParameter(
+                self._option_name(subsystem, index, "_SIZE"),
+                ParameterKind.COMPILE_TIME,
+                default=default,
+                minimum=0,
+                maximum=magnitude * 16,
+                log_scale=True,
+            )
+            make(parameter, subsystem)
+            index += 1
+
+        constraints = self._generate_dependencies(options, dependency_fraction)
+        return options, constraints
+
+    def _generate_dependencies(
+        self, options: Sequence[KconfigOption], dependency_fraction: float
+    ) -> List[Constraint]:
+        """Create DependsOn edges between feature options of the same subsystem."""
+        by_subsystem: Dict[str, List[KconfigOption]] = {}
+        for option in options:
+            if isinstance(option.parameter, (BoolParameter, TristateParameter)):
+                by_subsystem.setdefault(option.subsystem, []).append(option)
+        constraints: List[Constraint] = []
+
+        def enabled_by_default(option: KconfigOption) -> bool:
+            return option.parameter.default in (True, "y", "m")
+
+        for members in by_subsystem.values():
+            if len(members) < 2:
+                continue
+            for option in members[1:]:
+                if self._rng.random() < dependency_fraction:
+                    provider = self._rng.choice(members[: members.index(option)] or members[:1])
+                    if provider.name == option.name:
+                        continue
+                    # Keep the default configuration valid (a real defconfig
+                    # satisfies its own dependency graph): never generate an
+                    # edge that the defaults would already violate.
+                    if enabled_by_default(option) and not enabled_by_default(provider):
+                        continue
+                    constraints.append(DependsOn(option.name, provider.name))
+        return constraints

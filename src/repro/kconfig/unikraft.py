@@ -1,0 +1,115 @@
+"""Unikraft unikernel configuration space (§4.4 of the paper).
+
+The Unikraft experiment explores 33 configuration parameters: 10 Nginx
+application-level parameters plus 23 Unikraft OS parameters, for a search
+space of roughly 3.7e13 permutations.  Unikraft is a library OS, so its
+"compile-time" options directly select which micro-libraries are linked into
+the image and how they are sized (scheduler, memory allocator, network stack
+buffers, VFS).  Because the unikernel has far less incidental machinery than
+Linux, well-chosen configurations improve throughput much more than on Linux
+— the behaviour Figure 9 shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    IntParameter,
+    Parameter,
+    ParameterKind,
+)
+from repro.config.constraints import Constraint, DependsOn
+from repro.config.space import ConfigSpace
+
+COMPILE = ParameterKind.COMPILE_TIME
+RUNTIME = ParameterKind.RUNTIME
+
+
+def _unikraft_os_parameters() -> List[Parameter]:
+    """The 23 Unikraft OS-level parameters."""
+    return [
+        # Scheduler and threading.
+        CategoricalParameter("uk.sched", COMPILE, choices=("coop", "preempt"),
+                             default="coop", description="uksched scheduler flavour"),
+        IntParameter("uk.sched_timeslice_ms", COMPILE, default=10, minimum=1, maximum=100),
+        IntParameter("uk.thread_stack_pages", COMPILE, default=4, minimum=1, maximum=64,
+                     log_scale=True),
+        # Memory allocator.
+        CategoricalParameter("uk.allocator", COMPILE,
+                             choices=("buddy", "bbuddy", "mimalloc", "tlsf"),
+                             default="buddy"),
+        IntParameter("uk.heap_pages", COMPILE, default=8192, minimum=1024, maximum=262144,
+                     log_scale=True),
+        BoolParameter("uk.alloc_stats", COMPILE, default=False),
+        # Network stack (lwip-derived).
+        BoolParameter("uk.lwip", COMPILE, default=True),
+        IntParameter("uk.lwip_tcp_snd_buf_kb", COMPILE, default=64, minimum=4, maximum=4096,
+                     log_scale=True),
+        IntParameter("uk.lwip_tcp_wnd_kb", COMPILE, default=64, minimum=4, maximum=4096,
+                     log_scale=True),
+        IntParameter("uk.lwip_pbuf_pool_size", COMPILE, default=256, minimum=16, maximum=16384,
+                     log_scale=True),
+        IntParameter("uk.lwip_num_tcp_pcb", COMPILE, default=64, minimum=8, maximum=4096,
+                     log_scale=True),
+        BoolParameter("uk.lwip_nagle_off", COMPILE, default=False),
+        IntParameter("uk.netdev_rx_descs", COMPILE, default=256, minimum=32, maximum=4096,
+                     log_scale=True),
+        IntParameter("uk.netdev_tx_descs", COMPILE, default=256, minimum=32, maximum=4096,
+                     log_scale=True),
+        BoolParameter("uk.netdev_dispatcher", COMPILE, default=True),
+        # VFS / ramfs.
+        CategoricalParameter("uk.vfs", COMPILE, choices=("ramfs", "9pfs"), default="ramfs"),
+        IntParameter("uk.vfs_cache_entries", COMPILE, default=512, minimum=32, maximum=16384,
+                     log_scale=True),
+        # Boot/platform.
+        BoolParameter("uk.pagetable_huge", COMPILE, default=False),
+        BoolParameter("uk.pci_passthrough", COMPILE, default=False),
+        IntParameter("uk.boot_stack_pages", COMPILE, default=2, minimum=1, maximum=32),
+        # Debug and instrumentation.
+        BoolParameter("uk.debug_printk", COMPILE, default=False),
+        BoolParameter("uk.trace", COMPILE, default=False),
+        BoolParameter("uk.assertions", COMPILE, default=True),
+    ]
+
+
+def _nginx_application_parameters() -> List[Parameter]:
+    """The 10 Nginx application-level parameters explored alongside the OS."""
+    return [
+        IntParameter("nginx.worker_processes", RUNTIME, default=1, minimum=1, maximum=16),
+        IntParameter("nginx.worker_connections", RUNTIME, default=512, minimum=64,
+                     maximum=65536, log_scale=True),
+        BoolParameter("nginx.sendfile", RUNTIME, default=True),
+        BoolParameter("nginx.tcp_nopush", RUNTIME, default=False),
+        BoolParameter("nginx.tcp_nodelay", RUNTIME, default=True),
+        IntParameter("nginx.keepalive_timeout", RUNTIME, default=65, minimum=0, maximum=600),
+        IntParameter("nginx.keepalive_requests", RUNTIME, default=100, minimum=1,
+                     maximum=100000, log_scale=True),
+        BoolParameter("nginx.access_log", RUNTIME, default=True),
+        BoolParameter("nginx.gzip", RUNTIME, default=False),
+        IntParameter("nginx.open_file_cache", RUNTIME, default=0, minimum=0, maximum=65536,
+                     log_scale=True),
+    ]
+
+
+def _unikraft_constraints() -> List[Constraint]:
+    return [
+        DependsOn("uk.lwip_nagle_off", "uk.lwip"),
+        DependsOn("uk.netdev_dispatcher", "uk.lwip"),
+    ]
+
+
+def unikraft_nginx_space(name: str = "unikraft-nginx") -> ConfigSpace:
+    """Return the 33-parameter Unikraft+Nginx space used for Figure 9."""
+    parameters = _unikraft_os_parameters() + _nginx_application_parameters()
+    space = ConfigSpace(parameters, _unikraft_constraints(), name=name)
+    return space
+
+
+def unikraft_parameter_split(space: ConfigSpace) -> Tuple[List[str], List[str]]:
+    """Return (OS parameter names, application parameter names) of the space."""
+    os_params = [p.name for p in space.parameters() if p.name.startswith("uk.")]
+    app_params = [p.name for p in space.parameters() if p.name.startswith("nginx.")]
+    return os_params, app_params

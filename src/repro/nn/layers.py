@@ -1,0 +1,197 @@
+"""Neural-network layers with manual forward/backward passes.
+
+Every layer caches what it needs during ``forward`` and returns input
+gradients from ``backward``; trainable parameters and their accumulated
+gradients are exposed through ``parameters()`` so any optimizer can update
+them in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class Layer:
+    """Base class: a differentiable transformation of a (batch, features) array."""
+
+    def forward(self, inputs: Array, training: bool = False) -> Array:
+        raise NotImplementedError
+
+    def backward(self, grad_output: Array) -> Array:
+        """Given dL/d(output), accumulate parameter gradients and return dL/d(input)."""
+        raise NotImplementedError
+
+    def parameters(self) -> List[Tuple[Array, Array]]:
+        """Return (parameter, gradient) pairs; both are updated in place."""
+        return []
+
+    def zero_grad(self) -> None:
+        for _, grad in self.parameters():
+            grad.fill(0.0)
+
+    @property
+    def output_dim(self) -> Optional[int]:
+        return None
+
+
+class Dense(Layer):
+    """Fully connected affine layer with He-style initialization."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("layer dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_dim)
+        self.weights = rng.normal(0.0, scale, size=(in_dim, out_dim))
+        self.bias = np.zeros(out_dim)
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._inputs: Optional[Array] = None
+
+    def forward(self, inputs: Array, training: bool = False) -> Array:
+        self._inputs = inputs
+        return inputs @ self.weights + self.bias
+
+    def backward(self, grad_output: Array) -> Array:
+        if self._inputs is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weights += self._inputs.T @ grad_output
+        self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weights.T
+
+    def parameters(self) -> List[Tuple[Array, Array]]:
+        return [(self.weights, self.grad_weights), (self.bias, self.grad_bias)]
+
+    @property
+    def output_dim(self) -> int:
+        return self.weights.shape[1]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[Array] = None
+
+    def forward(self, inputs: Array, training: bool = False) -> Array:
+        self._mask = inputs > 0.0
+        return inputs * self._mask
+
+    def backward(self, grad_output: Array) -> Array:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+        self._mask: Optional[Array] = None
+
+    def forward(self, inputs: Array, training: bool = False) -> Array:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: Array) -> Array:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class RBFLayer(Layer):
+    """Gaussian radial-basis-function layer (paper eq. 1).
+
+    Each neuron holds a centroid ``c``; its activation for an input ``z`` is
+    ``phi(z) = exp(-||z - c||^2 / (2 * gamma^2))``.  Activations close to 1
+    mean the input resembles a learned prototype; activations near 0 flag an
+    outlier, which is how the uncertainty branch detects unfamiliar
+    configurations.
+    """
+
+    def __init__(self, in_dim: int, n_centroids: int, gamma: float = 0.1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if n_centroids <= 0:
+            raise ValueError("need at least one centroid")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.gamma = gamma
+        self.centroids = rng.normal(0.0, 1.0, size=(n_centroids, in_dim))
+        self.grad_centroids = np.zeros_like(self.centroids)
+        self._inputs: Optional[Array] = None
+        self._activations: Optional[Array] = None
+        self._diff: Optional[Array] = None
+
+    def forward(self, inputs: Array, training: bool = False) -> Array:
+        self._inputs = inputs
+        # diff[b, k, d] = z_b[d] - c_k[d]
+        self._diff = inputs[:, None, :] - self.centroids[None, :, :]
+        sq_dist = np.sum(self._diff ** 2, axis=2)
+        self._activations = np.exp(-sq_dist / (2.0 * self.gamma ** 2))
+        return self._activations
+
+    def backward(self, grad_output: Array) -> Array:
+        if self._activations is None or self._diff is None:
+            raise RuntimeError("backward called before forward")
+        # d phi / d sq_dist = -phi / (2 gamma^2); d sq_dist / d z = 2 diff
+        common = grad_output * self._activations / (self.gamma ** 2)
+        grad_inputs = -np.einsum("bk,bkd->bd", common, self._diff)
+        self.grad_centroids += np.einsum("bk,bkd->kd", common, self._diff)
+        return grad_inputs
+
+    def parameters(self) -> List[Tuple[Array, Array]]:
+        return [(self.centroids, self.grad_centroids)]
+
+    @property
+    def output_dim(self) -> int:
+        return self.centroids.shape[0]
+
+    def max_activation(self, inputs: Array) -> Array:
+        """Per-sample maximum centroid activation (1 = prototypical, 0 = outlier)."""
+        activations = self.forward(inputs, training=False)
+        return activations.max(axis=1)
+
+
+class Sequential(Layer):
+    """A simple stack of layers applied in order."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, inputs: Array, training: bool = False) -> Array:
+        output = inputs
+        for layer in self.layers:
+            output = layer.forward(output, training=training)
+        return output
+
+    def backward(self, grad_output: Array) -> Array:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> List[Tuple[Array, Array]]:
+        params: List[Tuple[Array, Array]] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    @property
+    def output_dim(self) -> Optional[int]:
+        for layer in reversed(self.layers):
+            if layer.output_dim is not None:
+                return layer.output_dim
+        return None

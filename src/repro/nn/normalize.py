@@ -1,0 +1,72 @@
+"""Feature and target normalization helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class StandardScaler:
+    """Z-score normalizer that tolerates constant columns and empty fits.
+
+    The RBF uncertainty branch assumes z-scored inputs (the paper fits
+    ``gamma = 0.1`` under that assumption), and the regression head trains on
+    z-scored targets so the loss magnitudes stay comparable across
+    applications whose metrics differ by orders of magnitude (req/s vs
+    microseconds).
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[Array] = None
+        self.std_: Optional[Array] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, data: Array) -> "StandardScaler":
+        data = np.asarray(data, dtype=np.float64)
+        if data.size == 0:
+            raise ValueError("cannot fit a scaler on empty data")
+        if data.ndim == 1:
+            data = data.reshape(-1, 1)
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, data: Array) -> Array:
+        data = np.asarray(data, dtype=np.float64)
+        squeeze = data.ndim == 1
+        if squeeze:
+            data = data.reshape(-1, 1)
+        if not self.is_fitted:
+            result = data
+        else:
+            result = (data - self.mean_) / self.std_
+        return result.reshape(-1) if squeeze else result
+
+    def fit_transform(self, data: Array) -> Array:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: Array) -> Array:
+        data = np.asarray(data, dtype=np.float64)
+        squeeze = data.ndim == 1
+        if squeeze:
+            data = data.reshape(-1, 1)
+        if not self.is_fitted:
+            result = data
+        else:
+            result = data * self.std_ + self.mean_
+        return result.reshape(-1) if squeeze else result
+
+    def inverse_scale(self, data: Array) -> Array:
+        """Undo only the scaling (for standard deviations, not means)."""
+        data = np.asarray(data, dtype=np.float64)
+        if not self.is_fitted:
+            return data
+        return data * self.std_.reshape(-1)[0] if data.ndim == 1 else data * self.std_

@@ -1,0 +1,57 @@
+"""Optimizers for the numpy neural-network stack."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class Adam:
+    """Adam optimizer operating in place on (parameter, gradient) pairs."""
+
+    def __init__(self, learning_rate: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._first_moment: List[Array] = []
+        self._second_moment: List[Array] = []
+
+    def _ensure_state(self, parameters: Sequence[Tuple[Array, Array]]) -> None:
+        if len(self._first_moment) != len(parameters):
+            self._first_moment = [np.zeros_like(param) for param, _ in parameters]
+            self._second_moment = [np.zeros_like(param) for param, _ in parameters]
+
+    def step(self, parameters: Sequence[Tuple[Array, Array]]) -> None:
+        """Apply one Adam update to every (parameter, gradient) pair."""
+        self._ensure_state(parameters)
+        self._step += 1
+        correction1 = 1.0 - self.beta1 ** self._step
+        correction2 = 1.0 - self.beta2 ** self._step
+        for index, (param, grad) in enumerate(parameters):
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            m = self._first_moment[index]
+            v = self._second_moment[index]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        """Forget all moment estimates (used when a model is re-initialized)."""
+        self._step = 0
+        self._first_moment = []
+        self._second_moment = []

@@ -1,0 +1,190 @@
+"""Exploration history: everything the platform records about past trials.
+
+Search algorithms interact with the platform through the history (§3.1):
+which configurations were explored, their objective values, which ones
+crashed and at which stage, and how much time each evaluation consumed.  The
+history also provides the derived series the evaluation figures plot:
+best-so-far curves over virtual time and windowed crash rates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.encoding import ConfigEncoder
+from repro.config.space import Configuration
+from repro.platform.metrics import Metric
+from repro.vm.failures import FailureStage
+
+
+class TrialRecord:
+    """One evaluated configuration and everything measured about it."""
+
+    def __init__(
+        self,
+        index: int,
+        configuration: Configuration,
+        objective: Optional[float],
+        crashed: bool,
+        failure_stage: FailureStage,
+        failure_reason: str,
+        metric_value: Optional[float],
+        memory_mb: Optional[float],
+        duration_s: float,
+        started_at_s: float,
+        build_skipped: bool = False,
+    ) -> None:
+        self.index = index
+        self.configuration = configuration
+        self.objective = objective
+        self.crashed = crashed
+        self.failure_stage = failure_stage
+        self.failure_reason = failure_reason
+        self.metric_value = metric_value
+        self.memory_mb = memory_mb
+        self.duration_s = duration_s
+        self.started_at_s = started_at_s
+        self.build_skipped = build_skipped
+
+    @property
+    def finished_at_s(self) -> float:
+        """Virtual timestamp at which this evaluation completed."""
+        return self.started_at_s + self.duration_s
+
+    def __repr__(self) -> str:
+        if self.crashed:
+            return "TrialRecord(#{}, crashed at {})".format(self.index,
+                                                            self.failure_stage.value)
+        return "TrialRecord(#{}, objective={:.2f})".format(self.index, self.objective)
+
+
+class ExplorationHistory:
+    """Ordered collection of trial records for one search session."""
+
+    def __init__(self, metric: Metric) -> None:
+        self.metric = metric
+        self._records: List[TrialRecord] = []
+
+    # -- collection protocol -----------------------------------------------------
+    def add(self, record: TrialRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TrialRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TrialRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[TrialRecord]:
+        return list(self._records)
+
+    # -- bookkeeping ------------------------------------------------------------------
+    def explored_configurations(self) -> List[Configuration]:
+        return [record.configuration for record in self._records]
+
+    def contains_configuration(self, configuration: Configuration) -> bool:
+        return any(record.configuration == configuration for record in self._records)
+
+    def successful_records(self) -> List[TrialRecord]:
+        return [r for r in self._records if not r.crashed and r.objective is not None]
+
+    def crashed_records(self) -> List[TrialRecord]:
+        return [r for r in self._records if r.crashed]
+
+    def crash_rate(self, window: Optional[int] = None) -> float:
+        """Fraction of crashed trials, optionally over the last *window* trials."""
+        records = self._records if window is None else self._records[-window:]
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.crashed) / float(len(records))
+
+    def total_elapsed_s(self) -> float:
+        if not self._records:
+            return 0.0
+        return self._records[-1].finished_at_s
+
+    # -- best configuration ---------------------------------------------------------------
+    def best_record(self) -> Optional[TrialRecord]:
+        """The best successful trial under the session's metric."""
+        best: Optional[TrialRecord] = None
+        for record in self.successful_records():
+            if best is None or self.metric.is_improvement(record.objective, best.objective):
+                best = record
+        return best
+
+    def best_objective(self) -> Optional[float]:
+        best = self.best_record()
+        return None if best is None else best.objective
+
+    def time_to_best_s(self) -> Optional[float]:
+        """Virtual seconds from session start to the completion of the best trial."""
+        best = self.best_record()
+        return None if best is None else best.finished_at_s
+
+    def best_so_far_series(self) -> List[Tuple[float, float]]:
+        """(finished_at_s, best objective so far) pairs over the session."""
+        series: List[Tuple[float, float]] = []
+        best: Optional[float] = None
+        for record in self._records:
+            if not record.crashed and record.objective is not None:
+                if best is None or self.metric.is_improvement(record.objective, best):
+                    best = record.objective
+            if best is not None:
+                series.append((record.finished_at_s, best))
+        return series
+
+    def objective_series(self) -> List[Tuple[float, Optional[float]]]:
+        """(finished_at_s, objective or None for crashes) for every trial."""
+        return [(r.finished_at_s, r.objective if not r.crashed else None)
+                for r in self._records]
+
+    def crash_rate_series(self, window: int = 25) -> List[Tuple[float, float]]:
+        """(finished_at_s, windowed crash rate) pairs over the session."""
+        series: List[Tuple[float, float]] = []
+        flags: List[bool] = []
+        for record in self._records:
+            flags.append(record.crashed)
+            recent = flags[-window:]
+            series.append((record.finished_at_s, sum(recent) / float(len(recent))))
+        return series
+
+    # -- machine-learning views --------------------------------------------------------------
+    def training_arrays(self, encoder: ConfigEncoder,
+                        normalize: bool = False) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (X, y, crashed) arrays for model training.
+
+        Crashed trials have no objective; their ``y`` entry is NaN so callers
+        can mask them out of the regression loss while keeping them for the
+        crash-classification loss.
+        """
+        configurations = [record.configuration for record in self._records]
+        matrix = encoder.encode_batch(configurations)
+        if normalize:
+            matrix = encoder.normalize(matrix)
+        objectives = np.array(
+            [record.objective if (not record.crashed and record.objective is not None)
+             else np.nan
+             for record in self._records],
+            dtype=np.float64,
+        )
+        crashed = np.array([record.crashed for record in self._records], dtype=bool)
+        return matrix, objectives, crashed
+
+    def summary(self) -> dict:
+        """Aggregate statistics used by reports and tests."""
+        best = self.best_record()
+        return {
+            "trials": len(self._records),
+            "crashes": len(self.crashed_records()),
+            "crash_rate": self.crash_rate(),
+            "best_objective": None if best is None else best.objective,
+            "best_index": None if best is None else best.index,
+            "time_to_best_s": self.time_to_best_s(),
+            "total_elapsed_s": self.total_elapsed_s(),
+        }

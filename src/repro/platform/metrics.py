@@ -1,0 +1,137 @@
+"""Target metrics the specialization process can optimize.
+
+A metric extracts a single objective value from an evaluation outcome and
+knows its direction (maximize or minimize).  The platform and the search
+algorithms only ever deal with the *objective* value, so any quantifiable
+measure works — throughput, latency, memory footprint, or the paper's
+throughput-minus-memory composite score of §4.4 (eq. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.vm.simulator import EvaluationOutcome
+
+
+class Metric:
+    """Base class for optimization targets."""
+
+    #: registry/reporting name.
+    name = "metric"
+    #: measurement unit for reports.
+    unit = ""
+    #: "maximize" or "minimize".
+    direction = "maximize"
+
+    def extract(self, outcome: EvaluationOutcome) -> Optional[float]:
+        """Return the objective value of *outcome*, or None if it crashed."""
+        raise NotImplementedError
+
+    @property
+    def maximize(self) -> bool:
+        return self.direction == "maximize"
+
+    def is_improvement(self, candidate: float, incumbent: Optional[float]) -> bool:
+        """True when *candidate* is strictly better than *incumbent*."""
+        if incumbent is None:
+            return True
+        if self.maximize:
+            return candidate > incumbent
+        return candidate < incumbent
+
+    def worst_value(self) -> float:
+        """A sentinel objective value strictly worse than any real measurement."""
+        return float("-inf") if self.maximize else float("inf")
+
+    def __repr__(self) -> str:
+        return "{}(direction={})".format(type(self).__name__, self.direction)
+
+
+class ThroughputMetric(Metric):
+    """Maximize the application's measured throughput (req/s, Mop/s, ...)."""
+
+    name = "throughput"
+    direction = "maximize"
+
+    def __init__(self, unit: str = "req/s") -> None:
+        self.unit = unit
+
+    def extract(self, outcome: EvaluationOutcome) -> Optional[float]:
+        return None if outcome.crashed else outcome.metric_value
+
+
+class LatencyMetric(Metric):
+    """Minimize the application's measured per-operation latency."""
+
+    name = "latency"
+    direction = "minimize"
+
+    def __init__(self, unit: str = "us/op") -> None:
+        self.unit = unit
+
+    def extract(self, outcome: EvaluationOutcome) -> Optional[float]:
+        return None if outcome.crashed else outcome.metric_value
+
+
+class MemoryFootprintMetric(Metric):
+    """Minimize the resident memory of the booted image (Figure 10)."""
+
+    name = "memory"
+    unit = "MB"
+    direction = "minimize"
+
+    def extract(self, outcome: EvaluationOutcome) -> Optional[float]:
+        if outcome.crashed or outcome.memory_mb is None:
+            return None
+        return outcome.memory_mb
+
+
+class CompositeScoreMetric(Metric):
+    """The throughput-memory score of §4.4: s = mXNorm(t) - mXNorm(m).
+
+    Min-max normalization needs a reference range for throughput and memory.
+    The ranges grow as the search observes new extremes, exactly like an
+    online min-max normalizer; scores are always recomputable from the raw
+    outcome series afterwards.
+    """
+
+    name = "score"
+    unit = ""
+    direction = "maximize"
+
+    def __init__(self, throughput_range=(None, None), memory_range=(None, None)) -> None:
+        self._t_min, self._t_max = throughput_range
+        self._m_min, self._m_max = memory_range
+
+    def _update_range(self, throughput: float, memory: float) -> None:
+        self._t_min = throughput if self._t_min is None else min(self._t_min, throughput)
+        self._t_max = throughput if self._t_max is None else max(self._t_max, throughput)
+        self._m_min = memory if self._m_min is None else min(self._m_min, memory)
+        self._m_max = memory if self._m_max is None else max(self._m_max, memory)
+
+    @staticmethod
+    def _normalize(value: float, low: Optional[float], high: Optional[float]) -> float:
+        if low is None or high is None or high <= low:
+            return 0.5
+        return (value - low) / (high - low)
+
+    def score(self, throughput: float, memory: float) -> float:
+        """Compute the composite score for an explicit (throughput, memory) pair."""
+        self._update_range(throughput, memory)
+        return (self._normalize(throughput, self._t_min, self._t_max)
+                - self._normalize(memory, self._m_min, self._m_max))
+
+    def extract(self, outcome: EvaluationOutcome) -> Optional[float]:
+        if outcome.crashed or outcome.metric_value is None or outcome.memory_mb is None:
+            return None
+        return self.score(outcome.metric_value, outcome.memory_mb)
+
+
+def metric_for_application(application_name: str) -> Metric:
+    """Return the metric the paper optimizes for *application_name*."""
+    if application_name == "sqlite":
+        return LatencyMetric(unit="us/op")
+    if application_name == "npb":
+        return ThroughputMetric(unit="Mop/s")
+    return ThroughputMetric(unit="req/s")

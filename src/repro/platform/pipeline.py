@@ -1,0 +1,133 @@
+"""The build/boot/benchmark pipeline with its virtual wall clock.
+
+For every configuration selected by the search algorithm the platform creates
+a build task and a test task (§3.1).  The pipeline below runs both against
+the simulated system under test, applies the skip-build optimization (if the
+new configuration differs from the previously evaluated one only in runtime
+parameters, the running image is reused), rejects configurations that violate
+declared constraints without spending build time on them, and advances a
+virtual clock so multi-hour search sessions complete in milliseconds of real
+time while preserving the paper's time axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.space import Configuration
+from repro.platform.history import TrialRecord
+from repro.platform.metrics import Metric
+from repro.vm.failures import FailureStage
+from repro.vm.simulator import EvaluationOutcome, SystemSimulator
+
+
+class VirtualClock:
+    """A monotonically advancing simulated wall clock (seconds)."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by *seconds* and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now_s += seconds
+        return self._now_s
+
+
+class BenchmarkingPipeline:
+    """Evaluates configurations through the simulated system under test."""
+
+    #: simulated seconds spent rejecting a constraint-violating configuration
+    #: (the configuration tool refuses it almost immediately).
+    CONSTRAINT_REJECT_S = 5.0
+
+    def __init__(self, simulator: SystemSimulator, metric: Metric,
+                 clock: Optional[VirtualClock] = None,
+                 enable_skip_build: bool = True) -> None:
+        self.simulator = simulator
+        self.metric = metric
+        self.clock = clock or VirtualClock()
+        self.enable_skip_build = enable_skip_build
+        self._last_running_configuration: Optional[Configuration] = None
+        self._trial_count = 0
+        self._builds_skipped = 0
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def space(self):
+        return self.simulator.os_model.space
+
+    @property
+    def trials_run(self) -> int:
+        return self._trial_count
+
+    @property
+    def builds_skipped(self) -> int:
+        return self._builds_skipped
+
+    # -- evaluation ------------------------------------------------------------------
+    def _can_reuse_image(self, configuration: Configuration) -> bool:
+        if not self.enable_skip_build or self._last_running_configuration is None:
+            return False
+        return configuration.only_runtime_differs(self._last_running_configuration)
+
+    def evaluate(self, configuration: Configuration) -> TrialRecord:
+        """Run the build+test tasks for *configuration* and record the trial."""
+        started_at = self.clock.now_s
+        index = self._trial_count
+        self._trial_count += 1
+
+        violations = self.space.violations(configuration)
+        if violations:
+            duration = self.CONSTRAINT_REJECT_S
+            self.clock.advance(duration)
+            return TrialRecord(
+                index=index,
+                configuration=configuration,
+                objective=None,
+                crashed=True,
+                failure_stage=FailureStage.BUILD,
+                failure_reason="constraint violation: " + violations[0].message,
+                metric_value=None,
+                memory_mb=None,
+                duration_s=duration,
+                started_at_s=started_at,
+            )
+
+        reuse = self._can_reuse_image(configuration)
+        outcome = self.simulator.evaluate(configuration, reuse_image=reuse)
+        if reuse:
+            self._builds_skipped += 1
+        self.clock.advance(outcome.total_duration_s)
+
+        if not outcome.crashed:
+            # The image that is now up and running becomes the reuse baseline.
+            self._last_running_configuration = configuration
+        elif not reuse:
+            # A fresh build/boot that failed leaves no image to reuse.
+            self._last_running_configuration = None
+
+        return self._record_from_outcome(index, configuration, outcome, started_at, reuse)
+
+    def _record_from_outcome(self, index: int, configuration: Configuration,
+                             outcome: EvaluationOutcome, started_at: float,
+                             build_skipped: bool) -> TrialRecord:
+        objective = self.metric.extract(outcome)
+        return TrialRecord(
+            index=index,
+            configuration=configuration,
+            objective=objective,
+            crashed=outcome.crashed,
+            failure_stage=outcome.failure_stage,
+            failure_reason=outcome.failure_reason,
+            metric_value=outcome.metric_value,
+            memory_mb=outcome.memory_mb,
+            duration_s=outcome.total_duration_s,
+            started_at_s=started_at,
+            build_skipped=build_skipped,
+        )

@@ -1,0 +1,170 @@
+"""Persistence of exploration results.
+
+The original platform stores every explored configuration and its measurements
+in off-the-shelf databases so runs can be resumed, audited, and re-plotted
+long after the fact.  This module provides the equivalent for the
+reproduction: a JSON results store that round-trips an entire exploration
+history — configurations, objectives, crash outcomes, timings — plus helpers
+to resume a search session from a stored history (useful when a long sweep is
+interrupted) and to export flat CSV rows for external analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.config.space import Configuration, ConfigSpace
+from repro.platform.history import ExplorationHistory, TrialRecord
+from repro.platform.metrics import (
+    CompositeScoreMetric,
+    LatencyMetric,
+    MemoryFootprintMetric,
+    Metric,
+    ThroughputMetric,
+)
+from repro.vm.failures import FailureStage
+
+_METRIC_CLASSES = {
+    "throughput": ThroughputMetric,
+    "latency": LatencyMetric,
+    "memory": MemoryFootprintMetric,
+    "score": CompositeScoreMetric,
+}
+
+
+def record_to_dict(record: TrialRecord) -> Dict[str, object]:
+    """Serialize one trial record (configuration values included)."""
+    return {
+        "index": record.index,
+        "configuration": record.configuration.as_dict(),
+        "objective": record.objective,
+        "crashed": record.crashed,
+        "failure_stage": record.failure_stage.value,
+        "failure_reason": record.failure_reason,
+        "metric_value": record.metric_value,
+        "memory_mb": record.memory_mb,
+        "duration_s": record.duration_s,
+        "started_at_s": record.started_at_s,
+        "build_skipped": record.build_skipped,
+    }
+
+
+def record_from_dict(data: Dict[str, object], space: ConfigSpace) -> TrialRecord:
+    """Rebuild a trial record against *space* (values are clipped on load)."""
+    configuration = space.coerce(data["configuration"])
+    return TrialRecord(
+        index=int(data["index"]),
+        configuration=configuration,
+        objective=data.get("objective"),
+        crashed=bool(data.get("crashed", False)),
+        failure_stage=FailureStage(data.get("failure_stage", "none")),
+        failure_reason=str(data.get("failure_reason", "")),
+        metric_value=data.get("metric_value"),
+        memory_mb=data.get("memory_mb"),
+        duration_s=float(data.get("duration_s", 0.0)),
+        started_at_s=float(data.get("started_at_s", 0.0)),
+        build_skipped=bool(data.get("build_skipped", False)),
+    )
+
+
+class ResultsStore:
+    """Save and load exploration histories as JSON documents."""
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, name + ".json")
+
+    # -- writing ---------------------------------------------------------------
+    def save_history(self, name: str, history: ExplorationHistory,
+                     metadata: Optional[Dict[str, object]] = None) -> str:
+        """Persist *history* under *name*; returns the file path."""
+        document = {
+            "format_version": self.FORMAT_VERSION,
+            "metric": history.metric.name,
+            "metadata": dict(metadata or {}),
+            "summary": history.summary(),
+            "records": [record_to_dict(record) for record in history],
+        }
+        path = self._path(name)
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        return path
+
+    # -- reading -----------------------------------------------------------------
+    def list_histories(self) -> List[str]:
+        """Names of every stored history, sorted."""
+        names = []
+        for entry in os.listdir(self.directory):
+            if entry.endswith(".json"):
+                names.append(entry[:-5])
+        return sorted(names)
+
+    def load_history(self, name: str, space: ConfigSpace,
+                     metric: Optional[Metric] = None) -> ExplorationHistory:
+        """Load the history stored under *name*, bound to *space*."""
+        path = self._path(name)
+        with open(path) as handle:
+            document = json.load(handle)
+        if document.get("format_version") != self.FORMAT_VERSION:
+            raise ValueError("unsupported results format version: {!r}".format(
+                document.get("format_version")))
+        if metric is None:
+            metric_cls = _METRIC_CLASSES.get(document.get("metric", "throughput"),
+                                             ThroughputMetric)
+            metric = metric_cls()
+        history = ExplorationHistory(metric)
+        for entry in document.get("records", []):
+            history.add(record_from_dict(entry, space))
+        return history
+
+    def load_metadata(self, name: str) -> Dict[str, object]:
+        """Load only the metadata and summary blocks of a stored history."""
+        with open(self._path(name)) as handle:
+            document = json.load(handle)
+        return {"metadata": document.get("metadata", {}),
+                "summary": document.get("summary", {})}
+
+    # -- exports ---------------------------------------------------------------------
+    def export_csv(self, name: str, path: str,
+                   parameters: Optional[Iterable[str]] = None) -> str:
+        """Export a stored history as flat CSV rows (one per trial).
+
+        *parameters* optionally restricts the configuration columns; by
+        default only the measurement columns are exported, which keeps the
+        file small for spaces with hundreds of parameters.
+        """
+        with open(self._path(name)) as handle:
+            document = json.load(handle)
+        parameter_names = list(parameters or [])
+        fieldnames = ["index", "objective", "crashed", "failure_stage",
+                      "metric_value", "memory_mb", "duration_s", "started_at_s",
+                      "build_skipped"] + parameter_names
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            for record in document.get("records", []):
+                row = {key: record.get(key) for key in fieldnames
+                       if key not in parameter_names}
+                for parameter in parameter_names:
+                    row[parameter] = record.get("configuration", {}).get(parameter)
+                writer.writerow(row)
+        return path
+
+
+def resume_session(history: ExplorationHistory, algorithm) -> None:
+    """Replay a stored history into a search algorithm's observation stream.
+
+    After replaying, the algorithm proposes configurations as if it had run
+    the stored trials itself, which is how an interrupted sweep is resumed.
+    """
+    for record in history:
+        algorithm.observe(record)

@@ -1,0 +1,124 @@
+"""The search session: the core exploration loop of the platform.
+
+A session iterates "select configuration → evaluate → record" until the
+iteration or (virtual) time budget is exhausted, then reports the best
+configuration found, how long it took to find it, and the full exploration
+history used by the evaluation figures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.config.space import Configuration
+from repro.platform.history import ExplorationHistory, TrialRecord
+from repro.platform.metrics import Metric
+from repro.platform.pipeline import BenchmarkingPipeline
+from repro.search.base import SearchAlgorithm
+
+
+class SessionResult:
+    """Outcome of one complete search session."""
+
+    def __init__(self, history: ExplorationHistory, algorithm_name: str,
+                 search_overhead_s: float, builds_skipped: int) -> None:
+        self.history = history
+        self.algorithm_name = algorithm_name
+        self.search_overhead_s = search_overhead_s
+        self.builds_skipped = builds_skipped
+
+    @property
+    def best_record(self) -> Optional[TrialRecord]:
+        return self.history.best_record()
+
+    @property
+    def best_configuration(self) -> Optional[Configuration]:
+        best = self.best_record
+        return None if best is None else best.configuration
+
+    @property
+    def best_objective(self) -> Optional[float]:
+        return self.history.best_objective()
+
+    @property
+    def crash_rate(self) -> float:
+        return self.history.crash_rate()
+
+    @property
+    def time_to_best_s(self) -> Optional[float]:
+        return self.history.time_to_best_s()
+
+    @property
+    def iterations(self) -> int:
+        return len(self.history)
+
+    def summary(self) -> dict:
+        data = self.history.summary()
+        data.update({
+            "algorithm": self.algorithm_name,
+            "search_overhead_s": self.search_overhead_s,
+            "builds_skipped": self.builds_skipped,
+        })
+        return data
+
+    def __repr__(self) -> str:
+        return "SessionResult(algorithm={}, iterations={}, best={!r})".format(
+            self.algorithm_name, self.iterations, self.best_objective
+        )
+
+
+class SearchSession:
+    """Runs one specialization search with a given algorithm and budget."""
+
+    def __init__(self, pipeline: BenchmarkingPipeline, algorithm: SearchAlgorithm,
+                 metric: Optional[Metric] = None,
+                 evaluate_default_first: bool = False) -> None:
+        self.pipeline = pipeline
+        self.algorithm = algorithm
+        self.metric = metric or pipeline.metric
+        self.history = ExplorationHistory(self.metric)
+        #: when set, the very first trial benchmarks the default configuration
+        #: so the incumbent baseline is always part of the explored set (and
+        #: of the model's training data).
+        self.evaluate_default_first = evaluate_default_first
+
+    def run(self, iterations: Optional[int] = None,
+            time_budget_s: Optional[float] = None) -> SessionResult:
+        """Run the exploration loop until the iteration or time budget is spent.
+
+        *time_budget_s* is measured on the platform's virtual clock, i.e. in
+        simulated benchmarking time, matching how the paper expresses budgets
+        (e.g. "a time budget of 3 hours").
+        """
+        if iterations is None and time_budget_s is None:
+            raise ValueError("a session needs an iteration or time budget")
+        search_overhead = 0.0
+        completed = 0
+        if self.evaluate_default_first and not self.history:
+            record = self.pipeline.evaluate(self.pipeline.space.default_configuration())
+            self.history.add(record)
+            self.algorithm.observe(record)
+            completed += 1
+        while True:
+            if iterations is not None and completed >= iterations:
+                break
+            if time_budget_s is not None and self.pipeline.clock.now_s >= time_budget_s:
+                break
+            proposal_started = time.perf_counter()
+            configuration = self.algorithm.propose(self.history)
+            search_overhead += time.perf_counter() - proposal_started
+
+            record = self.pipeline.evaluate(configuration)
+            self.history.add(record)
+
+            observe_started = time.perf_counter()
+            self.algorithm.observe(record)
+            search_overhead += time.perf_counter() - observe_started
+            completed += 1
+        return SessionResult(
+            history=self.history,
+            algorithm_name=self.algorithm.name,
+            search_overhead_s=search_overhead,
+            builds_skipped=self.pipeline.builds_skipped,
+        )

@@ -1,0 +1,26 @@
+"""Pluggable search algorithms driving the specialization process.
+
+The platform exposes a small interface (propose a configuration, observe the
+result) and ships the algorithms evaluated in the paper: random search, grid
+search, Bayesian optimization, a Unicorn-style causal-inference baseline, and
+DeepTune (implemented in :mod:`repro.deeptune` and registered here).
+"""
+
+from repro.search.base import ConfigurationSampler, SearchAlgorithm
+from repro.search.bayesian import BayesianOptimizationSearch, GaussianProcess
+from repro.search.grid_search import GridSearch
+from repro.search.random_search import RandomSearch
+from repro.search.registry import available_algorithms, create_algorithm
+from repro.search.unicorn import UnicornSearch
+
+__all__ = [
+    "SearchAlgorithm",
+    "ConfigurationSampler",
+    "RandomSearch",
+    "GridSearch",
+    "BayesianOptimizationSearch",
+    "GaussianProcess",
+    "UnicornSearch",
+    "create_algorithm",
+    "available_algorithms",
+]

@@ -1,0 +1,117 @@
+"""Search-algorithm interface and shared sampling utilities."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.config.parameter import ParameterKind
+from repro.config.space import Configuration, ConfigSpace
+from repro.platform.history import ExplorationHistory, TrialRecord
+
+
+class ConfigurationSampler:
+    """Draws random candidate configurations, optionally favouring some kinds.
+
+    The paper's experiments configure Wayfinder to *favor* certain parameter
+    kinds: runtime parameters for the performance experiments (§4.1),
+    compile-time parameters for the memory-footprint experiment (§4.4).
+    Favoured runtime and boot-time kinds are fully randomized; favoured
+    compile-time parameters are instead perturbed around the default
+    configuration (a random defconfig-distance mutation per option), because
+    that is how compile-time exploration proceeds in practice — a kernel built
+    from a uniformly random .config essentially never boots.  Parameters of
+    non-favoured kinds stay at their defaults except for an occasional
+    mutation, so the search concentrates where it is told to without being
+    strictly confined.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        seed: int = 0,
+        favored_kinds: Optional[Sequence[ParameterKind]] = None,
+        off_kind_mutation_rate: float = 0.005,
+        compile_mutation_rate: float = 0.12,
+        repair_constraints: bool = True,
+    ) -> None:
+        self.space = space
+        self.rng = random.Random(seed)
+        self.favored_kinds = list(favored_kinds) if favored_kinds else None
+        self.off_kind_mutation_rate = off_kind_mutation_rate
+        self.compile_mutation_rate = compile_mutation_rate
+        self.repair_constraints = repair_constraints
+
+    def sample(self) -> Configuration:
+        """Draw one random configuration respecting the favoured kinds."""
+        if self.favored_kinds is None:
+            configuration = self.space.sample_configuration(self.rng)
+        else:
+            values = {}
+            frozen = self.space.frozen_parameters
+            for parameter in self.space.parameters():
+                if parameter.name in frozen:
+                    values[parameter.name] = frozen[parameter.name]
+                elif parameter.kind in self.favored_kinds:
+                    if (parameter.kind is ParameterKind.COMPILE_TIME
+                            and self.rng.random() >= self.compile_mutation_rate):
+                        values[parameter.name] = parameter.default
+                    else:
+                        values[parameter.name] = parameter.sample(self.rng)
+                elif self.rng.random() < self.off_kind_mutation_rate:
+                    values[parameter.name] = parameter.sample(self.rng)
+                else:
+                    values[parameter.name] = parameter.default
+            configuration = Configuration(self.space, values)
+        if self.repair_constraints:
+            configuration = self.space.repair(configuration, self.rng)
+        return configuration
+
+    def sample_unique(self, history: ExplorationHistory, attempts: int = 32) -> Configuration:
+        """Draw a configuration not yet present in *history* (best effort)."""
+        for _ in range(attempts):
+            candidate = self.sample()
+            if not history.contains_configuration(candidate):
+                return candidate
+        return self.sample()
+
+    def sample_pool(self, size: int) -> List[Configuration]:
+        """Draw a pool of candidates (duplicates possible on tiny spaces)."""
+        return [self.sample() for _ in range(size)]
+
+    def mutate(self, configuration: Configuration, mutation_rate: float = 0.1) -> Configuration:
+        """Mutate an existing configuration within the favoured kinds."""
+        mutated = self.space.mutate_configuration(
+            configuration, self.rng, mutation_rate=mutation_rate,
+            kinds=self.favored_kinds,
+        )
+        if self.repair_constraints:
+            mutated = self.space.repair(mutated, self.rng)
+        return mutated
+
+
+class SearchAlgorithm:
+    """Interface between the platform and a configuration-search strategy."""
+
+    #: registry/reporting name.
+    name = "search"
+
+    def __init__(self, space: ConfigSpace, seed: int = 0,
+                 favored_kinds: Optional[Sequence[ParameterKind]] = None) -> None:
+        self.space = space
+        self.seed = seed
+        self.sampler = ConfigurationSampler(space, seed=seed, favored_kinds=favored_kinds)
+
+    def propose(self, history: ExplorationHistory) -> Configuration:
+        """Return the next configuration the platform should evaluate."""
+        raise NotImplementedError
+
+    def observe(self, record: TrialRecord) -> None:
+        """Learn from the result of the most recent evaluation.
+
+        The default implementation does nothing: stateless algorithms such as
+        random search read everything they need from the history.
+        """
+
+    def __repr__(self) -> str:
+        return "{}(space={!r})".format(type(self).__name__, self.space.name)

@@ -1,0 +1,23 @@
+"""Random search: the baseline of the paper's evaluation.
+
+Each iteration proposes a fresh uniformly random configuration, ignoring the
+exploration history entirely (apart from avoiding exact duplicates).  Random
+search is known to perform reasonably on very large spaces, but it keeps
+paying the ~1/3 crash rate of the raw configuration space because it never
+learns which regions fail.
+"""
+
+from __future__ import annotations
+
+from repro.config.space import Configuration
+from repro.platform.history import ExplorationHistory
+from repro.search.base import SearchAlgorithm
+
+
+class RandomSearch(SearchAlgorithm):
+    """Uniform random sampling of the configuration space."""
+
+    name = "random"
+
+    def propose(self, history: ExplorationHistory) -> Configuration:
+        return self.sampler.sample_unique(history)

@@ -1,0 +1,56 @@
+"""Registry of search algorithms, addressable by name from job files."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config.parameter import ParameterKind
+from repro.config.space import ConfigSpace
+from repro.search.base import SearchAlgorithm
+from repro.search.bayesian import BayesianOptimizationSearch
+from repro.search.grid_search import GridSearch
+from repro.search.random_search import RandomSearch
+from repro.search.unicorn import UnicornSearch
+
+
+def _create_deeptune(space: ConfigSpace, seed: int,
+                     favored_kinds: Optional[Sequence[ParameterKind]],
+                     **kwargs) -> SearchAlgorithm:
+    # Imported lazily: DeepTune pulls in the neural-network stack, which the
+    # simpler algorithms do not need.
+    from repro.deeptune import DeepTuneSearch
+
+    return DeepTuneSearch(space, seed=seed, favored_kinds=favored_kinds, **kwargs)
+
+
+_FACTORIES: Dict[str, Callable[..., SearchAlgorithm]] = {
+    "random": lambda space, seed, favored_kinds, **kw: RandomSearch(
+        space, seed=seed, favored_kinds=favored_kinds),
+    "grid": lambda space, seed, favored_kinds, **kw: GridSearch(
+        space, seed=seed, favored_kinds=favored_kinds, **kw),
+    "bayesian": lambda space, seed, favored_kinds, **kw: BayesianOptimizationSearch(
+        space, seed=seed, favored_kinds=favored_kinds, **kw),
+    "unicorn": lambda space, seed, favored_kinds, **kw: UnicornSearch(
+        space, seed=seed, favored_kinds=favored_kinds, **kw),
+    "deeptune": _create_deeptune,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names of the search algorithms that can be requested in a job file."""
+    return sorted(_FACTORIES.keys())
+
+
+def create_algorithm(name: str, space: ConfigSpace, seed: int = 0,
+                     favored_kinds: Optional[Sequence[ParameterKind]] = None,
+                     **kwargs) -> SearchAlgorithm:
+    """Instantiate the search algorithm registered under *name*."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown search algorithm {!r}; available: {}".format(
+                name, ", ".join(available_algorithms())
+            )
+        ) from None
+    return factory(space, seed=seed, favored_kinds=favored_kinds, **kwargs)

@@ -1,0 +1,27 @@
+"""Runtime and boot-time parameter inventory of the simulated Linux kernel.
+
+``procfs`` models the writable files under ``/proc/sys`` and ``/sys`` exposed
+by a booted kernel; ``bootparams`` models the kernel command-line parameters;
+``probe`` implements the space-inference heuristic of §3.4 that discovers
+parameter types and value ranges automatically by probing a booted VM.
+"""
+
+from repro.sysctl.bootparams import BOOT_PARAMETERS, boot_parameters
+from repro.sysctl.procfs import (
+    SYSCTL_CATALOG,
+    ProcFS,
+    SysctlEntry,
+    runtime_parameters,
+)
+from repro.sysctl.probe import ProbedParameter, SpaceProber
+
+__all__ = [
+    "SysctlEntry",
+    "SYSCTL_CATALOG",
+    "ProcFS",
+    "runtime_parameters",
+    "BOOT_PARAMETERS",
+    "boot_parameters",
+    "SpaceProber",
+    "ProbedParameter",
+]

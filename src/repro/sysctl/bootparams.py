@@ -1,0 +1,95 @@
+"""Kernel command-line (boot-time) parameters of the simulated kernel.
+
+These correspond to the 231 boot-time options counted in Table 1 of the
+paper.  We model the well-known performance- and security-relevant ones by
+name, plus a generated tail of neutral options so the boot-time space has a
+realistic size relative to the runtime space in the experiment spaces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    IntParameter,
+    Parameter,
+    ParameterKind,
+)
+
+
+def _named_boot_parameters() -> List[Parameter]:
+    kind = ParameterKind.BOOT_TIME
+    return [
+        CategoricalParameter("boot.mitigations", kind,
+                             choices=("auto", "auto,nosmt", "off"), default="auto",
+                             description="CPU vulnerability mitigations"),
+        CategoricalParameter("boot.pti", kind, choices=("auto", "on", "off"),
+                             default="auto", description="page table isolation"),
+        CategoricalParameter("boot.spectre_v2", kind,
+                             choices=("auto", "on", "off", "retpoline"), default="auto"),
+        CategoricalParameter("boot.preempt", kind,
+                             choices=("none", "voluntary", "full"), default="voluntary"),
+        CategoricalParameter("boot.transparent_hugepage", kind,
+                             choices=("always", "madvise", "never"), default="madvise"),
+        CategoricalParameter("boot.elevator", kind,
+                             choices=("none", "mq-deadline", "kyber", "bfq"),
+                             default="mq-deadline"),
+        CategoricalParameter("boot.nohz", kind, choices=("on", "off"), default="on"),
+        CategoricalParameter("boot.idle", kind, choices=("default", "poll", "halt"),
+                             default="default"),
+        CategoricalParameter("boot.isolcpus", kind,
+                             choices=("", "0-1", "0-3"), default="0-1",
+                             description="CPUs isolated from the scheduler"),
+        BoolParameter("boot.nosmt", kind, default=True,
+                      description="disable simultaneous multithreading"),
+        BoolParameter("boot.quiet", kind, default=True),
+        BoolParameter("boot.audit", kind, default=False),
+        BoolParameter("boot.selinux", kind, default=False),
+        BoolParameter("boot.init_on_alloc", kind, default=True),
+        BoolParameter("boot.init_on_free", kind, default=False),
+        BoolParameter("boot.threadirqs", kind, default=False),
+        BoolParameter("boot.skew_tick", kind, default=False),
+        BoolParameter("boot.nowatchdog", kind, default=False),
+        BoolParameter("boot.tsc_reliable", kind, default=False),
+        IntParameter("boot.loglevel", kind, default=4, minimum=0, maximum=8,
+                     description="console log level at boot"),
+        IntParameter("boot.maxcpus", kind, default=16, minimum=1, maximum=48),
+        IntParameter("boot.hugepages", kind, default=0, minimum=0, maximum=8192,
+                     log_scale=True),
+        IntParameter("boot.log_buf_len_kb", kind, default=512, minimum=64,
+                     maximum=16384, log_scale=True),
+        IntParameter("boot.swiotlb_slots", kind, default=32768, minimum=1024,
+                     maximum=1048576, log_scale=True),
+    ]
+
+
+def _generic_boot_parameters(count: int, seed: int = 13) -> List[Parameter]:
+    rng = random.Random(seed)
+    kind = ParameterKind.BOOT_TIME
+    parameters: List[Parameter] = []
+    for index in range(count):
+        if rng.random() < 0.6:
+            parameters.append(
+                BoolParameter("boot.extra_flag_{:03d}".format(index), kind,
+                              default=bool(rng.getrandbits(1)))
+            )
+        else:
+            magnitude = rng.choice([8, 64, 512, 4096, 65536])
+            parameters.append(
+                IntParameter("boot.extra_knob_{:03d}".format(index), kind,
+                             default=magnitude, minimum=0, maximum=magnitude * 32,
+                             log_scale=True)
+            )
+    return parameters
+
+
+#: The named boot parameters (always present in experiment spaces).
+BOOT_PARAMETERS: List[Parameter] = _named_boot_parameters()
+
+
+def boot_parameters(extra_generic: int = 12, seed: int = 13) -> List[Parameter]:
+    """Return boot parameters: the named set plus *extra_generic* filler knobs."""
+    return _named_boot_parameters() + _generic_boot_parameters(extra_generic, seed)

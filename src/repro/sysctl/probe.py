@@ -1,0 +1,155 @@
+"""Automatic runtime configuration-space inference (§3.4 of the paper).
+
+The heuristic works against a booted VM's /proc/sys and /sys tree:
+
+1. list all writable pseudo-files — each is a candidate runtime parameter;
+2. read each file and treat the value as the parameter's default;
+3. infer the type from the default: 0/1 defaults are treated as booleans,
+   other numbers as arbitrary integers, and non-numeric values as strings
+   (explored only over the observed value, per the paper);
+4. estimate a valid range by repeatedly scaling the default up and down by a
+   factor of 10 and attempting the write; values that the kernel accepts
+   without crashing are considered in range.
+
+The output is a list of :class:`ProbedParameter` records, convertible into
+search-space :class:`repro.config.Parameter` objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.parameter import (
+    BoolParameter,
+    IntParameter,
+    Parameter,
+    ParameterKind,
+    StringParameter,
+)
+from repro.sysctl.procfs import ProcFS
+
+
+class ProbedParameter:
+    """The result of probing a single writable pseudo-file."""
+
+    def __init__(
+        self,
+        path: str,
+        inferred_type: str,
+        default: object,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+    ) -> None:
+        self.path = path
+        self.inferred_type = inferred_type
+        self.default = default
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def to_parameter(self) -> Parameter:
+        """Convert the probe record into a search-space parameter."""
+        if self.inferred_type == "bool":
+            return BoolParameter(self.path, ParameterKind.RUNTIME, default=bool(self.default))
+        if self.inferred_type == "int":
+            minimum = self.minimum if self.minimum is not None else 0
+            maximum = self.maximum if self.maximum is not None else max(1, int(self.default) * 10)
+            if maximum <= minimum:
+                maximum = minimum + 1
+            default = min(max(int(self.default), minimum), maximum)
+            log_scale = maximum - minimum > 1000 and minimum >= 0
+            return IntParameter(self.path, ParameterKind.RUNTIME, default=default,
+                                minimum=minimum, maximum=maximum, log_scale=log_scale)
+        # Strings are only explored over the value observed on the live system.
+        return StringParameter(self.path, ParameterKind.RUNTIME,
+                               choices=(str(self.default),), default=str(self.default))
+
+    def __repr__(self) -> str:
+        return "ProbedParameter({!r}, type={}, default={!r}, range=[{}, {}])".format(
+            self.path, self.inferred_type, self.default, self.minimum, self.maximum
+        )
+
+
+class SpaceProber:
+    """Infers the runtime configuration space by probing a booted kernel."""
+
+    def __init__(self, scale_factor: int = 10, scale_rounds: int = 4) -> None:
+        if scale_factor < 2:
+            raise ValueError("scale_factor must be at least 2")
+        self.scale_factor = scale_factor
+        self.scale_rounds = scale_rounds
+
+    # -- type inference -------------------------------------------------------
+    @staticmethod
+    def _parse_default(text: str):
+        text = text.strip()
+        try:
+            return int(text)
+        except ValueError:
+            return text
+
+    def _infer_type(self, default) -> str:
+        if isinstance(default, int):
+            return "bool" if default in (0, 1) else "int"
+        return "string"
+
+    # -- range inference --------------------------------------------------------
+    def _probe_range(self, procfs: ProcFS, path: str, default: int) -> (int, int):
+        """Scale the default up/down by the factor and keep accepted values."""
+        accepted_low = default
+        accepted_high = default
+        # Upward probes.
+        value = default if default > 0 else 1
+        for _ in range(self.scale_rounds):
+            value *= self.scale_factor
+            if procfs.crashed:
+                break
+            if procfs.write(path, value):
+                accepted_high = value
+            else:
+                break
+        # Downward probes.
+        value = default
+        for _ in range(self.scale_rounds):
+            value //= self.scale_factor
+            if procfs.crashed:
+                break
+            if procfs.write(path, value):
+                accepted_low = value
+            else:
+                break
+            if value == 0:
+                break
+        # Restore the original default so probing one knob does not leak into
+        # the measurements of the next.
+        if not procfs.crashed:
+            procfs.write(path, default)
+        return accepted_low, accepted_high
+
+    # -- main entry point -----------------------------------------------------------
+    def probe(self, procfs: ProcFS) -> List[ProbedParameter]:
+        """Probe every writable pseudo-file of *procfs*.
+
+        Whenever a probing write destabilises the kernel, the VM is rebooted
+        (values reset to their defaults) and probing continues with the next
+        parameter — the same recovery loop the paper's heuristic relies on.
+        """
+        results: List[ProbedParameter] = []
+        for path in procfs.list_writable():
+            if procfs.crashed:
+                procfs.reboot()
+            default = self._parse_default(procfs.read(path))
+            inferred = self._infer_type(default)
+            if inferred == "int":
+                low, high = self._probe_range(procfs, path, int(default))
+                results.append(ProbedParameter(path, "int", default, low, high))
+            elif inferred == "bool":
+                results.append(ProbedParameter(path, "bool", bool(default), 0, 1))
+            else:
+                results.append(ProbedParameter(path, "string", default))
+        if procfs.crashed:
+            procfs.reboot()
+        return results
+
+    def probe_parameters(self, procfs: ProcFS) -> List[Parameter]:
+        """Probe and convert directly to search-space parameters."""
+        return [record.to_parameter() for record in self.probe(procfs)]

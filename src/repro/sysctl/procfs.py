@@ -1,0 +1,328 @@
+"""Simulated /proc/sys and /sys runtime parameter tree.
+
+The catalog below lists the runtime sysctls exposed by the simulated kernel.
+Each entry carries a default value, a valid range and a set of *roles* that
+the application performance models in :mod:`repro.apps` consume: a role names
+the behavioural axis the knob influences (socket accept backlog, receive
+buffer sizing, dirty page writeback, scheduler granularity, logging overhead,
+...).  The catalog deliberately includes the parameters the paper reports as
+high-impact for Nginx — ``net.core.somaxconn``, ``net.core.rmem_default``,
+``net.ipv4.tcp_keepalive_time``, ``vm.stat_interval`` — as well as the
+negative-impact ones (``kernel.printk``, ``kernel.printk_delay``,
+``vm.block_dump``), plus a long tail of mostly-neutral knobs so the search
+still has to find the needles in the haystack.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    IntParameter,
+    Parameter,
+    ParameterKind,
+)
+
+
+class SysctlEntry:
+    """One writable file under /proc/sys or /sys."""
+
+    def __init__(
+        self,
+        path: str,
+        default: Any,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+        choices: Optional[Sequence[str]] = None,
+        log_scale: bool = False,
+        roles: Sequence[str] = (),
+        fragile: bool = False,
+        writable: bool = True,
+        description: str = "",
+    ) -> None:
+        self.path = path
+        self.default = default
+        self.minimum = minimum
+        self.maximum = maximum
+        self.choices = tuple(choices) if choices else None
+        self.log_scale = log_scale
+        self.roles = tuple(roles)
+        self.fragile = fragile
+        self.writable = writable
+        self.description = description
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.choices is None and self.minimum == 0 and self.maximum == 1
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.choices is not None
+
+    def to_parameter(self) -> Parameter:
+        """Convert this catalog entry to a search-space parameter."""
+        if self.is_categorical:
+            return CategoricalParameter(
+                self.path,
+                ParameterKind.RUNTIME,
+                choices=self.choices,
+                default=self.default,
+                description=self.description,
+            )
+        if self.is_boolean:
+            return BoolParameter(
+                self.path,
+                ParameterKind.RUNTIME,
+                default=bool(self.default),
+                description=self.description,
+            )
+        return IntParameter(
+            self.path,
+            ParameterKind.RUNTIME,
+            default=int(self.default),
+            minimum=int(self.minimum if self.minimum is not None else 0),
+            maximum=int(self.maximum if self.maximum is not None else max(1, int(self.default) * 100)),
+            log_scale=self.log_scale,
+            description=self.description,
+        )
+
+    def __repr__(self) -> str:
+        return "SysctlEntry({!r}, default={!r})".format(self.path, self.default)
+
+
+def _entry(path, default, minimum=None, maximum=None, **kwargs) -> SysctlEntry:
+    return SysctlEntry(path, default, minimum, maximum, **kwargs)
+
+
+#: The named, behaviour-bearing part of the runtime catalog.
+SYSCTL_CATALOG: Tuple[SysctlEntry, ...] = (
+    # -- networking: core -----------------------------------------------------
+    _entry("net.core.somaxconn", 128, 16, 65535, log_scale=True,
+           roles=("accept_backlog",), description="max queued connections per listen socket"),
+    _entry("net.core.netdev_max_backlog", 1000, 16, 500000, log_scale=True,
+           roles=("rx_backlog",)),
+    _entry("net.core.rmem_default", 212992, 4096, 67108864, log_scale=True,
+           roles=("rcv_buffer",), description="default socket receive buffer size"),
+    _entry("net.core.wmem_default", 212992, 4096, 67108864, log_scale=True,
+           roles=("snd_buffer",)),
+    _entry("net.core.rmem_max", 212992, 4096, 134217728, log_scale=True,
+           roles=("rcv_buffer_max",)),
+    _entry("net.core.wmem_max", 212992, 4096, 134217728, log_scale=True,
+           roles=("snd_buffer_max",)),
+    _entry("net.core.busy_poll", 0, 0, 200, roles=("busy_poll",)),
+    _entry("net.core.busy_read", 0, 0, 200, roles=("busy_poll",)),
+    _entry("net.core.default_qdisc", "pfifo_fast",
+           choices=("pfifo_fast", "fq", "fq_codel", "cake"), roles=("qdisc",)),
+    # -- networking: TCP/IP ---------------------------------------------------
+    _entry("net.ipv4.tcp_max_syn_backlog", 512, 16, 262144, log_scale=True,
+           roles=("syn_backlog",)),
+    _entry("net.ipv4.tcp_keepalive_time", 7200, 60, 32767, log_scale=True,
+           roles=("keepalive",), description="TCP keepalive time in seconds"),
+    _entry("net.ipv4.tcp_keepalive_intvl", 75, 1, 32767, log_scale=True,
+           roles=("keepalive",)),
+    _entry("net.ipv4.tcp_fin_timeout", 60, 1, 600, roles=("fin_timeout",)),
+    _entry("net.ipv4.tcp_tw_reuse", 0, 0, 1, roles=("tw_reuse",)),
+    _entry("net.ipv4.tcp_slow_start_after_idle", 1, 0, 1, roles=("slow_start_idle",)),
+    _entry("net.ipv4.tcp_no_metrics_save", 0, 0, 1, roles=()),
+    _entry("net.ipv4.tcp_sack", 1, 0, 1, roles=("tcp_features",)),
+    _entry("net.ipv4.tcp_window_scaling", 1, 0, 1, roles=("tcp_features",)),
+    _entry("net.ipv4.tcp_timestamps", 1, 0, 1, roles=("tcp_features",)),
+    _entry("net.ipv4.tcp_syncookies", 1, 0, 1, roles=()),
+    _entry("net.ipv4.tcp_congestion_control", "cubic",
+           choices=("cubic", "reno", "bbr", "htcp"), roles=("congestion",)),
+    _entry("net.ipv4.tcp_fastopen", 1, 0, 3, roles=("fastopen",)),
+    _entry("net.ipv4.tcp_autocorking", 1, 0, 1, roles=("autocorking",)),
+    _entry("net.ipv4.tcp_low_latency", 0, 0, 1, roles=("tcp_low_latency",)),
+    _entry("net.ipv4.ip_local_port_range_min", 32768, 1024, 60999,
+           roles=("port_range",)),
+    _entry("net.ipv4.udp_mem_pressure", 170583, 4096, 4194304, log_scale=True, roles=()),
+    # -- virtual memory ---------------------------------------------------------
+    _entry("vm.swappiness", 60, 0, 200, roles=("swappiness",)),
+    _entry("vm.dirty_ratio", 20, 1, 100, roles=("dirty_pages",)),
+    _entry("vm.dirty_background_ratio", 10, 0, 100, roles=("dirty_pages",)),
+    _entry("vm.dirty_expire_centisecs", 3000, 100, 360000, log_scale=True,
+           roles=("writeback",)),
+    _entry("vm.dirty_writeback_centisecs", 500, 0, 360000, log_scale=True,
+           roles=("writeback",)),
+    _entry("vm.stat_interval", 1, 1, 600, roles=("stat_interval",),
+           description="interval at which vm statistics are refreshed"),
+    _entry("vm.overcommit_memory", 0, 0, 2, roles=("overcommit",), fragile=True),
+    _entry("vm.overcommit_ratio", 50, 0, 100, roles=("overcommit",)),
+    _entry("vm.min_free_kbytes", 67584, 1024, 4194304, log_scale=True,
+           roles=("min_free",), fragile=True),
+    _entry("vm.vfs_cache_pressure", 100, 1, 1000, roles=("vfs_cache",)),
+    _entry("vm.zone_reclaim_mode", 0, 0, 7, roles=("zone_reclaim",)),
+    _entry("vm.nr_hugepages", 0, 0, 16384, log_scale=True, roles=("hugepages",),
+           fragile=True),
+    _entry("vm.compaction_proactiveness", 20, 0, 100, roles=()),
+    _entry("vm.page-cluster", 3, 0, 10, roles=("page_cluster",)),
+    _entry("vm.block_dump", 0, 0, 1, roles=("debug_logging",),
+           description="enable block I/O debugging"),
+    _entry("vm.laptop_mode", 0, 0, 60, roles=()),
+    # -- scheduler ---------------------------------------------------------------
+    _entry("kernel.sched_min_granularity_ns", 3000000, 100000, 1000000000,
+           log_scale=True, roles=("sched_granularity",)),
+    _entry("kernel.sched_wakeup_granularity_ns", 4000000, 0, 1000000000,
+           log_scale=True, roles=("sched_granularity",)),
+    _entry("kernel.sched_migration_cost_ns", 500000, 0, 100000000,
+           log_scale=True, roles=("sched_migration",)),
+    _entry("kernel.sched_latency_ns", 24000000, 100000, 1000000000,
+           log_scale=True, roles=("sched_latency",)),
+    _entry("kernel.sched_autogroup_enabled", 1, 0, 1, roles=("autogroup",)),
+    _entry("kernel.sched_rt_runtime_us", 950000, -1, 1000000, roles=()),
+    _entry("kernel.numa_balancing", 1, 0, 1, roles=("numa_balancing",)),
+    _entry("kernel.timer_migration", 1, 0, 1, roles=()),
+    # -- logging / debugging ------------------------------------------------------
+    _entry("kernel.printk", 7, 0, 8, roles=("debug_logging",),
+           description="console log level"),
+    _entry("kernel.printk_delay", 0, 0, 10000, log_scale=True,
+           roles=("debug_logging",), description="delay in ms after each printk"),
+    _entry("kernel.printk_ratelimit", 5, 0, 1000, roles=()),
+    _entry("kernel.hung_task_timeout_secs", 120, 0, 3600, roles=()),
+    _entry("kernel.watchdog", 1, 0, 1, roles=("watchdog",)),
+    _entry("kernel.nmi_watchdog", 1, 0, 1, roles=("watchdog",)),
+    _entry("kernel.soft_watchdog", 1, 0, 1, roles=()),
+    _entry("kernel.panic", 0, 0, 300, roles=()),
+    _entry("kernel.panic_on_oops", 0, 0, 1, roles=(), fragile=True),
+    # -- filesystem / io -----------------------------------------------------------
+    _entry("fs.file-max", 811896, 1024, 10000000, log_scale=True, roles=("file_max",),
+           fragile=True),
+    _entry("fs.nr_open", 1048576, 1024, 10000000, log_scale=True, roles=("file_max",)),
+    _entry("fs.aio-max-nr", 65536, 1024, 4194304, log_scale=True, roles=("aio",)),
+    _entry("fs.inotify.max_user_watches", 8192, 64, 1048576, log_scale=True, roles=()),
+    _entry("fs.pipe-max-size", 1048576, 4096, 33554432, log_scale=True, roles=("pipe",)),
+    # -- security (candidates for freezing, §3.5) ------------------------------------
+    _entry("kernel.randomize_va_space", 2, 0, 2, roles=("aslr",),
+           description="address space layout randomization"),
+    _entry("kernel.kptr_restrict", 0, 0, 2, roles=()),
+    _entry("kernel.dmesg_restrict", 0, 0, 1, roles=()),
+    _entry("kernel.perf_event_paranoid", 2, -1, 4, roles=()),
+    # -- block layer (/sys) -------------------------------------------------------------
+    _entry("sys.block.vda.queue.scheduler", "mq-deadline",
+           choices=("none", "mq-deadline", "kyber", "bfq"), roles=("io_scheduler",)),
+    _entry("sys.block.vda.queue.read_ahead_kb", 128, 0, 16384, log_scale=True,
+           roles=("read_ahead",)),
+    _entry("sys.block.vda.queue.nr_requests", 256, 4, 4096, log_scale=True,
+           roles=("io_queue_depth",)),
+    _entry("sys.block.vda.queue.rq_affinity", 1, 0, 2, roles=("io_affinity",)),
+    _entry("sys.block.vda.queue.nomerges", 0, 0, 2, roles=("io_merges",)),
+    _entry("sys.block.vda.queue.wbt_lat_usec", 75000, 0, 1000000, log_scale=True,
+           roles=("writeback_throttle",)),
+    _entry("sys.kernel.mm.transparent_hugepage.enabled", "madvise",
+           choices=("always", "madvise", "never"), roles=("thp",)),
+    _entry("sys.kernel.mm.transparent_hugepage.defrag", "madvise",
+           choices=("always", "defer", "madvise", "never"), roles=("thp_defrag",)),
+)
+
+
+def _generic_entries(count: int, seed: int = 7) -> List[SysctlEntry]:
+    """Generate a long tail of neutral runtime knobs (no behavioural roles)."""
+    rng = random.Random(seed)
+    groups = ("net.ipv4", "net.core", "vm", "kernel", "fs", "dev.raid", "net.netfilter")
+    entries = []
+    for index in range(count):
+        group = rng.choice(groups)
+        path = "{}.tunable_{:04d}".format(group, index)
+        kind = rng.random()
+        if kind < 0.45:
+            entries.append(_entry(path, rng.choice([0, 1]), 0, 1))
+        else:
+            magnitude = rng.choice([16, 128, 1024, 8192, 65536, 1 << 20])
+            entries.append(
+                _entry(path, magnitude, 0, magnitude * 64, log_scale=True)
+            )
+    return entries
+
+
+def runtime_parameters(extra_generic: int = 80, seed: int = 7) -> List[Parameter]:
+    """Return the runtime parameter list used by the experiment spaces."""
+    entries = list(SYSCTL_CATALOG) + _generic_entries(extra_generic, seed)
+    return [entry.to_parameter() for entry in entries]
+
+
+class ProcFS:
+    """A simulated /proc/sys and /sys file tree exposed by a booted kernel.
+
+    Only the small surface used by the space-probing heuristic and the
+    platform is modelled: listing writable files, reading a value, and
+    writing a value (which may be rejected or may crash the VM for fragile
+    parameters pushed far outside their valid range).
+    """
+
+    def __init__(self, entries: Optional[Iterable[SysctlEntry]] = None,
+                 extra_generic: int = 80, seed: int = 7) -> None:
+        if entries is None:
+            entries = list(SYSCTL_CATALOG) + _generic_entries(extra_generic, seed)
+        self._entries: Dict[str, SysctlEntry] = {entry.path: entry for entry in entries}
+        self._values: Dict[str, Any] = {
+            entry.path: entry.default for entry in self._entries.values()
+        }
+        self._crashed = False
+
+    # -- inspection --------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """True when a previous write destabilised the simulated kernel."""
+        return self._crashed
+
+    def list_writable(self) -> List[str]:
+        """Return the paths of all writable pseudo-files, sorted."""
+        return sorted(path for path, entry in self._entries.items() if entry.writable)
+
+    def entry(self, path: str) -> SysctlEntry:
+        return self._entries[path]
+
+    def read(self, path: str) -> str:
+        """Read a pseudo-file; values are returned as strings, like the real procfs."""
+        if path not in self._values:
+            raise FileNotFoundError(path)
+        return str(self._values[path])
+
+    # -- mutation -----------------------------------------------------------------
+    def write(self, path: str, value: Any) -> bool:
+        """Attempt to write *value*; return True on success.
+
+        Returns False when the kernel rejects the value (EINVAL).  Writing a
+        wildly out-of-range value to a *fragile* parameter marks the VM as
+        crashed, mimicking e.g. setting ``vm.min_free_kbytes`` to most of RAM.
+        """
+        if self._crashed:
+            raise RuntimeError("cannot write to a crashed VM")
+        if path not in self._entries:
+            raise FileNotFoundError(path)
+        entry = self._entries[path]
+        if not entry.writable:
+            return False
+        if entry.is_categorical:
+            if str(value) not in entry.choices:
+                return False
+            self._values[path] = str(value)
+            return True
+        try:
+            numeric = int(value)
+        except (TypeError, ValueError):
+            return False
+        minimum = entry.minimum if entry.minimum is not None else numeric
+        maximum = entry.maximum if entry.maximum is not None else numeric
+        if numeric < minimum or numeric > maximum:
+            if entry.fragile and maximum and numeric > maximum * 8:
+                self._crashed = True
+            return False
+        self._values[path] = numeric
+        return True
+
+    def reboot(self) -> None:
+        """Reset every value to its default and clear the crashed flag.
+
+        The space-probing heuristic (§3.4) reboots the probe VM whenever a
+        write destabilises it and then continues with the next parameter.
+        """
+        self._values = {entry.path: entry.default for entry in self._entries.values()}
+        self._crashed = False
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a copy of the current values (used by tests)."""
+        return dict(self._values)

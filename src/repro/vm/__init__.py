@@ -1,0 +1,36 @@
+"""Simulated system under test: build, boot, and run of OS images.
+
+The paper evaluates configurations by building a kernel image, booting it in
+QEMU/KVM and running a benchmark against the application inside.  This
+subpackage reproduces that loop as a deterministic simulator: given an OS
+model and a configuration, it decides whether the build, boot, or run fails,
+how long each stage takes (in simulated seconds), how much memory the booted
+image consumes, and hands the configuration to the application performance
+model for the actual measurement.
+"""
+
+from repro.vm.boot import BootResult, BootSimulator
+from repro.vm.build import BuildResult, BuildSimulator
+from repro.vm.failures import FailureModel, FailureStage
+from repro.vm.footprint import FootprintModel
+from repro.vm.machine import PAPER_TESTBED, RISCV_EMBEDDED_BOARD, HardwareSpec
+from repro.vm.os_model import OSModel, linux_os_model, unikraft_os_model
+from repro.vm.simulator import EvaluationOutcome, SystemSimulator
+
+__all__ = [
+    "HardwareSpec",
+    "PAPER_TESTBED",
+    "RISCV_EMBEDDED_BOARD",
+    "OSModel",
+    "linux_os_model",
+    "unikraft_os_model",
+    "FailureModel",
+    "FailureStage",
+    "FootprintModel",
+    "BuildSimulator",
+    "BuildResult",
+    "BootSimulator",
+    "BootResult",
+    "SystemSimulator",
+    "EvaluationOutcome",
+]

@@ -1,0 +1,97 @@
+"""Boot simulation: bringing up a built image inside the virtual machine.
+
+Booting applies the boot-time command line, mounts the root filesystem,
+starts the init system and exposes the runtime parameter tree (/proc/sys and
+/sys, modelled by :class:`repro.sysctl.ProcFS`).  The boot simulator reports
+the boot duration, the resident memory footprint of the freshly booted image
+(the Figure 10 metric) and whether the boot failed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.config.parameter import ParameterKind
+from repro.config.space import Configuration
+from repro.sysctl.procfs import ProcFS
+from repro.vm.failures import FailureModel, FailureStage
+from repro.vm.footprint import FootprintModel
+from repro.vm.machine import PAPER_TESTBED, HardwareSpec
+from repro.vm.os_model import OSModel
+
+
+class BootResult:
+    """Outcome of booting one built image."""
+
+    def __init__(self, success: bool, duration_s: float, memory_mb: float,
+                 procfs: Optional[ProcFS] = None, reason: str = "") -> None:
+        self.success = success
+        self.duration_s = duration_s
+        self.memory_mb = memory_mb
+        self.procfs = procfs
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        status = "ok" if self.success else "failed: {}".format(self.reason)
+        return "BootResult({}, {:.1f}s, {:.1f} MB)".format(status, self.duration_s,
+                                                           self.memory_mb)
+
+
+class BootSimulator:
+    """Simulates booting an image and applying its boot-time parameters."""
+
+    def __init__(self, os_model: OSModel, failure_model: FailureModel,
+                 hardware: HardwareSpec = PAPER_TESTBED) -> None:
+        self.os_model = os_model
+        self.failure_model = failure_model
+        self.hardware = hardware
+        self.footprint_model = FootprintModel(os_model)
+
+    def _jitter(self, configuration: Configuration, salt: str, scale: float) -> float:
+        digest = hashlib.sha256(salt.encode())
+        for name in sorted(configuration):
+            digest.update(name.encode())
+            digest.update(repr(configuration[name]).encode())
+        unit = int.from_bytes(digest.digest()[:8], "big") / float(1 << 64)
+        return 1.0 + scale * (2.0 * unit - 1.0)
+
+    def estimate_duration(self, configuration: Configuration) -> float:
+        """Simulated seconds from power-on to a usable userspace."""
+        duration = self.os_model.base_boot_time_s
+        # Probing and initializing each enabled feature costs a little time.
+        enabled = 0
+        for parameter in self.os_model.space.parameters_of_kind(ParameterKind.COMPILE_TIME):
+            if self.os_model.is_feature_enabled(configuration, parameter.name):
+                enabled += 1
+        duration += 0.01 * enabled
+        # A verbose console slows the boot substantially (serial console writes).
+        loglevel = configuration.get("boot.loglevel", 4)
+        if not configuration.get("boot.quiet", True):
+            duration += 1.5
+        try:
+            if int(loglevel) >= 7:
+                duration += 2.0
+        except (TypeError, ValueError):
+            pass
+        if self.hardware.emulated:
+            duration *= 6.0
+        return duration * self._jitter(configuration, "boot-time", 0.10)
+
+    def boot(self, configuration: Configuration, application: str) -> BootResult:
+        """Boot the image built from *configuration*."""
+        duration = self.estimate_duration(configuration)
+        failure = self.failure_model.evaluate(configuration, application)
+        if failure.stage is FailureStage.BOOT:
+            # A failed boot is usually detected by a watchdog timeout.
+            return BootResult(False, duration + 30.0, 0.0, reason=failure.reason)
+        memory = self.footprint_model.footprint_mb(configuration)
+        procfs = ProcFS()
+        # Apply the runtime portion of the configuration to the procfs tree so
+        # later probing sees the configured values.
+        for name, value in configuration.subset(ParameterKind.RUNTIME).items():
+            try:
+                procfs.write(name, value)
+            except (FileNotFoundError, RuntimeError):
+                continue
+        return BootResult(True, duration, memory, procfs=procfs)

@@ -1,0 +1,278 @@
+"""Failure model: which configurations break the build, the boot, or the run.
+
+The paper observes that roughly one third of randomly generated Linux
+configurations fail — the kernel does not build, does not boot, or the
+application crashes or hangs.  Failures are not arbitrary: they are caused by
+specific parameter values (memory watermarks set close to the machine's RAM,
+overcommit disabled for allocation-hungry workloads, essential subsystems
+compiled out, tiny heap sizes on a unikernel, ...).  DeepTune's crash
+prediction head can only work because these causes are learnable functions of
+the configuration, so the model below is built from explicit *hazards*: a
+predicate over the configuration plus a conditional failure probability.  The
+final draw is a deterministic hash of the configuration, keeping every
+experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config.space import Configuration
+from repro.vm.os_model import OSModel
+
+
+class FailureStage(enum.Enum):
+    """The stage of the evaluation pipeline at which a configuration fails."""
+
+    NONE = "none"
+    BUILD = "build"
+    BOOT = "boot"
+    RUN = "run"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not FailureStage.NONE
+
+
+class Hazard:
+    """A single failure cause: a predicate plus a conditional probability."""
+
+    def __init__(
+        self,
+        stage: FailureStage,
+        probability: float,
+        reason: str,
+        predicate: Callable[[Mapping[str, object], str], bool],
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("hazard probability must be in [0, 1]")
+        self.stage = stage
+        self.probability = probability
+        self.reason = reason
+        self.predicate = predicate
+
+    def triggered(self, configuration: Mapping[str, object], application: str) -> bool:
+        try:
+            return bool(self.predicate(configuration, application))
+        except KeyError:
+            return False
+
+    def __repr__(self) -> str:
+        return "Hazard({}, p={:.2f}, {!r})".format(self.stage.value, self.probability,
+                                                   self.reason)
+
+
+class FailureRecord:
+    """The outcome of the failure model for one configuration."""
+
+    def __init__(self, stage: FailureStage, reason: str = "",
+                 triggered: Optional[Sequence[Hazard]] = None) -> None:
+        self.stage = stage
+        self.reason = reason
+        self.triggered = list(triggered or [])
+
+    @property
+    def failed(self) -> bool:
+        return self.stage.is_failure
+
+    def __repr__(self) -> str:
+        if not self.failed:
+            return "FailureRecord(ok)"
+        return "FailureRecord({}: {})".format(self.stage.value, self.reason)
+
+
+def _value(config: Mapping[str, object], name: str, default=0):
+    return config.get(name, default)
+
+
+def _enabled(config: Mapping[str, object], name: str) -> bool:
+    return _value(config, name, False) in (True, 1, "y", "m")
+
+
+def _network_app(application: str) -> bool:
+    return application in ("nginx", "redis")
+
+
+def _linux_hazards(os_model: OSModel) -> List[Hazard]:
+    """Failure causes of the simulated Linux kernel."""
+    hazards: List[Hazard] = [
+        # -- build-time ------------------------------------------------------
+        Hazard(FailureStage.BUILD, 0.35, "KASAN instrumentation breaks out-of-tree drivers",
+               lambda c, a: _enabled(c, "CONFIG_KASAN")),
+        Hazard(FailureStage.BUILD, 0.30, "SLOB allocator incompatible with enabled subsystems",
+               lambda c, a: _value(c, "CONFIG_SLAB_ALLOCATOR", "SLUB") == "SLOB"),
+        Hazard(FailureStage.BUILD, 0.20, "DEBUG_PAGEALLOC conflicts with DMA-heavy drivers",
+               lambda c, a: _enabled(c, "CONFIG_DEBUG_PAGEALLOC")),
+        # -- boot-time --------------------------------------------------------
+        Hazard(FailureStage.BOOT, 0.95, "no virtio-pci transport: no disk or NIC",
+               lambda c, a: "CONFIG_VIRTIO_PCI" in c and not _enabled(c, "CONFIG_VIRTIO_PCI")),
+        Hazard(FailureStage.BOOT, 0.90, "root filesystem driver (virtio-blk) compiled out",
+               lambda c, a: "CONFIG_VIRTIO_BLK" in c and not _enabled(c, "CONFIG_VIRTIO_BLK")),
+        Hazard(FailureStage.BOOT, 0.85, "ext4 support compiled out, root fs unmountable",
+               lambda c, a: "CONFIG_EXT4_FS" in c and not _enabled(c, "CONFIG_EXT4_FS")),
+        Hazard(FailureStage.BOOT, 0.30, "init scripts require /proc/sys",
+               lambda c, a: "CONFIG_PROC_SYSCTL" in c and not _enabled(c, "CONFIG_PROC_SYSCTL")),
+        Hazard(FailureStage.BOOT, 0.80, "boot-time hugepage reservation exhausts RAM",
+               lambda c, a: _value(c, "boot.hugepages", 0) > 4096),
+        Hazard(FailureStage.BOOT, 0.25, "NR_CPUS=1 with SMP scheduler topology",
+               lambda c, a: _enabled(c, "CONFIG_SMP") and _value(c, "CONFIG_NR_CPUS", 64) <= 1),
+        # -- runtime ------------------------------------------------------------
+        Hazard(FailureStage.RUN, 0.90, "vm.min_free_kbytes set close to total RAM",
+               lambda c, a: _value(c, "vm.min_free_kbytes", 0) > 1_500_000),
+        Hazard(FailureStage.RUN, 0.85, "strict overcommit with low ratio starves the allocator",
+               lambda c, a: _value(c, "vm.overcommit_memory", 0) == 2
+               and _value(c, "vm.overcommit_ratio", 50) < 40),
+        Hazard(FailureStage.RUN, 0.75, "runtime hugepage reservation evicts the page cache",
+               lambda c, a: _value(c, "vm.nr_hugepages", 0) > 4096),
+        Hazard(FailureStage.RUN, 0.70, "fs.file-max too low for the workload",
+               lambda c, a: _value(c, "fs.file-max", 811896) < 2048),
+        Hazard(FailureStage.RUN, 0.45, "accept backlog too small, connection storm stalls",
+               lambda c, a: _network_app(a) and _value(c, "net.core.somaxconn", 128) < 32),
+        Hazard(FailureStage.RUN, 0.35, "aggressive busy polling starves the benchmark client",
+               lambda c, a: _value(c, "net.core.busy_poll", 0) > 150
+               and _value(c, "net.core.busy_read", 0) > 150),
+        Hazard(FailureStage.RUN, 0.40, "panic_on_oops with a warning-generating configuration",
+               lambda c, a: _value(c, "kernel.panic_on_oops", 0) == 1
+               and _value(c, "kernel.printk", 7) >= 8),
+    ]
+
+    # Essential compile-time features per application: the workload cannot run
+    # without them, independently of everything else.
+    def make_missing_feature(feature: str, apps: Tuple[str, ...]):
+        return Hazard(
+            FailureStage.RUN,
+            0.97,
+            "{} required by the application is disabled".format(feature),
+            lambda c, a, feature=feature, apps=apps: a in apps
+            and feature in c and not _enabled(c, feature),
+        )
+
+    for application, features in os_model.essential_features.items():
+        for feature in features:
+            # Boot-critical features are already covered above.
+            if feature in ("CONFIG_VIRTIO_PCI", "CONFIG_VIRTIO_BLK", "CONFIG_EXT4_FS"):
+                continue
+            hazards.append(make_missing_feature(feature, (application,)))
+
+    # Fragile generated filler options: unusual values occasionally break the
+    # build, modelling the long tail of obscure interactions.
+    fragile_fillers = [name for name in os_model.fragile_options
+                       if name.startswith("CONFIG_") and "_OPT" in name]
+    if fragile_fillers:
+        def filler_flipped(config: Mapping[str, object], _app: str,
+                           names=tuple(fragile_fillers)) -> bool:
+            # Only count fragile options that were switched *on* away from
+            # their default (or, for numeric options, pushed far above it):
+            # turning untouched drivers off — what debloating does — is safe,
+            # enabling unusual combinations of them is what breaks builds.
+            flipped = 0
+            for name in names:
+                if name not in config:
+                    continue
+                parameter = os_model.space[name]
+                value = config[name]
+                if value == parameter.default:
+                    continue
+                if value in (True, "y", "m"):
+                    flipped += 1
+                elif isinstance(value, int) and not isinstance(value, bool):
+                    try:
+                        default = int(parameter.default)
+                    except (TypeError, ValueError):
+                        default = 0
+                    if value > max(default, 1) * 8:
+                        flipped += 1
+            return flipped >= 3
+
+        hazards.append(Hazard(FailureStage.BUILD, 0.25,
+                              "several fragile driver options away from their defaults",
+                              filler_flipped))
+    return hazards
+
+
+def _unikraft_hazards(os_model: OSModel) -> List[Hazard]:
+    """Failure causes of the simulated Unikraft unikernel."""
+    return [
+        Hazard(FailureStage.RUN, 0.97, "lwip network stack not linked in",
+               lambda c, a: "uk.lwip" in c and not _enabled(c, "uk.lwip")),
+        Hazard(FailureStage.RUN, 0.65, "heap too small for the connection load",
+               lambda c, a: _value(c, "uk.heap_pages", 8192) < 2048),
+        Hazard(FailureStage.RUN, 0.50, "heap too small for configured worker connections",
+               lambda c, a: _value(c, "uk.heap_pages", 8192) < 16384
+               and _value(c, "nginx.worker_connections", 512) > 8192),
+        Hazard(FailureStage.RUN, 0.55, "pbuf pool exhaustion under load",
+               lambda c, a: _value(c, "uk.lwip_pbuf_pool_size", 256) < 64),
+        Hazard(FailureStage.RUN, 0.40, "thread stack overflow",
+               lambda c, a: _value(c, "uk.thread_stack_pages", 4) < 2),
+        Hazard(FailureStage.BOOT, 0.35, "boot stack overflow during early init",
+               lambda c, a: _value(c, "uk.boot_stack_pages", 2) < 2),
+        Hazard(FailureStage.BUILD, 0.20, "allocator/libc combination fails to link",
+               lambda c, a: _value(c, "uk.allocator", "buddy") == "tlsf"
+               and _enabled(c, "uk.alloc_stats")),
+    ]
+
+
+class FailureModel:
+    """Decides deterministically whether a configuration fails and where."""
+
+    def __init__(self, os_model: OSModel, seed: int = 0) -> None:
+        self.os_model = os_model
+        self.seed = seed
+        if os_model.is_unikernel:
+            self._hazards = _unikraft_hazards(os_model)
+        else:
+            self._hazards = _linux_hazards(os_model)
+
+    @property
+    def hazards(self) -> List[Hazard]:
+        return list(self._hazards)
+
+    # -- deterministic randomness -------------------------------------------------
+    def _uniform(self, configuration: Configuration, salt: str) -> float:
+        digest = hashlib.sha256()
+        digest.update(str(self.seed).encode())
+        digest.update(salt.encode())
+        for name in sorted(configuration):
+            digest.update(name.encode())
+            digest.update(repr(configuration[name]).encode())
+        return int.from_bytes(digest.digest()[:8], "big") / float(1 << 64)
+
+    # -- probabilities -----------------------------------------------------------
+    def triggered_hazards(self, configuration: Configuration,
+                          application: str) -> List[Hazard]:
+        return [h for h in self._hazards if h.triggered(configuration, application)]
+
+    def stage_probability(self, configuration: Configuration, application: str,
+                          stage: FailureStage) -> float:
+        """Probability of failing at *stage*, given the configuration."""
+        survival = 1.0
+        for hazard in self._hazards:
+            if hazard.stage is stage and hazard.triggered(configuration, application):
+                survival *= 1.0 - hazard.probability
+        return 1.0 - survival
+
+    def crash_probability(self, configuration: Configuration, application: str) -> float:
+        """Overall probability of failing at any stage."""
+        survival = 1.0
+        for stage in (FailureStage.BUILD, FailureStage.BOOT, FailureStage.RUN):
+            survival *= 1.0 - self.stage_probability(configuration, application, stage)
+        return 1.0 - survival
+
+    # -- the actual decision --------------------------------------------------------
+    def evaluate(self, configuration: Configuration, application: str) -> FailureRecord:
+        """Decide whether *configuration* fails, and at which stage."""
+        for stage in (FailureStage.BUILD, FailureStage.BOOT, FailureStage.RUN):
+            probability = self.stage_probability(configuration, application, stage)
+            if probability <= 0.0:
+                continue
+            draw = self._uniform(configuration, stage.value)
+            if draw < probability:
+                triggered = [
+                    h for h in self.triggered_hazards(configuration, application)
+                    if h.stage is stage
+                ]
+                reason = triggered[0].reason if triggered else "unknown failure"
+                return FailureRecord(stage, reason, triggered)
+        return FailureRecord(FailureStage.NONE)

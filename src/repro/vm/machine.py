@@ -1,0 +1,104 @@
+"""Hardware platform descriptions.
+
+The experiments in the paper run on a dual-socket Intel Xeon E5-2697 v2
+(2 x 24 cores at 2.70 GHz, 128 GB RAM) restricted to a single NUMA node, and
+the memory-footprint experiment targets a RISC-V embedded board emulated with
+QEMU.  The hardware description feeds the build/boot duration models and the
+application performance models (core counts, clock speed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class HardwareSpec:
+    """A description of the machine (or emulated board) hosting the tests."""
+
+    def __init__(
+        self,
+        name: str,
+        cores: int,
+        frequency_ghz: float,
+        ram_gb: int,
+        numa_nodes: int = 1,
+        architecture: str = "x86_64",
+        emulated: bool = False,
+    ) -> None:
+        if cores < 1:
+            raise ValueError("a machine needs at least one core")
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if ram_gb < 1:
+            raise ValueError("a machine needs at least 1 GB of RAM")
+        self.name = name
+        self.cores = cores
+        self.frequency_ghz = frequency_ghz
+        self.ram_gb = ram_gb
+        self.numa_nodes = numa_nodes
+        self.architecture = architecture
+        self.emulated = emulated
+
+    @property
+    def compute_scale(self) -> float:
+        """Relative single-thread compute capability (1.0 = paper testbed core)."""
+        reference = 2.7
+        scale = self.frequency_ghz / reference
+        if self.emulated:
+            # Full-system emulation costs roughly an order of magnitude; the
+            # paper notes emulation affects performance but not memory usage.
+            scale *= 0.08
+        return scale
+
+    def restrict_to_numa_node(self) -> "HardwareSpec":
+        """Return a copy restricted to a single NUMA node (as in the paper)."""
+        if self.numa_nodes <= 1:
+            return self
+        return HardwareSpec(
+            name=self.name + "-node0",
+            cores=self.cores // self.numa_nodes,
+            frequency_ghz=self.frequency_ghz,
+            ram_gb=self.ram_gb // self.numa_nodes,
+            numa_nodes=1,
+            architecture=self.architecture,
+            emulated=self.emulated,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "cores": self.cores,
+            "frequency_ghz": self.frequency_ghz,
+            "ram_gb": self.ram_gb,
+            "numa_nodes": self.numa_nodes,
+            "architecture": self.architecture,
+            "emulated": self.emulated,
+        }
+
+    def __repr__(self) -> str:
+        return "HardwareSpec({!r}, {} cores @ {} GHz, {} GB RAM)".format(
+            self.name, self.cores, self.frequency_ghz, self.ram_gb
+        )
+
+
+#: The dual-socket Xeon used for the paper's main experiments, restricted to
+#: a single NUMA node of 24 cores / 64 GB as described in §4.
+PAPER_TESTBED = HardwareSpec(
+    name="xeon-e5-2697v2",
+    cores=24,
+    frequency_ghz=2.7,
+    ram_gb=64,
+    numa_nodes=1,
+    architecture="x86_64",
+)
+
+#: The emulated RISC-V target of the memory-footprint experiment (§4.4).
+RISCV_EMBEDDED_BOARD = HardwareSpec(
+    name="qemu-riscv64-virt",
+    cores=4,
+    frequency_ghz=1.0,
+    ram_gb=2,
+    numa_nodes=1,
+    architecture="riscv64",
+    emulated=True,
+)

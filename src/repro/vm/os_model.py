@@ -1,0 +1,142 @@
+"""Operating-system models binding a configuration space to behaviour metadata.
+
+An :class:`OSModel` is what the simulated build/boot/run pipeline needs to
+know about the OS under test beyond the raw configuration space: which
+options are fragile (likely to break a build or boot when set to unusual
+values), how much memory each compile-time feature costs, and which features
+each application cannot run without.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.config.space import Configuration, ConfigSpace
+from repro.kconfig.linux import LinuxSpaceBuilder
+from repro.kconfig.unikraft import unikraft_nginx_space
+
+
+class OSModel:
+    """Behavioural metadata of an operating system under test."""
+
+    def __init__(
+        self,
+        name: str,
+        version: str,
+        space: ConfigSpace,
+        fragile_options: Iterable[str] = (),
+        footprint_costs: Optional[Mapping[str, float]] = None,
+        essential_features: Optional[Mapping[str, Iterable[str]]] = None,
+        base_footprint_mb: float = 160.0,
+        base_build_time_s: float = 150.0,
+        base_boot_time_s: float = 8.0,
+        is_unikernel: bool = False,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.space = space
+        self.fragile_options: Set[str] = {n for n in fragile_options if n in space}
+        self.footprint_costs: Dict[str, float] = {
+            n: float(v) for n, v in (footprint_costs or {}).items() if n in space
+        }
+        self.essential_features: Dict[str, List[str]] = {
+            app: [n for n in names if n in space]
+            for app, names in (essential_features or {}).items()
+        }
+        self.base_footprint_mb = base_footprint_mb
+        self.base_build_time_s = base_build_time_s
+        self.base_boot_time_s = base_boot_time_s
+        self.is_unikernel = is_unikernel
+
+    # -- convenience -----------------------------------------------------------
+    def default_configuration(self) -> Configuration:
+        return self.space.default_configuration()
+
+    def essential_for(self, application: str) -> List[str]:
+        """Compile-time options *application* cannot run without."""
+        return list(self.essential_features.get(application, []))
+
+    def is_feature_enabled(self, configuration: Mapping[str, object], name: str) -> bool:
+        """Interpret the configured value of a feature flag as enabled/disabled."""
+        if name not in configuration:
+            return False
+        value = configuration[name]
+        return value in (True, 1, "y", "m")
+
+    def __repr__(self) -> str:
+        return "OSModel(name={!r}, version={!r}, parameters={})".format(
+            self.name, self.version, len(self.space)
+        )
+
+
+def linux_os_model(
+    version: str = "v4.19",
+    seed: int = 0,
+    extra_compile: int = 120,
+    extra_runtime: int = 80,
+    extra_boot: int = 12,
+    architecture: str = "x86_64",
+) -> OSModel:
+    """Build the Linux OS model used by the experiments.
+
+    The *architecture* only changes the model name and base footprint (the
+    RISC-V images of the memory-footprint experiment are somewhat smaller).
+    """
+    builder = LinuxSpaceBuilder(version=version, seed=seed)
+    space = builder.experiment_space(
+        extra_compile=extra_compile, extra_runtime=extra_runtime, extra_boot=extra_boot
+    )
+
+    footprint = builder.footprint_costs()
+    fragile = set(builder.fragile_option_names())
+    for option in builder.filler_option_metadata():
+        if option.footprint_cost > 0:
+            footprint[option.name] = option.footprint_cost
+        if option.fragile:
+            fragile.add(option.name)
+
+    essential = {
+        app: builder.essential_features(app)
+        for app in ("nginx", "redis", "sqlite", "npb")
+    }
+
+    base_footprint = 182.0 if architecture == "x86_64" else 176.0
+    return OSModel(
+        name="linux-{}".format(architecture),
+        version=version,
+        space=space,
+        fragile_options=fragile,
+        footprint_costs=footprint,
+        essential_features=essential,
+        base_footprint_mb=base_footprint,
+        base_build_time_s=180.0,
+        base_boot_time_s=9.0,
+        is_unikernel=False,
+    )
+
+
+def unikraft_os_model(seed: int = 0) -> OSModel:
+    """Build the Unikraft OS model of the §4.4 experiment (Nginx workload)."""
+    space = unikraft_nginx_space()
+    footprint = {
+        "uk.lwip": 900.0,
+        "uk.vfs_cache_entries": 0.0,
+        "uk.trace": 350.0,
+        "uk.debug_printk": 120.0,
+        "uk.alloc_stats": 60.0,
+    }
+    fragile = {"uk.heap_pages", "uk.lwip_pbuf_pool_size", "uk.boot_stack_pages",
+               "uk.thread_stack_pages"}
+    essential = {"nginx": ["uk.lwip"]}
+    return OSModel(
+        name="unikraft",
+        version="0.16",
+        space=space,
+        fragile_options=fragile,
+        footprint_costs=footprint,
+        essential_features=essential,
+        base_footprint_mb=6.0,
+        base_build_time_s=35.0,
+        base_boot_time_s=0.5,
+        is_unikernel=True,
+    )

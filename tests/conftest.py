@@ -1,0 +1,83 @@
+"""Shared pytest fixtures.
+
+Most tests run against a deliberately small Linux configuration space so the
+suite stays fast; the full-scale spaces are only exercised by the census and
+scalability tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.registry import default_bench_tool_for, get_application
+from repro.config.parameter import ParameterKind
+from repro.platform.metrics import metric_for_application
+from repro.platform.pipeline import BenchmarkingPipeline, VirtualClock
+from repro.vm.os_model import linux_os_model, unikraft_os_model
+from repro.vm.simulator import SystemSimulator
+
+
+SMALL_SPACE_OPTIONS = {"extra_compile": 20, "extra_runtime": 12, "extra_boot": 4}
+
+
+@pytest.fixture(scope="session")
+def small_linux_model():
+    """A Linux OS model with a reduced filler-parameter tail (fast to encode)."""
+    return linux_os_model(version="v4.19", seed=11, **SMALL_SPACE_OPTIONS)
+
+
+@pytest.fixture(scope="session")
+def linux_model():
+    """The experiment-scale Linux OS model used by integration tests."""
+    return linux_os_model(version="v4.19", seed=1)
+
+
+@pytest.fixture(scope="session")
+def unikraft_model():
+    return unikraft_os_model(seed=1)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_space(small_linux_model):
+    return small_linux_model.space
+
+
+@pytest.fixture
+def default_configuration(small_linux_model):
+    return small_linux_model.space.default_configuration()
+
+
+def make_simulator(os_model, application_name: str, seed: int = 5) -> SystemSimulator:
+    """Build a simulator for *application_name* against *os_model*."""
+    application = get_application(application_name)
+    bench = default_bench_tool_for(application_name)
+    return SystemSimulator(os_model, application, bench, seed=seed)
+
+
+def make_pipeline(os_model, application_name: str, seed: int = 5) -> BenchmarkingPipeline:
+    """Build a full benchmarking pipeline for *application_name*."""
+    simulator = make_simulator(os_model, application_name, seed=seed)
+    metric = metric_for_application(application_name)
+    return BenchmarkingPipeline(simulator, metric, clock=VirtualClock())
+
+
+@pytest.fixture
+def nginx_simulator(small_linux_model):
+    return make_simulator(small_linux_model, "nginx")
+
+
+@pytest.fixture
+def nginx_pipeline(small_linux_model):
+    return make_pipeline(small_linux_model, "nginx")
+
+
+@pytest.fixture
+def runtime_kinds():
+    return [ParameterKind.RUNTIME]

@@ -1,0 +1,111 @@
+"""Unit tests for the analysis helpers (similarity, smoothing, stats, reporting)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.similarity import (
+    cosine_similarity,
+    cross_similarity_matrix,
+    similarity_report,
+)
+from repro.analysis.smoothing import downsample, moving_average, smooth_series
+from repro.analysis.stats import (
+    classification_accuracy,
+    failure_and_run_accuracy,
+    normalized_mae,
+    prediction_quality_summary,
+)
+
+
+class TestSimilarity:
+    def test_cosine_similarity_bounds(self):
+        assert cosine_similarity([1, 0], [1, 0]) == pytest.approx(1.0)
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_cross_similarity_matrix_structure(self):
+        importances = {
+            "nginx": {"somaxconn": 1.0, "rmem": 0.8, "thp": 0.1},
+            "redis": {"somaxconn": 0.9, "rmem": 0.7, "thp": 0.3},
+            "npb": {"somaxconn": 0.02, "rmem": 0.01, "thp": 0.9},
+        }
+        matrix = cross_similarity_matrix(importances, ["nginx", "redis", "npb"])
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)
+        # nginx-redis similarity far higher than nginx-npb, as in Figure 5.
+        assert matrix[0, 1] > 0.9
+        assert matrix[0, 2] < 0.6
+
+    def test_similarity_report_renders(self):
+        matrix = np.eye(2)
+        report = similarity_report(matrix, ["nginx", "redis"])
+        assert "nginx" in report and "redis" in report
+
+
+class TestSmoothing:
+    def test_moving_average_handles_nan(self):
+        values = [1.0, float("nan"), 3.0, None, 5.0]
+        smoothed = moving_average(values, window=3)
+        assert smoothed[0] == 1.0
+        assert smoothed[2] == pytest.approx(2.0)
+        assert smoothed[4] == pytest.approx(4.0)
+
+    def test_moving_average_window_validation(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)
+
+    def test_smooth_series_drops_all_nan_prefix(self):
+        series = [(0.0, None), (1.0, 2.0), (2.0, 4.0)]
+        smoothed = smooth_series(series, window=2)
+        assert smoothed[0][0] == 1.0
+
+    def test_downsample(self):
+        series = [(float(i), float(i)) for i in range(100)]
+        assert len(downsample(series, max_points=10)) == 10
+        assert downsample(series[:5], max_points=10) == series[:5]
+
+
+class TestStats:
+    def test_classification_accuracy(self):
+        assert classification_accuracy([True, False], [True, True]) == 0.5
+        with pytest.raises(ValueError):
+            classification_accuracy([True], [True, False])
+
+    def test_failure_and_run_accuracy(self):
+        crash_probability = [0.9, 0.8, 0.2, 0.4]
+        actually_crashed = [True, True, False, False]
+        failure_acc, run_acc = failure_and_run_accuracy(crash_probability, actually_crashed)
+        assert failure_acc == 1.0
+        assert run_acc == 1.0
+        failure_acc, run_acc = failure_and_run_accuracy([0.2, 0.9], [True, False])
+        assert failure_acc == 0.0
+        assert run_acc == 0.0
+
+    def test_normalized_mae(self):
+        assert normalized_mae([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert normalized_mae([2.0, 3.0], [1.0, 3.0]) == pytest.approx(0.25)
+        assert normalized_mae([float("nan")], [1.0]) == 0.0
+
+    def test_prediction_quality_summary_keys(self):
+        summary = prediction_quality_summary([0.9, 0.1], [True, False], [1.0, 2.0],
+                                             [1.0, 2.5])
+        assert set(summary) == {"failure_accuracy", "run_accuracy", "normalized_mae"}
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        table = format_table(("app", "value"), [("nginx", 1.234), ("redis", 22.5)],
+                             title="Table X")
+        lines = table.splitlines()
+        assert lines[0] == "Table X"
+        assert "nginx" in table and "22.500" in table
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_format_series_downsamples(self):
+        series = [(float(i), float(i) * 2) for i in range(200)]
+        text = format_series(series, "time", "value", max_points=10)
+        assert len(text.splitlines()) <= 2 + 20

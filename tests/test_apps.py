@@ -1,0 +1,258 @@
+"""Unit tests for the application performance models."""
+
+import random
+
+import pytest
+
+from repro.apps.base import Application, BenchmarkTool
+from repro.apps.nginx import NginxApplication, WrkBenchmark
+from repro.apps.npb import NPBApplication
+from repro.apps.perfmodel import (
+    choice_bonus,
+    linear_preference,
+    log_peak,
+    log_saturating,
+    saturating,
+)
+from repro.apps.redis import RedisApplication
+from repro.apps.registry import (
+    available_applications,
+    default_bench_tool_for,
+    get_application,
+    get_bench_tool,
+)
+from repro.apps.sqlite import SQLiteApplication
+from repro.apps.unikraft_nginx import UnikraftNginxApplication
+from repro.vm.machine import PAPER_TESTBED, RISCV_EMBEDDED_BOARD
+
+
+class TestPerfModelHelpers:
+    def test_log_peak_maximal_at_best(self):
+        assert log_peak(8192, best=8192) == pytest.approx(1.0)
+        assert log_peak(128, best=8192) < log_peak(4096, best=8192)
+        assert log_peak(10 ** 7, best=8192) < 1.0
+
+    def test_log_peak_requires_positive_best(self):
+        with pytest.raises(ValueError):
+            log_peak(1, best=0)
+
+    def test_log_saturating_half_point(self):
+        assert log_saturating(100, half_point=100) == pytest.approx(0.5)
+        assert log_saturating(0, half_point=100) == 0.0
+        assert log_saturating(10 ** 9, half_point=100) < 1.0
+
+    def test_saturating(self):
+        assert saturating(100, half_point=100) == pytest.approx(0.5)
+        assert saturating(0, half_point=10) == 0.0
+
+    def test_linear_preference_bounds(self):
+        assert linear_preference(0, 0, 100, prefer_low=True) == 1.0
+        assert linear_preference(100, 0, 100, prefer_low=True) == 0.0
+        assert linear_preference(100, 0, 100, prefer_low=False) == 1.0
+        assert linear_preference(500, 0, 100, prefer_low=True) == 0.0
+
+    def test_choice_bonus(self):
+        assert choice_bonus("bbr", {"bbr": 5.0}) == 5.0
+        assert choice_bonus("reno", {"bbr": 5.0}, default=1.0) == 1.0
+
+
+def default_config(model):
+    return model.space.default_configuration()
+
+
+class TestNginxModel:
+    app = NginxApplication()
+
+    def test_default_throughput_in_paper_band(self, small_linux_model):
+        value = self.app.performance(default_config(small_linux_model))
+        assert 14000 <= value <= 17500
+
+    def test_tuned_configuration_beats_default(self, small_linux_model):
+        default = default_config(small_linux_model)
+        tuned = default.with_values({
+            "net.core.somaxconn": 8192,
+            "net.core.rmem_default": 8388608,
+            "net.ipv4.tcp_keepalive_time": 60,
+            "net.ipv4.tcp_congestion_control": "bbr",
+            "vm.stat_interval": 120,
+            "kernel.printk": 1,
+        })
+        improvement = self.app.performance(tuned) / self.app.performance(default)
+        assert improvement > 1.1
+
+    def test_debug_logging_hurts(self, small_linux_model):
+        default = default_config(small_linux_model)
+        noisy = default.with_values({"kernel.printk_delay": 1000, "vm.block_dump": True})
+        assert self.app.performance(noisy) < self.app.performance(default)
+
+    def test_kasan_roughly_halves_throughput(self, small_linux_model):
+        default = default_config(small_linux_model)
+        kasan = default.with_values({"CONFIG_KASAN": True, "CONFIG_DEBUG_KERNEL": True})
+        ratio = self.app.performance(kasan) / self.app.performance(default)
+        assert ratio < 0.6
+
+    def test_core_restriction_reduces_throughput(self, small_linux_model):
+        default = default_config(small_linux_model)
+        restricted = default.with_values({"boot.maxcpus": 2})
+        assert self.app.performance(restricted) < self.app.performance(default) * 0.5
+
+    def test_sensitive_parameters_present_in_space(self, small_linux_model):
+        for name in self.app.sensitive_parameters():
+            assert name in small_linux_model.space
+
+    def test_direction(self):
+        assert self.app.maximize
+        assert self.app.is_improvement(2.0, 1.0)
+
+
+class TestRedisModel:
+    app = RedisApplication()
+
+    def test_default_throughput_in_paper_band(self, small_linux_model):
+        value = self.app.performance(default_config(small_linux_model))
+        assert 52000 <= value <= 64000
+
+    def test_thp_never_helps_redis(self, small_linux_model):
+        default = default_config(small_linux_model)
+        never = default.with_values(
+            {"sys.kernel.mm.transparent_hugepage.enabled": "never"})
+        always = default.with_values(
+            {"sys.kernel.mm.transparent_hugepage.enabled": "always"})
+        assert self.app.performance(never) > self.app.performance(always)
+
+    def test_shares_network_sensitivity_with_nginx(self):
+        nginx = set(NginxApplication().sensitive_parameters())
+        redis = set(self.app.sensitive_parameters())
+        overlap = nginx & redis
+        assert len(overlap) >= 8
+
+    def test_single_core_unaffected_by_maxcpus(self, small_linux_model):
+        default = default_config(small_linux_model)
+        restricted = default.with_values({"boot.maxcpus": 2})
+        ratio = self.app.performance(restricted) / self.app.performance(default)
+        assert 0.95 <= ratio <= 1.05
+
+
+class TestSQLiteModel:
+    app = SQLiteApplication()
+
+    def test_default_latency_in_paper_band(self, small_linux_model):
+        value = self.app.performance(default_config(small_linux_model))
+        assert 250 <= value <= 330
+
+    def test_direction_is_minimize(self):
+        assert not self.app.maximize
+        assert self.app.is_improvement(100.0, 200.0)
+
+    def test_default_is_near_optimal(self, small_linux_model):
+        # Random runtime perturbations should rarely improve latency by much,
+        # reproducing the paper's observation that SQLite's default is already
+        # close to the best configuration found.
+        default = default_config(small_linux_model)
+        base = self.app.performance(default)
+        rng = random.Random(5)
+        space = small_linux_model.space
+        improvements = 0
+        for _ in range(40):
+            config = space.mutate_configuration(default, rng, mutation_rate=0.3)
+            if self.app.performance(config) < base * 0.97:
+                improvements += 1
+        assert improvements <= 4
+
+    def test_block_dump_hurts_latency(self, small_linux_model):
+        default = default_config(small_linux_model)
+        noisy = default.with_values({"vm.block_dump": True})
+        assert self.app.performance(noisy) > self.app.performance(default) + 50
+
+    def test_storage_sensitivities_not_network(self):
+        sensitive = set(self.app.sensitive_parameters())
+        assert "vm.dirty_ratio" in sensitive
+        assert "net.core.somaxconn" not in sensitive
+
+
+class TestNPBModel:
+    app = NPBApplication()
+
+    def test_default_rate_in_paper_band(self, small_linux_model):
+        value = self.app.performance(default_config(small_linux_model))
+        assert 1400 <= value <= 1600
+
+    def test_os_configuration_impact_is_small(self, small_linux_model):
+        default = default_config(small_linux_model)
+        base = self.app.performance(default)
+        tuned = default.with_values({
+            "sys.kernel.mm.transparent_hugepage.enabled": "always",
+            "kernel.numa_balancing": 0,
+            "vm.nr_hugepages": 512,
+        })
+        improvement = self.app.performance(tuned) / base
+        assert 1.0 < improvement < 1.06
+
+    def test_emulated_hardware_is_much_slower(self, small_linux_model):
+        default = default_config(small_linux_model)
+        fast = self.app.performance(default, PAPER_TESTBED)
+        slow = self.app.performance(default, RISCV_EMBEDDED_BOARD)
+        assert slow < fast / 5
+
+
+class TestUnikraftNginxModel:
+    app = UnikraftNginxApplication()
+
+    def test_good_configuration_reaches_high_throughput(self, unikraft_model):
+        default = unikraft_model.space.default_configuration()
+        tuned = default.with_values({
+            "nginx.worker_connections": 16384,
+            "nginx.keepalive_requests": 10000,
+            "nginx.access_log": False,
+            "uk.allocator": "mimalloc",
+            "uk.lwip_tcp_snd_buf_kb": 1024,
+            "uk.lwip_tcp_wnd_kb": 1024,
+            "uk.lwip_pbuf_pool_size": 4096,
+            "uk.lwip_nagle_off": True,
+            "uk.heap_pages": 65536,
+        })
+        assert self.app.performance(tuned) > 40000
+        assert self.app.performance(tuned) > self.app.performance(default) * 1.3
+
+    def test_debug_build_is_much_slower(self, unikraft_model):
+        default = unikraft_model.space.default_configuration()
+        debug = default.with_values({"uk.debug_printk": True, "uk.trace": True})
+        assert self.app.performance(debug) < self.app.performance(default) * 0.6
+
+
+class TestBenchmarkTools:
+    def test_measurement_noise_is_small_and_unbiased(self, small_linux_model):
+        app = NginxApplication()
+        bench = WrkBenchmark()
+        rng = random.Random(11)
+        config = default_config(small_linux_model)
+        true_value = app.performance(config, PAPER_TESTBED)
+        samples = [bench.measure(app, config, PAPER_TESTBED, rng).value for _ in range(60)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - true_value) / true_value < 0.02
+        assert all(abs(s - true_value) / true_value < 0.12 for s in samples)
+
+    def test_run_duration_positive(self):
+        bench = WrkBenchmark()
+        rng = random.Random(2)
+        assert bench.run_duration_s(rng) > 0
+
+
+class TestRegistry:
+    def test_available_applications(self):
+        assert set(available_applications()) == {
+            "nginx", "redis", "sqlite", "npb", "unikraft-nginx"}
+
+    def test_get_application_and_bench(self):
+        assert isinstance(get_application("redis"), Application)
+        assert isinstance(get_bench_tool("wrk"), BenchmarkTool)
+        assert isinstance(get_bench_tool("nginx"), BenchmarkTool)
+        assert isinstance(default_bench_tool_for("sqlite"), BenchmarkTool)
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError):
+            get_application("postgres")
+        with pytest.raises(KeyError):
+            get_bench_tool("ab")
+        with pytest.raises(KeyError):
+            default_bench_tool_for("postgres")

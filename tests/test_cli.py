@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.application == "nginx"
+        assert args.algorithm == "deeptune"
+        assert args.iterations == 100
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "magic"])
+
+
+class TestCensus:
+    def test_census_prints_table(self, capsys):
+        assert main(["census", "--version", "v6.0"]) == 0
+        output = capsys.readouterr().out
+        assert "13328" in output
+        assert "7585" in output
+
+
+class TestProbe:
+    def test_probe_writes_job_file(self, tmp_path, capsys):
+        output = str(tmp_path / "job.yaml")
+        assert main(["probe", "--output", output, "--extra-generic", "5"]) == 0
+        assert os.path.exists(output)
+        text = capsys.readouterr().out
+        assert "job file written" in text
+        from repro.config.jobfile import load_job_file
+        job = load_job_file(output)
+        assert len(job.space) > 50
+
+
+class TestRun:
+    def test_run_random_and_store_results(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "results")
+        code = main([
+            "run", "--application", "nginx", "--algorithm", "random",
+            "--iterations", "6", "--seed", "3", "--results", results_dir,
+            "--name", "smoke",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Search result" in output
+        stored = os.path.join(results_dir, "smoke.json")
+        assert os.path.exists(stored)
+        with open(stored) as handle:
+            document = json.load(handle)
+        assert document["summary"]["trials"] == 6
+        assert document["metadata"]["algorithm"] == "random"
+
+    def test_run_from_job_file(self, tmp_path, capsys, small_space):
+        from repro.config.jobfile import JobFile, dump_job_file
+
+        job_path = str(tmp_path / "job.yaml")
+        job = JobFile(name="job", os_name="linux", application="nginx",
+                      bench_tool="wrk", metric="throughput", space=small_space,
+                      iterations=5, favor_kinds=["runtime"], seed=1)
+        dump_job_file(job, job_path)
+        code = main(["run", "--job", job_path, "--algorithm", "random"])
+        assert code == 0
+        assert "Search result" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_two_algorithms(self, capsys):
+        code = main(["compare", "--application", "nginx", "--algorithms", "random",
+                     "grid", "--iterations", "5", "--seed", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "algorithm comparison" in output
+        assert "random" in output and "grid" in output

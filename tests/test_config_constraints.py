@@ -1,0 +1,109 @@
+"""Unit tests for configuration constraints."""
+
+import random
+
+import pytest
+
+from repro.config.constraints import (
+    DependsOn,
+    ForbiddenCombination,
+    RangeConstraint,
+    RequiresValue,
+    count_satisfied,
+)
+
+
+RNG = random.Random(3)
+
+
+class TestDependsOn:
+    def test_violation_when_dependency_missing(self):
+        constraint = DependsOn("CONFIG_INET", "CONFIG_NET")
+        violation = constraint.check({"CONFIG_INET": True, "CONFIG_NET": False})
+        assert violation is not None
+        assert "CONFIG_INET" in violation.message
+
+    def test_tristate_module_counts_as_enabled(self):
+        constraint = DependsOn("CONFIG_VIRTIO_NET", "CONFIG_NET")
+        assert constraint.check({"CONFIG_VIRTIO_NET": "m", "CONFIG_NET": "n"}) is not None
+        assert constraint.check({"CONFIG_VIRTIO_NET": "m", "CONFIG_NET": "y"}) is None
+
+    def test_disabled_option_never_violates(self):
+        constraint = DependsOn("CONFIG_INET", "CONFIG_NET")
+        assert constraint.check({"CONFIG_INET": False, "CONFIG_NET": False}) is None
+
+    def test_repair_disables_dependent_option(self):
+        constraint = DependsOn("CONFIG_INET", "CONFIG_NET")
+        repair = constraint.repair({"CONFIG_INET": True, "CONFIG_NET": False}, RNG)
+        assert repair == {"CONFIG_INET": False}
+        repair_tristate = constraint.repair({"CONFIG_INET": "y", "CONFIG_NET": "n"}, RNG)
+        assert repair_tristate == {"CONFIG_INET": "n"}
+
+
+class TestRequiresValue:
+    def test_violation_and_repair(self):
+        constraint = RequiresValue("CONFIG_NUMA", "CONFIG_NR_CPUS", allowed=(2, 4, 8))
+        config = {"CONFIG_NUMA": True, "CONFIG_NR_CPUS": 1}
+        assert constraint.check(config) is not None
+        repair = constraint.repair(config, RNG)
+        assert repair["CONFIG_NR_CPUS"] in (2, 4, 8)
+
+    def test_satisfied_when_disabled(self):
+        constraint = RequiresValue("CONFIG_NUMA", "CONFIG_NR_CPUS", allowed=(2,))
+        assert constraint.check({"CONFIG_NUMA": False, "CONFIG_NR_CPUS": 1}) is None
+
+    def test_empty_allowed_rejected(self):
+        with pytest.raises(ValueError):
+            RequiresValue("a", "b", allowed=())
+
+
+class TestRangeConstraint:
+    def test_bounds(self):
+        constraint = RangeConstraint("vm.swappiness", 0, 200)
+        assert constraint.check({"vm.swappiness": 100}) is None
+        assert constraint.check({"vm.swappiness": 500}) is not None
+        assert constraint.check({"vm.swappiness": "high"}) is not None
+
+    def test_repair_clamps(self):
+        constraint = RangeConstraint("vm.swappiness", 0, 200)
+        assert constraint.repair({"vm.swappiness": 500}, RNG) == {"vm.swappiness": 200}
+        assert constraint.repair({"vm.swappiness": "x"}, RNG) == {"vm.swappiness": 0}
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeConstraint("x", 10, 0)
+
+
+class TestForbiddenCombination:
+    def test_detects_exact_combination(self):
+        constraint = ForbiddenCombination({"CONFIG_KASAN": True, "CONFIG_DEBUG_PAGEALLOC": True})
+        assert constraint.check({"CONFIG_KASAN": True, "CONFIG_DEBUG_PAGEALLOC": True}) is not None
+        assert constraint.check({"CONFIG_KASAN": True, "CONFIG_DEBUG_PAGEALLOC": False}) is None
+
+    def test_repair_breaks_combination(self):
+        constraint = ForbiddenCombination({"CONFIG_KASAN": True, "CONFIG_DEBUG_PAGEALLOC": True})
+        config = {"CONFIG_KASAN": True, "CONFIG_DEBUG_PAGEALLOC": True}
+        repair = constraint.repair(config, RNG)
+        assert repair
+        updated = dict(config, **repair)
+        assert constraint.check(updated) is None
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            ForbiddenCombination({})
+
+    def test_reason_in_message(self):
+        constraint = ForbiddenCombination({"A": True}, reason="A is broken")
+        violation = constraint.check({"A": True})
+        assert violation.message == "A is broken"
+
+
+class TestCountSatisfied:
+    def test_counts(self):
+        constraints = [
+            DependsOn("CONFIG_INET", "CONFIG_NET"),
+            RangeConstraint("vm.swappiness", 0, 200),
+        ]
+        config = {"CONFIG_INET": True, "CONFIG_NET": False, "vm.swappiness": 60}
+        satisfied, total = count_satisfied(constraints, config)
+        assert (satisfied, total) == (1, 2)

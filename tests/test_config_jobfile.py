@@ -1,0 +1,116 @@
+"""Unit tests for job-file serialization and the YAML-subset parser."""
+
+import pytest
+
+from repro.config.jobfile import (
+    JobFile,
+    dump_job_file,
+    dump_yaml,
+    load_job_file,
+    load_yaml,
+    parameter_from_dict,
+)
+from repro.config.parameter import ParameterKind
+
+
+class TestYamlSubset:
+    def test_roundtrip_nested_mapping(self):
+        data = {
+            "job": {"name": "nginx-perf", "iterations": 250, "ratio": 0.5,
+                    "quiet": True, "comment": None},
+            "values": [1, 2, 3],
+        }
+        assert load_yaml(dump_yaml(data)) == data
+
+    def test_roundtrip_list_of_mappings(self):
+        data = {"parameters": [
+            {"name": "net.core.somaxconn", "type": "int", "minimum": 16},
+            {"name": "CONFIG_NET", "type": "bool", "default": True},
+        ]}
+        assert load_yaml(dump_yaml(data)) == data
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+# a job file
+job:
+  name: demo   # inline comment
+  iterations: 10
+
+  seed: 3
+"""
+        assert load_yaml(text) == {"job": {"name": "demo", "iterations": 10, "seed": 3}}
+
+    def test_scalar_parsing(self):
+        text = "a: true\nb: false\nc: null\nd: 0x10\ne: 2.5\nf: hello\ng: \"quoted: yes\""
+        parsed = load_yaml(text)
+        assert parsed == {"a": True, "b": False, "c": None, "d": 16, "e": 2.5,
+                          "f": "hello", "g": "quoted: yes"}
+
+    def test_empty_document(self):
+        assert load_yaml("") == {}
+        assert load_yaml("\n# only a comment\n") == {}
+
+    def test_special_strings_are_quoted_on_dump(self):
+        text = dump_yaml({"key": "value: with colon"})
+        assert load_yaml(text) == {"key": "value: with colon"}
+
+
+class TestParameterFromDict:
+    def test_int_roundtrip(self, small_space):
+        parameter = small_space["net.core.somaxconn"]
+        rebuilt = parameter_from_dict(parameter.to_dict())
+        assert rebuilt == parameter
+
+    def test_categorical_roundtrip(self, small_space):
+        parameter = small_space["net.ipv4.tcp_congestion_control"]
+        rebuilt = parameter_from_dict(parameter.to_dict())
+        assert rebuilt.choices == parameter.choices
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_from_dict({"name": "x", "type": "mystery", "kind": "runtime",
+                                 "default": 1})
+
+
+class TestJobFile:
+    def make_job(self, small_space):
+        return JobFile(
+            name="nginx-throughput",
+            os_name="linux",
+            application="nginx",
+            bench_tool="wrk",
+            metric="throughput",
+            space=small_space,
+            iterations=100,
+            favor_kinds=["runtime"],
+            frozen={"kernel.randomize_va_space": 2},
+            seed=7,
+        )
+
+    @pytest.mark.parametrize("extension", ["yaml", "json"])
+    def test_dump_and_load_roundtrip(self, tmp_path, small_space, extension):
+        job = self.make_job(small_space)
+        path = str(tmp_path / ("job." + extension))
+        dump_job_file(job, path)
+        loaded = load_job_file(path)
+        assert loaded.name == job.name
+        assert loaded.application == "nginx"
+        assert loaded.metric == "throughput"
+        assert loaded.iterations == 100
+        assert loaded.seed == 7
+        assert len(loaded.space) == len(small_space)
+        assert loaded.space.frozen_parameters == {"kernel.randomize_va_space": 2}
+
+    def test_loaded_space_parameters_match_types(self, tmp_path, small_space):
+        job = self.make_job(small_space)
+        path = str(tmp_path / "job.yaml")
+        dump_job_file(job, path)
+        loaded = load_job_file(path)
+        for parameter in small_space.parameters():
+            assert parameter.name in loaded.space
+            assert loaded.space[parameter.name].type_name == parameter.type_name
+
+    def test_from_dict_defaults(self):
+        job = JobFile.from_dict({"job": {}, "parameters": []})
+        assert job.os_name == "linux"
+        assert job.iterations == 250

@@ -1,0 +1,208 @@
+"""Unit tests for the typed configuration parameters."""
+
+import math
+import random
+
+import pytest
+
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    HexParameter,
+    IntParameter,
+    ParameterKind,
+    StringParameter,
+    TristateParameter,
+)
+
+
+RNG = random.Random(7)
+
+
+class TestParameterKind:
+    def test_compile_time_requires_rebuild_and_reboot(self):
+        assert ParameterKind.COMPILE_TIME.requires_rebuild
+        assert ParameterKind.COMPILE_TIME.requires_reboot
+
+    def test_boot_time_requires_reboot_only(self):
+        assert not ParameterKind.BOOT_TIME.requires_rebuild
+        assert ParameterKind.BOOT_TIME.requires_reboot
+
+    def test_runtime_requires_nothing(self):
+        assert not ParameterKind.RUNTIME.requires_rebuild
+        assert not ParameterKind.RUNTIME.requires_reboot
+
+
+class TestBoolParameter:
+    def test_domain_and_cardinality(self):
+        param = BoolParameter("CONFIG_X", ParameterKind.COMPILE_TIME, default=True)
+        assert param.domain_values() == (False, True)
+        assert param.cardinality() == 2
+
+    def test_validate(self):
+        param = BoolParameter("CONFIG_X", ParameterKind.COMPILE_TIME)
+        assert param.validate(True)
+        assert param.validate(0)
+        assert not param.validate("yes")
+
+    def test_encode_decode_roundtrip(self):
+        param = BoolParameter("CONFIG_X", ParameterKind.COMPILE_TIME)
+        for value in (True, False):
+            assert param.decode(param.encode(value)) == value
+
+    def test_sample_stays_in_domain(self):
+        param = BoolParameter("CONFIG_X", ParameterKind.COMPILE_TIME)
+        assert all(param.validate(param.sample(RNG)) for _ in range(20))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            BoolParameter("", ParameterKind.COMPILE_TIME)
+
+
+class TestTristateParameter:
+    def test_states(self):
+        param = TristateParameter("CONFIG_MOD", ParameterKind.COMPILE_TIME, default="m")
+        assert set(param.domain_values()) == {"n", "y", "m"}
+
+    def test_invalid_default_rejected(self):
+        with pytest.raises(ValueError):
+            TristateParameter("CONFIG_MOD", ParameterKind.COMPILE_TIME, default="x")
+
+    def test_clip_coerces_bools(self):
+        param = TristateParameter("CONFIG_MOD", ParameterKind.COMPILE_TIME)
+        assert param.clip(True) == "y"
+        assert param.clip(False) == "n"
+        assert param.clip("weird") == param.default
+
+    def test_encode_is_one_hot(self):
+        param = TristateParameter("CONFIG_MOD", ParameterKind.COMPILE_TIME)
+        encoded = param.encode("m")
+        assert sum(encoded) == 1.0
+        assert param.decode(encoded) == "m"
+
+
+class TestIntParameter:
+    def make(self, log_scale=False):
+        return IntParameter("net.core.somaxconn", ParameterKind.RUNTIME, default=128,
+                            minimum=16, maximum=65535, log_scale=log_scale)
+
+    def test_validation_bounds(self):
+        param = self.make()
+        assert param.validate(16)
+        assert param.validate(65535)
+        assert not param.validate(15)
+        assert not param.validate(True)
+
+    def test_clip(self):
+        param = self.make()
+        assert param.clip(5) == 16
+        assert param.clip(1 << 20) == 65535
+        assert param.clip("not a number") == param.default
+
+    def test_default_outside_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntParameter("x", ParameterKind.RUNTIME, default=5, minimum=10, maximum=20)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntParameter("x", ParameterKind.RUNTIME, default=5, minimum=10, maximum=1)
+
+    @pytest.mark.parametrize("log_scale", [False, True])
+    def test_encode_within_unit_interval(self, log_scale):
+        param = self.make(log_scale)
+        for value in (16, 128, 1024, 65535):
+            encoded = param.encode(value)
+            assert len(encoded) == 1
+            assert 0.0 <= encoded[0] <= 1.0
+
+    @pytest.mark.parametrize("log_scale", [False, True])
+    def test_encode_decode_approximately_roundtrips(self, log_scale):
+        param = self.make(log_scale)
+        for value in (16, 128, 4096, 65535):
+            decoded = param.decode(param.encode(value))
+            assert abs(math.log1p(decoded) - math.log1p(value)) < 0.05
+
+    def test_encode_monotone(self):
+        param = self.make(log_scale=True)
+        encodings = [param.encode(v)[0] for v in (16, 64, 1024, 30000, 65535)]
+        assert encodings == sorted(encodings)
+
+    def test_sample_respects_bounds(self, rng):
+        param = self.make(log_scale=True)
+        for _ in range(50):
+            assert param.validate(param.sample(rng))
+
+    def test_small_range_enumerates_domain(self):
+        param = IntParameter("small", ParameterKind.RUNTIME, default=1, minimum=0, maximum=5)
+        assert param.domain_values() == tuple(range(6))
+
+    def test_cardinality(self):
+        assert self.make().cardinality() == 65535 - 16 + 1
+
+    def test_log_scale_negative_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            IntParameter("x", ParameterKind.RUNTIME, default=0, minimum=-5, maximum=5,
+                         log_scale=True)
+
+
+class TestHexParameter:
+    def test_render(self):
+        param = HexParameter("CONFIG_BASE", ParameterKind.COMPILE_TIME, default=0x1000,
+                             minimum=0, maximum=0xFFFF)
+        assert param.render(0x1000) == "0x1000"
+        assert param.type_name == "hex"
+
+
+class TestCategoricalParameter:
+    def make(self):
+        return CategoricalParameter("net.core.default_qdisc", ParameterKind.RUNTIME,
+                                    choices=("pfifo_fast", "fq", "fq_codel"),
+                                    default="pfifo_fast")
+
+    def test_rejects_empty_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("x", ParameterKind.RUNTIME, choices=())
+
+    def test_rejects_duplicate_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("x", ParameterKind.RUNTIME, choices=("a", "a"))
+
+    def test_rejects_unknown_default(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("x", ParameterKind.RUNTIME, choices=("a", "b"), default="c")
+
+    def test_one_hot_encoding(self):
+        param = self.make()
+        encoded = param.encode("fq")
+        assert encoded == [0.0, 1.0, 0.0]
+        assert param.decode(encoded) == "fq"
+
+    def test_clip_unknown_returns_default(self):
+        param = self.make()
+        assert param.clip("bogus") == "pfifo_fast"
+
+    def test_is_categorical(self):
+        assert self.make().is_categorical
+
+    def test_string_parameter_is_categorical_subclass(self):
+        param = StringParameter("name", ParameterKind.RUNTIME, choices=("a",))
+        assert isinstance(param, CategoricalParameter)
+        assert param.type_name == "string"
+
+
+class TestEqualityAndSerialization:
+    def test_equality_by_name_type_default(self):
+        first = BoolParameter("CONFIG_A", ParameterKind.COMPILE_TIME, default=True)
+        second = BoolParameter("CONFIG_A", ParameterKind.COMPILE_TIME, default=True)
+        third = BoolParameter("CONFIG_A", ParameterKind.COMPILE_TIME, default=False)
+        assert first == second
+        assert first != third
+        assert hash(first) == hash(second)
+
+    def test_to_dict_contains_type_and_kind(self):
+        param = IntParameter("vm.swappiness", ParameterKind.RUNTIME, default=60,
+                             minimum=0, maximum=200)
+        data = param.to_dict()
+        assert data["type"] == "int"
+        assert data["kind"] == "runtime"
+        assert data["minimum"] == 0 and data["maximum"] == 200

@@ -1,0 +1,190 @@
+"""Unit tests for ConfigSpace and Configuration."""
+
+import math
+import random
+
+import pytest
+
+from repro.config.constraints import DependsOn
+from repro.config.parameter import (
+    BoolParameter,
+    CategoricalParameter,
+    IntParameter,
+    ParameterKind,
+)
+from repro.config.space import Configuration, ConfigSpace
+
+
+def build_space():
+    return ConfigSpace(
+        parameters=[
+            BoolParameter("CONFIG_NET", ParameterKind.COMPILE_TIME, default=True),
+            BoolParameter("CONFIG_INET", ParameterKind.COMPILE_TIME, default=True),
+            IntParameter("net.core.somaxconn", ParameterKind.RUNTIME, default=128,
+                         minimum=16, maximum=65535, log_scale=True),
+            CategoricalParameter("boot.preempt", ParameterKind.BOOT_TIME,
+                                 choices=("none", "voluntary", "full"),
+                                 default="voluntary"),
+        ],
+        constraints=[DependsOn("CONFIG_INET", "CONFIG_NET")],
+        name="unit-test-space",
+    )
+
+
+@pytest.fixture
+def space():
+    return build_space()
+
+
+@pytest.fixture
+def space_rng():
+    return random.Random(42)
+
+
+class TestConfigSpaceBasics:
+    def test_duplicate_parameter_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.add_parameter(BoolParameter("CONFIG_NET", ParameterKind.COMPILE_TIME))
+
+    def test_constraint_with_unknown_parameter_rejected(self, space):
+        with pytest.raises(KeyError):
+            space.add_constraint(DependsOn("CONFIG_MISSING", "CONFIG_NET"))
+
+    def test_lookup(self, space):
+        assert "CONFIG_NET" in space
+        assert space["CONFIG_NET"].default is True
+        assert len(space) == 4
+
+    def test_parameters_of_kind(self, space):
+        runtime = space.parameters_of_kind(ParameterKind.RUNTIME)
+        assert [p.name for p in runtime] == ["net.core.somaxconn"]
+
+    def test_cardinality_counts_products(self, space):
+        # 2 * 2 * 65520 * 3
+        assert space.cardinality() == 2 * 2 * (65535 - 16 + 1) * 3
+        assert math.isclose(space.log10_cardinality(),
+                            math.log10(space.cardinality()), rel_tol=1e-9)
+
+    def test_describe_groups_by_kind_and_type(self, space):
+        counts = space.describe()
+        assert counts["compile-time/bool"] == 2
+        assert counts["runtime/int"] == 1
+        assert counts["boot-time/categorical"] == 1
+
+
+class TestConfiguration:
+    def test_default_configuration_uses_defaults(self, space):
+        default = space.default_configuration()
+        assert default["CONFIG_NET"] is True
+        assert default["net.core.somaxconn"] == 128
+
+    def test_missing_value_rejected(self, space):
+        with pytest.raises(KeyError):
+            Configuration(space, {"CONFIG_NET": True})
+
+    def test_unknown_parameter_rejected(self, space):
+        values = space.default_configuration().as_dict()
+        values["bogus"] = 1
+        with pytest.raises(KeyError):
+            Configuration(space, values)
+
+    def test_with_values_clips(self, space):
+        default = space.default_configuration()
+        updated = default.with_values({"net.core.somaxconn": 10 ** 9})
+        assert updated["net.core.somaxconn"] == 65535
+        # original unchanged
+        assert default["net.core.somaxconn"] == 128
+
+    def test_equality_and_hash(self, space):
+        first = space.default_configuration()
+        second = space.default_configuration()
+        assert first == second
+        assert hash(first) == hash(second)
+        third = first.with_values({"CONFIG_INET": False})
+        assert first != third
+
+    def test_differing_parameters(self, space):
+        default = space.default_configuration()
+        changed = default.with_values({"net.core.somaxconn": 4096, "CONFIG_INET": False})
+        assert sorted(changed.differing_parameters(default)) == [
+            "CONFIG_INET", "net.core.somaxconn"]
+
+    def test_only_runtime_differs(self, space):
+        default = space.default_configuration()
+        runtime_only = default.with_values({"net.core.somaxconn": 4096})
+        compile_change = default.with_values({"CONFIG_INET": False})
+        assert runtime_only.only_runtime_differs(default)
+        assert not compile_change.only_runtime_differs(default)
+
+    def test_subset_by_kind(self, space):
+        default = space.default_configuration()
+        runtime = default.subset(ParameterKind.RUNTIME)
+        assert runtime == {"net.core.somaxconn": 128}
+
+
+class TestSamplingAndMutation:
+    def test_sample_is_valid_per_parameter(self, space, space_rng):
+        for _ in range(30):
+            config = space.sample_configuration(space_rng)
+            for parameter in space.parameters():
+                assert parameter.validate(parameter.clip(config[parameter.name]))
+
+    def test_mutation_changes_something(self, space, space_rng):
+        default = space.default_configuration()
+        mutated = space.mutate_configuration(default, space_rng, mutation_rate=0.5)
+        assert mutated != default
+
+    def test_mutation_respects_kind_filter(self, space, space_rng):
+        default = space.default_configuration()
+        for _ in range(20):
+            mutated = space.mutate_configuration(
+                default, space_rng, mutation_rate=1.0, kinds=[ParameterKind.RUNTIME])
+            assert mutated.only_runtime_differs(default)
+
+    def test_mutation_rate_out_of_range(self, space, space_rng):
+        with pytest.raises(ValueError):
+            space.mutate_configuration(space.default_configuration(), space_rng,
+                                       mutation_rate=1.5)
+
+    def test_coerce_fills_missing_and_clips(self, space):
+        config = space.coerce({"net.core.somaxconn": 10 ** 9})
+        assert config["net.core.somaxconn"] == 65535
+        assert config["CONFIG_NET"] is True
+
+
+class TestFreezing:
+    def test_frozen_value_respected_by_sampling(self, space, space_rng):
+        space.freeze("net.core.somaxconn", 512)
+        for _ in range(10):
+            assert space.sample_configuration(space_rng)["net.core.somaxconn"] == 512
+        space.unfreeze("net.core.somaxconn")
+
+    def test_freeze_invalid_value_clips_before_check(self, space):
+        space.freeze("boot.preempt", "none")
+        assert space.frozen_parameters == {"boot.preempt": "none"}
+        space.unfreeze("boot.preempt")
+
+    def test_subspace_keeps_relevant_constraints(self, space):
+        sub = space.subspace(["CONFIG_NET", "CONFIG_INET"])
+        assert len(sub) == 2
+        assert len(sub.constraints) == 1
+        sub_no_constraint = space.subspace(["CONFIG_INET"])
+        assert len(sub_no_constraint.constraints) == 0
+
+
+class TestValidityAndRepair:
+    def test_violations_detected(self, space):
+        config = space.default_configuration().with_values(
+            {"CONFIG_NET": False, "CONFIG_INET": True})
+        assert not space.is_valid(config)
+        assert len(space.violations(config)) == 1
+
+    def test_repair_resolves_dependency(self, space, space_rng):
+        config = space.default_configuration().with_values(
+            {"CONFIG_NET": False, "CONFIG_INET": True})
+        repaired = space.repair(config, space_rng)
+        assert space.is_valid(repaired)
+
+    def test_valid_configuration_untouched_by_repair(self, space, space_rng):
+        default = space.default_configuration()
+        assert space.repair(default, space_rng) == default

@@ -1,0 +1,110 @@
+"""Tests for the high-level Wayfinder facade."""
+
+import pytest
+
+from repro import Wayfinder
+from repro.config.parameter import ParameterKind
+from repro.core.wayfinder import SearchResult, _build_metric
+from repro.apps.nginx import NginxApplication
+
+from tests.conftest import SMALL_SPACE_OPTIONS
+
+
+def small_wayfinder(**kwargs):
+    defaults = dict(application="nginx", metric="throughput", seed=21,
+                    algorithm="random", favor="runtime",
+                    space_options=SMALL_SPACE_OPTIONS)
+    defaults.update(kwargs)
+    return Wayfinder.for_linux(**defaults)
+
+
+class TestConstruction:
+    def test_for_linux_builds_expected_components(self):
+        wayfinder = small_wayfinder()
+        assert wayfinder.application.name == "nginx"
+        assert wayfinder.metric.name == "throughput"
+        assert wayfinder.algorithm.name == "random"
+        assert "net.core.somaxconn" in wayfinder.space
+
+    def test_auto_metric_selection(self):
+        wayfinder = small_wayfinder(application="sqlite", metric="auto")
+        assert wayfinder.metric.direction == "minimize"
+
+    def test_memory_metric_and_riscv(self):
+        wayfinder = small_wayfinder(metric="memory", architecture="riscv64",
+                                    favor="compile")
+        assert wayfinder.metric.name == "memory"
+        assert wayfinder.hardware.architecture == "riscv64"
+
+    def test_unknown_metric_rejected(self):
+        app = NginxApplication()
+        with pytest.raises(ValueError):
+            _build_metric("happiness", app)
+
+    def test_unknown_favor_rejected(self):
+        with pytest.raises(ValueError):
+            small_wayfinder(favor="everything")
+
+    def test_frozen_parameters_applied(self):
+        wayfinder = small_wayfinder(frozen={"kernel.randomize_va_space": 2})
+        assert wayfinder.space.frozen_parameters["kernel.randomize_va_space"] == 2
+
+    def test_for_unikraft(self):
+        wayfinder = Wayfinder.for_unikraft(seed=3, algorithm="random")
+        assert wayfinder.os_model.is_unikernel
+        assert len(wayfinder.space) == 33
+
+    def test_minimize_metric_propagated_to_algorithm(self):
+        wayfinder = small_wayfinder(application="sqlite", metric="auto",
+                                    algorithm="deeptune")
+        assert wayfinder.algorithm.maximize is False
+
+
+class TestSpecialize:
+    def test_random_session_produces_result(self):
+        wayfinder = small_wayfinder()
+        result = wayfinder.specialize(iterations=12)
+        assert isinstance(result, SearchResult)
+        assert result.iterations == 12
+        assert result.best_performance is not None
+        assert result.best_configuration is not None
+        assert result.total_time_s > 0
+        assert 0.0 <= result.crash_rate <= 1.0
+        assert result.improvement_factor is not None
+        summary = result.summary()
+        assert summary["metric"] == "throughput"
+        assert summary["algorithm"] == "random"
+
+    def test_improvement_factor_inverts_for_minimization(self):
+        wayfinder = small_wayfinder(application="sqlite", metric="auto")
+        result = wayfinder.specialize(iterations=10)
+        if result.best_performance is not None and result.default_objective:
+            expected = result.default_objective / result.best_performance
+            assert result.improvement_factor == pytest.approx(expected)
+
+    def test_time_budget_session(self):
+        wayfinder = small_wayfinder()
+        result = wayfinder.specialize(time_budget_s=1500.0)
+        assert result.total_time_s >= 1500.0
+
+    def test_trained_model_exposed_for_deeptune(self):
+        wayfinder = small_wayfinder(algorithm="deeptune")
+        wayfinder.specialize(iterations=8)
+        assert wayfinder.trained_model() is not None
+        random_wayfinder = small_wayfinder(algorithm="random")
+        assert random_wayfinder.trained_model() is None
+
+    def test_favor_runtime_keeps_compile_defaults_mostly(self):
+        wayfinder = small_wayfinder()
+        result = wayfinder.specialize(iterations=10)
+        default = wayfinder.os_model.default_configuration()
+        compile_params = [p.name for p in
+                          wayfinder.space.parameters_of_kind(ParameterKind.COMPILE_TIME)]
+        changed = 0
+        total = 0
+        for record in result.history:
+            for name in compile_params:
+                total += 1
+                if record.configuration[name] != default[name]:
+                    changed += 1
+        assert changed / total < 0.1

@@ -1,0 +1,76 @@
+"""Unit tests for the Cozart-style debloater."""
+
+import pytest
+
+from repro.apps.nginx import NginxApplication
+from repro.config.parameter import ParameterKind
+from repro.cozart.debloat import CozartDebloater
+from repro.cozart.trace import trace_workload
+from repro.vm.footprint import FootprintModel
+
+
+class TestTrace:
+    def test_essential_features_are_exercised(self, small_linux_model):
+        trace = trace_workload(small_linux_model, "nginx")
+        for name in small_linux_model.essential_for("nginx"):
+            assert trace.exercises(name)
+
+    def test_debug_features_not_exercised(self, small_linux_model):
+        trace = trace_workload(small_linux_model, "nginx")
+        for name in ("CONFIG_KASAN", "CONFIG_DEBUG_INFO", "CONFIG_LOCKDEP"):
+            assert not trace.exercises(name)
+
+    def test_deterministic(self, small_linux_model):
+        first = trace_workload(small_linux_model, "redis")
+        second = trace_workload(small_linux_model, "redis")
+        assert first.exercised_options == second.exercised_options
+
+    def test_traces_differ_between_applications(self, small_linux_model):
+        nginx = trace_workload(small_linux_model, "nginx")
+        npb = trace_workload(small_linux_model, "npb")
+        assert nginx.exercised_options != npb.exercised_options
+
+
+class TestDebloater:
+    @pytest.fixture(scope="class")
+    def debloat_result(self, small_linux_model):
+        return CozartDebloater(small_linux_model, seed=1).debloat("nginx")
+
+    def test_some_options_disabled(self, debloat_result):
+        assert debloat_result.disabled_count > 0
+        assert debloat_result.kept_options
+
+    def test_baseline_is_constraint_valid(self, small_linux_model, debloat_result):
+        assert small_linux_model.space.is_valid(debloat_result.baseline)
+
+    def test_essential_features_still_enabled(self, small_linux_model, debloat_result):
+        for name in small_linux_model.essential_for("nginx"):
+            assert debloat_result.baseline[name] in (True, "y", "m")
+
+    def test_baseline_reduces_memory_footprint(self, small_linux_model, debloat_result):
+        footprint = FootprintModel(small_linux_model)
+        default = small_linux_model.space.default_configuration()
+        assert footprint.footprint_mb(debloat_result.baseline) < \
+            footprint.footprint_mb(default)
+
+    def test_baseline_does_not_hurt_performance(self, small_linux_model, debloat_result):
+        app = NginxApplication()
+        default = small_linux_model.space.default_configuration()
+        ratio = app.performance(debloat_result.baseline) / app.performance(default)
+        assert ratio >= 0.98
+
+    def test_reduced_space_freezes_compile_options(self, small_linux_model, debloat_result):
+        reduced = debloat_result.reduced_space
+        frozen = reduced.frozen_parameters
+        for parameter in reduced.parameters_of_kind(ParameterKind.COMPILE_TIME):
+            assert parameter.name in frozen
+        # Runtime parameters stay searchable.
+        for parameter in reduced.parameters_of_kind(ParameterKind.RUNTIME):
+            assert parameter.name not in frozen
+
+    def test_reduced_space_samples_keep_debloated_values(self, small_linux_model,
+                                                         debloat_result, rng):
+        reduced = debloat_result.reduced_space
+        sample = reduced.sample_configuration(rng)
+        for name in debloat_result.disabled_options:
+            assert sample[name] == debloat_result.baseline[name]

@@ -1,0 +1,282 @@
+"""Unit tests for the DeepTune model, scoring function, transfer and importance."""
+
+import numpy as np
+import pytest
+
+from repro.config.encoding import ConfigEncoder
+from repro.config.parameter import ParameterKind
+from repro.deeptune.algorithm import DeepTuneSearch
+from repro.deeptune.importance import (
+    importance_vector,
+    model_permutation_importance,
+    parameter_importance,
+    top_parameters,
+    variance_reduction_importance,
+)
+from repro.deeptune.model import DeepTuneModel
+from repro.deeptune.scoring import dissimilarity, exploration_score, score_candidates
+from repro.deeptune.transfer import load_model_state, save_model_state, transfer_model
+from repro.platform.history import ExplorationHistory
+from repro.platform.metrics import ThroughputMetric
+
+from tests.test_platform import make_record
+
+
+def make_synthetic_dataset(n=120, d=12, seed=0):
+    """A learnable synthetic problem: performance driven by 2 features, crashes by 1."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    performance = 100.0 + 50.0 * X[:, 0] - 30.0 * X[:, 1] + rng.normal(0, 1.0, n)
+    crashed = X[:, 2] > 0.8
+    performance = np.where(crashed, np.nan, performance)
+    return X, performance, crashed
+
+
+class TestDeepTuneModel:
+    def test_prediction_shapes(self):
+        model = DeepTuneModel(input_dim=12, seed=1)
+        X, y, crashed = make_synthetic_dataset()
+        for row, target, crash in zip(X, y, crashed):
+            model.add_observation(row, None if np.isnan(target) else target, bool(crash))
+        model.fit_incremental(steps=20)
+        prediction = model.predict(X[:5])
+        assert len(prediction) == 5
+        assert prediction.crash_probability.shape == (5,)
+        assert np.all((prediction.crash_probability >= 0) & (prediction.crash_probability <= 1))
+        assert np.all((prediction.uncertainty >= 0) & (prediction.uncertainty <= 1))
+
+    def test_learns_crash_boundary(self):
+        model = DeepTuneModel(input_dim=12, seed=1, learning_rate=5e-3)
+        X, y, crashed = make_synthetic_dataset(n=200)
+        for row, target, crash in zip(X, y, crashed):
+            model.add_observation(row, None if np.isnan(target) else target, bool(crash))
+        for _ in range(10):
+            model.fit_incremental(steps=40)
+        prediction = model.predict(X)
+        predicted_crash = prediction.crash_probability > 0.5
+        accuracy = float(np.mean(predicted_crash == crashed))
+        assert accuracy > 0.75
+
+    def test_learns_performance_ordering(self):
+        model = DeepTuneModel(input_dim=12, seed=1, learning_rate=5e-3)
+        X, y, crashed = make_synthetic_dataset(n=200)
+        for row, target, crash in zip(X, y, crashed):
+            model.add_observation(row, None if np.isnan(target) else target, bool(crash))
+        for _ in range(10):
+            model.fit_incremental(steps=40)
+        ok = ~crashed
+        predicted = model.predict(X[ok]).performance
+        actual = y[ok]
+        correlation = np.corrcoef(predicted, actual)[0, 1]
+        assert correlation > 0.5
+
+    def test_uncertainty_higher_for_outliers(self):
+        model = DeepTuneModel(input_dim=8, seed=2)
+        rng = np.random.default_rng(3)
+        X = rng.random((80, 8)) * 0.2  # training data in a small corner
+        for row in X:
+            model.add_observation(row, 10.0, False)
+        for _ in range(5):
+            model.fit_incremental(steps=30)
+        familiar = model.predict(X[:10]).uncertainty.mean()
+        outliers = model.predict(np.full((10, 8), 5.0)).uncertainty.mean()
+        assert outliers > familiar
+
+    def test_incremental_cost_constant(self):
+        model = DeepTuneModel(input_dim=10, seed=1)
+        rng = np.random.default_rng(0)
+        import time
+        timings = []
+        for round_index in range(3):
+            for _ in range(30):
+                model.add_observation(rng.random(10), float(rng.random()), False)
+            started = time.perf_counter()
+            model.fit_incremental(steps=10, batch_size=16)
+            timings.append(time.perf_counter() - started)
+        # The third round has 3x the data of the first but per-call cost stays
+        # bounded (constant number of minibatch steps).
+        assert timings[-1] < timings[0] * 5 + 0.05
+
+    def test_invalid_feature_width_rejected(self):
+        model = DeepTuneModel(input_dim=4)
+        with pytest.raises(ValueError):
+            model.add_observation(np.ones(5), 1.0, False)
+
+    def test_state_dict_roundtrip(self):
+        model = DeepTuneModel(input_dim=6, seed=4)
+        X, y, crashed = make_synthetic_dataset(n=40, d=6)
+        for row, target, crash in zip(X, y, crashed):
+            model.add_observation(row, None if np.isnan(target) else target, bool(crash))
+        model.fit_incremental(steps=10)
+        clone = model.clone_architecture()
+        clone.load_state_dict(model.state_dict())
+        original = model.predict(X[:5])
+        restored = clone.predict(X[:5])
+        assert np.allclose(original.performance, restored.performance)
+        assert np.allclose(original.crash_probability, restored.crash_probability)
+
+
+class TestScoring:
+    def test_dissimilarity_bounds(self):
+        known = np.random.default_rng(0).random((10, 5))
+        candidates = np.random.default_rng(1).random((4, 5))
+        values = dissimilarity(candidates, known)
+        assert values.shape == (4,)
+        assert np.all((values >= 0) & (values <= 1))
+        assert np.all(dissimilarity(known[:2], known) < 1e-9)
+
+    def test_dissimilarity_empty_history(self):
+        assert np.all(dissimilarity(np.ones((3, 4)), np.empty((0, 4))) == 1.0)
+
+    def test_exploration_score_alpha_validation(self):
+        with pytest.raises(ValueError):
+            exploration_score(np.ones((2, 3)), np.ones((2, 3)), np.ones(2), alpha=1.5)
+
+    def test_score_prefers_predicted_good_and_unexplored(self):
+        candidates = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        known = np.array([[0.0, 0.0]])
+        scores = score_candidates(
+            candidates=candidates,
+            known=known,
+            predicted_performance=np.array([10.0, 10.0, 10.0]),
+            predicted_uncertainty=np.array([0.1, 0.9, 0.5]),
+            predicted_crash_probability=np.zeros(3),
+            maximize=True,
+        )
+        assert scores[1] > scores[0]
+
+    def test_score_penalizes_predicted_crashes(self):
+        candidates = np.random.default_rng(0).random((3, 4))
+        scores = score_candidates(
+            candidates=candidates,
+            known=np.empty((0, 4)),
+            predicted_performance=np.array([5.0, 5.0, 5.0]),
+            predicted_uncertainty=np.full(3, 0.5),
+            predicted_crash_probability=np.array([0.05, 0.95, 0.05]),
+            maximize=True,
+        )
+        assert scores[1] < scores[0]
+        assert scores[1] < scores[2]
+
+    def test_score_respects_direction(self):
+        candidates = np.random.default_rng(0).random((2, 4))
+        common = dict(candidates=candidates, known=np.empty((0, 4)),
+                      predicted_uncertainty=np.zeros(2),
+                      predicted_crash_probability=np.zeros(2))
+        maximize = score_candidates(predicted_performance=np.array([1.0, 2.0]),
+                                    maximize=True, **common)
+        minimize = score_candidates(predicted_performance=np.array([1.0, 2.0]),
+                                    maximize=False, **common)
+        assert maximize[1] > maximize[0]
+        assert minimize[0] > minimize[1]
+
+
+class TestDeepTuneSearch:
+    def run_session(self, small_linux_model, iterations=25, model=None):
+        from tests.conftest import make_pipeline
+        from repro.platform.runner import SearchSession
+
+        pipeline = make_pipeline(small_linux_model, "nginx", seed=8)
+        search = DeepTuneSearch(
+            small_linux_model.space, seed=8, favored_kinds=[ParameterKind.RUNTIME],
+            warmup_iterations=6, candidate_pool_size=48,
+            training_steps_per_iteration=10, model=model)
+        session = SearchSession(pipeline, search)
+        return search, session.run(iterations=iterations)
+
+    def test_search_improves_over_default(self, small_linux_model):
+        from repro.apps.nginx import NginxApplication
+
+        search, result = self.run_session(small_linux_model, iterations=40)
+        default_perf = NginxApplication().performance(
+            small_linux_model.space.default_configuration())
+        assert result.best_objective > default_perf
+        assert search.model.observation_count == 40
+        assert len(search.update_times_s) == 40
+        assert search.mean_update_time_s() > 0
+
+    def test_rejects_mismatched_pretrained_model(self, small_linux_model):
+        wrong = DeepTuneModel(input_dim=3)
+        with pytest.raises(ValueError):
+            DeepTuneSearch(small_linux_model.space, model=wrong)
+
+    def test_transfer_flag(self, small_linux_model):
+        encoder = ConfigEncoder(small_linux_model.space)
+        pretrained = DeepTuneModel(input_dim=encoder.width, seed=1)
+        fresh = DeepTuneSearch(small_linux_model.space, model=pretrained)
+        assert not fresh.transferred  # no observations yet
+        pretrained.add_observation(np.zeros(encoder.width), 1.0, False)
+        warmed = DeepTuneSearch(small_linux_model.space, model=pretrained)
+        assert warmed.transferred
+
+    def test_predicted_crash_probability_callable(self, small_linux_model):
+        search, _ = self.run_session(small_linux_model, iterations=15)
+        probability = search.predicted_crash_probability(
+            small_linux_model.space.default_configuration())
+        assert 0.0 <= probability <= 1.0
+
+
+class TestTransfer:
+    def test_transfer_copies_weights_not_buffer(self):
+        source = DeepTuneModel(input_dim=6, seed=3)
+        X, y, crashed = make_synthetic_dataset(n=50, d=6)
+        for row, target, crash in zip(X, y, crashed):
+            source.add_observation(row, None if np.isnan(target) else target, bool(crash))
+        source.fit_incremental(steps=20)
+        target = transfer_model(source)
+        assert target.observation_count == 0
+        assert np.allclose(target.dense1.weights, source.dense1.weights)
+        assert not target.target_scaler.is_fitted
+
+    def test_save_and_load(self, tmp_path):
+        model = DeepTuneModel(input_dim=5, seed=9)
+        model.add_observation(np.ones(5), 2.0, False)
+        model.add_observation(np.zeros(5), 1.0, False)
+        model.fit_incremental(steps=5)
+        path = str(tmp_path / "dtm.npz")
+        save_model_state(model, path)
+        restored = load_model_state(path)
+        probe = np.random.default_rng(0).random((3, 5))
+        assert np.allclose(restored.predict(probe).performance,
+                           model.predict(probe).performance)
+
+
+class TestImportance:
+    def test_variance_reduction_finds_relevant_columns(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((300, 6))
+        y = 10.0 * X[:, 4] + rng.normal(0, 0.2, 300)
+        importances = variance_reduction_importance(X, y)
+        assert int(np.argmax(importances)) == 4
+        assert importances[4] > 0.5
+        assert np.all(importances[:4] < 0.3)
+
+    def test_handles_nan_targets_and_constant_columns(self):
+        X = np.ones((50, 3))
+        y = np.full(50, np.nan)
+        assert np.all(variance_reduction_importance(X, y) == 0.0)
+
+    def test_parameter_importance_aggregates_one_hot(self, small_space, rng):
+        encoder = ConfigEncoder(small_space)
+        configs = [small_space.sample_configuration(rng) for _ in range(200)]
+        X = encoder.encode_batch(configs)
+        start, _ = encoder.slice_for("net.core.somaxconn")
+        y = 100.0 * X[:, start]
+        importances = parameter_importance(encoder, X, y)
+        assert top_parameters(importances, 1) == ["net.core.somaxconn"]
+
+    def test_importance_vector_ordering(self):
+        vector = importance_vector({"a": 1.0, "b": 0.5}, ["b", "a", "c"])
+        assert vector.tolist() == [0.5, 1.0, 0.0]
+
+    def test_model_permutation_importance(self):
+        model = DeepTuneModel(input_dim=6, seed=3, learning_rate=5e-3)
+        rng = np.random.default_rng(1)
+        X = rng.random((150, 6))
+        y = 50.0 * X[:, 1]
+        for row, target in zip(X, y):
+            model.add_observation(row, float(target), False)
+        for _ in range(8):
+            model.fit_incremental(steps=30)
+        importances = model_permutation_importance(model, X[:50], repeats=2)
+        assert int(np.argmax(importances)) == 1

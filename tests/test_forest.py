@@ -1,0 +1,98 @@
+"""Tests for the from-scratch random-forest regressor and its importances."""
+
+import numpy as np
+import pytest
+
+from repro.config.encoding import ConfigEncoder
+from repro.deeptune.forest import (
+    RandomForestRegressor,
+    RegressionTree,
+    forest_parameter_importance,
+)
+
+
+def make_dataset(n=300, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = 10.0 * X[:, 2] + 4.0 * (X[:, 5] > 0.5) + rng.normal(0, 0.3, n)
+    return X, y
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((200, 3))
+        y = np.where(X[:, 1] > 0.5, 10.0, 0.0)
+        tree = RegressionTree(max_depth=3, rng=rng).fit(X, y)
+        predictions = tree.predict(X)
+        assert np.mean((predictions - y) ** 2) < 1.0
+        assert int(np.argmax(tree.feature_importances_)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+        tree = RegressionTree()
+        with pytest.raises(RuntimeError):
+            tree.predict(np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            tree.fit(np.ones((3, 2)), np.ones(4))
+
+    def test_constant_target_yields_leaf(self):
+        X = np.random.default_rng(0).random((50, 4))
+        y = np.full(50, 3.0)
+        tree = RegressionTree().fit(X, y)
+        assert np.allclose(tree.predict(X), 3.0)
+
+
+class TestRandomForest:
+    def test_predictions_track_target(self):
+        X, y = make_dataset()
+        forest = RandomForestRegressor(n_trees=20, seed=1).fit(X, y)
+        predictions = forest.predict(X)
+        correlation = np.corrcoef(predictions, y)[0, 1]
+        assert correlation > 0.8
+
+    def test_importances_identify_relevant_features(self):
+        X, y = make_dataset()
+        forest = RandomForestRegressor(n_trees=25, seed=2).fit(X, y)
+        importances = forest.feature_importances_
+        assert importances.shape == (8,)
+        assert importances.sum() == pytest.approx(1.0, abs=1e-6)
+        top_two = set(np.argsort(importances)[-2:])
+        assert top_two == {2, 5}
+
+    def test_oob_score_positive_for_learnable_problem(self):
+        X, y = make_dataset()
+        forest = RandomForestRegressor(n_trees=25, seed=3).fit(X, y)
+        assert forest.oob_score_ is not None
+        assert forest.oob_score_ > 0.5
+
+    def test_nan_targets_dropped(self):
+        X, y = make_dataset(n=100)
+        y[::7] = np.nan
+        forest = RandomForestRegressor(n_trees=10, seed=4).fit(X, y)
+        assert forest.predict(X[:5]).shape == (5,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomForestRegressor(feature_fraction=0.0)
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.ones((1, 2)), np.ones(1))
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.ones((1, 2)))
+
+
+class TestForestParameterImportance:
+    def test_matches_known_sensitive_parameter(self, small_space, rng):
+        encoder = ConfigEncoder(small_space)
+        configs = [small_space.sample_configuration(rng) for _ in range(250)]
+        X = encoder.encode_batch(configs)
+        start, _ = encoder.slice_for("net.core.somaxconn")
+        y = 100.0 * X[:, start] + np.random.default_rng(0).normal(0, 1.0, X.shape[0])
+        importances = forest_parameter_importance(encoder, X, y, n_trees=15, seed=5)
+        best = max(importances, key=importances.get)
+        assert best == "net.core.somaxconn"

@@ -1,0 +1,104 @@
+"""Tests for the JSON results store and session resumption."""
+
+import os
+
+import pytest
+
+from repro.config.parameter import ParameterKind
+from repro.platform.metrics import LatencyMetric, ThroughputMetric
+from repro.platform.results import ResultsStore, record_from_dict, record_to_dict, resume_session
+from repro.search.bayesian import BayesianOptimizationSearch
+
+from tests.conftest import make_pipeline
+from tests.test_platform import make_record
+
+
+class TestRecordSerialization:
+    def test_roundtrip(self, small_space):
+        record = make_record(small_space.default_configuration(), index=3,
+                             objective=123.4)
+        data = record_to_dict(record)
+        restored = record_from_dict(data, small_space)
+        assert restored.index == 3
+        assert restored.objective == 123.4
+        assert restored.configuration == record.configuration
+        assert restored.crashed is False
+
+    def test_crashed_record_roundtrip(self, small_space):
+        record = make_record(small_space.default_configuration(), index=1, crashed=True)
+        restored = record_from_dict(record_to_dict(record), small_space)
+        assert restored.crashed
+        assert restored.objective is None
+
+
+class TestResultsStore:
+    def make_history(self, small_linux_model, iterations=8):
+        pipeline = make_pipeline(small_linux_model, "nginx")
+        from repro.search.random_search import RandomSearch
+        from repro.platform.runner import SearchSession
+
+        algorithm = RandomSearch(small_linux_model.space, seed=2,
+                                 favored_kinds=[ParameterKind.RUNTIME])
+        return SearchSession(pipeline, algorithm).run(iterations=iterations).history
+
+    def test_save_list_load(self, tmp_path, small_linux_model):
+        history = self.make_history(small_linux_model)
+        store = ResultsStore(str(tmp_path))
+        path = store.save_history("nginx-random", history,
+                                  metadata={"application": "nginx"})
+        assert os.path.exists(path)
+        assert store.list_histories() == ["nginx-random"]
+
+        loaded = store.load_history("nginx-random", small_linux_model.space)
+        assert len(loaded) == len(history)
+        assert loaded.best_objective() == pytest.approx(history.best_objective())
+        assert [r.crashed for r in loaded] == [r.crashed for r in history]
+
+        metadata = store.load_metadata("nginx-random")
+        assert metadata["metadata"]["application"] == "nginx"
+        assert metadata["summary"]["trials"] == len(history)
+
+    def test_load_with_explicit_metric(self, tmp_path, small_linux_model):
+        history = self.make_history(small_linux_model)
+        store = ResultsStore(str(tmp_path))
+        store.save_history("run", history)
+        loaded = store.load_history("run", small_linux_model.space,
+                                    metric=LatencyMetric())
+        assert loaded.metric.direction == "minimize"
+
+    def test_export_csv(self, tmp_path, small_linux_model):
+        history = self.make_history(small_linux_model)
+        store = ResultsStore(str(tmp_path))
+        store.save_history("run", history)
+        csv_path = str(tmp_path / "run.csv")
+        store.export_csv("run", csv_path, parameters=["net.core.somaxconn"])
+        with open(csv_path) as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == len(history) + 1
+        assert "net.core.somaxconn" in lines[0]
+
+    def test_unsupported_version_rejected(self, tmp_path, small_linux_model):
+        store = ResultsStore(str(tmp_path))
+        history = self.make_history(small_linux_model, iterations=2)
+        path = store.save_history("run", history)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text.replace('"format_version": 1', '"format_version": 99'))
+        with pytest.raises(ValueError):
+            store.load_history("run", small_linux_model.space)
+
+
+class TestResumeSession:
+    def test_replay_into_algorithm(self, tmp_path, small_linux_model):
+        store = ResultsStore(str(tmp_path))
+        history = TestResultsStore().make_history(small_linux_model, iterations=10)
+        store.save_history("run", history)
+        loaded = store.load_history("run", small_linux_model.space,
+                                    metric=ThroughputMetric())
+        algorithm = BayesianOptimizationSearch(small_linux_model.space, seed=4,
+                                               initial_random=2)
+        resume_session(loaded, algorithm)
+        assert len(algorithm._X) == 10
+        proposal = algorithm.propose(loaded)
+        assert proposal is not None

@@ -1,0 +1,200 @@
+"""Unit tests for the search algorithms (random, grid, Bayesian, Unicorn)."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameter import ParameterKind
+from repro.platform.history import ExplorationHistory
+from repro.platform.metrics import ThroughputMetric
+from repro.search.base import ConfigurationSampler
+from repro.search.bayesian import BayesianOptimizationSearch, GaussianProcess, expected_improvement
+from repro.search.grid_search import GridSearch
+from repro.search.random_search import RandomSearch
+from repro.search.registry import available_algorithms, create_algorithm
+from repro.search.unicorn import CausalDiscovery, UnicornSearch
+
+from tests.test_platform import make_record
+
+
+class TestConfigurationSampler:
+    def test_favored_kinds_keep_others_at_default(self, small_space):
+        sampler = ConfigurationSampler(small_space, seed=1,
+                                       favored_kinds=[ParameterKind.RUNTIME],
+                                       off_kind_mutation_rate=0.0)
+        default = small_space.default_configuration()
+        for _ in range(10):
+            sample = sampler.sample()
+            assert sample.only_runtime_differs(default)
+
+    def test_unfavored_sampler_varies_everything_eventually(self, small_space):
+        sampler = ConfigurationSampler(small_space, seed=1)
+        default = small_space.default_configuration()
+        assert any(not sampler.sample().only_runtime_differs(default) for _ in range(10))
+
+    def test_samples_are_constraint_valid(self, small_space):
+        sampler = ConfigurationSampler(small_space, seed=2,
+                                       favored_kinds=[ParameterKind.COMPILE_TIME])
+        for _ in range(20):
+            assert small_space.is_valid(sampler.sample())
+
+    def test_sample_unique_avoids_history(self, small_space):
+        sampler = ConfigurationSampler(small_space, seed=3,
+                                       favored_kinds=[ParameterKind.RUNTIME])
+        history = ExplorationHistory(ThroughputMetric())
+        seen = sampler.sample()
+        history.add(make_record(seen, 0, 1.0))
+        for _ in range(5):
+            assert sampler.sample_unique(history) != seen
+
+    def test_mutate_respects_favored_kinds(self, small_space):
+        sampler = ConfigurationSampler(small_space, seed=4,
+                                       favored_kinds=[ParameterKind.RUNTIME])
+        default = small_space.default_configuration()
+        mutated = sampler.mutate(default, mutation_rate=0.3)
+        assert mutated.only_runtime_differs(default)
+
+
+class TestRandomAndGrid:
+    def test_random_proposals_unique(self, small_space):
+        search = RandomSearch(small_space, seed=5, favored_kinds=[ParameterKind.RUNTIME])
+        history = ExplorationHistory(ThroughputMetric())
+        seen = set()
+        for index in range(10):
+            proposal = search.propose(history)
+            assert proposal not in seen
+            seen.add(proposal)
+            history.add(make_record(proposal, index, 1.0))
+
+    def test_grid_sweeps_one_parameter_at_a_time(self, small_space):
+        search = GridSearch(small_space, seed=5, favored_kinds=[ParameterKind.BOOT_TIME])
+        history = ExplorationHistory(ThroughputMetric())
+        default = small_space.default_configuration()
+        first = search.propose(history)
+        assert first == default
+        history.add(make_record(first, 0, 1.0))
+        for index in range(1, 6):
+            proposal = search.propose(history)
+            differing = proposal.differing_parameters(default)
+            assert len(differing) <= 1
+            if differing:
+                assert small_space[differing[0]].kind is ParameterKind.BOOT_TIME
+            history.add(make_record(proposal, index, 1.0))
+
+    def test_grid_plan_length_positive(self, small_space):
+        search = GridSearch(small_space, seed=5, favored_kinds=[ParameterKind.BOOT_TIME])
+        assert search.plan_length > 5
+
+    def test_grid_falls_back_to_random_when_exhausted(self, small_space):
+        sub = small_space.subspace(["boot.quiet"])
+        search = GridSearch(sub, seed=5)
+        history = ExplorationHistory(ThroughputMetric())
+        for index in range(4):
+            proposal = search.propose(history)
+            history.add(make_record(proposal, index, 1.0))
+        assert len(history) == 4
+
+    def test_grid_validates_steps(self, small_space):
+        with pytest.raises(ValueError):
+            GridSearch(small_space, integer_steps=1)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        X = np.linspace(0, 1, 8).reshape(-1, 1)
+        y = np.sin(4 * X).reshape(-1)
+        gp = GaussianProcess(length_scale=0.3, noise_variance=1e-6)
+        gp.fit(X, y)
+        mean, std = gp.predict(X)
+        assert np.allclose(mean, y, atol=1e-2)
+        assert np.all(std < 0.2)
+
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.zeros((5, 1))
+        y = np.zeros(5)
+        gp = GaussianProcess(length_scale=0.5)
+        gp.fit(X, y)
+        _, std_near = gp.predict(np.array([[0.0]]))
+        _, std_far = gp.predict(np.array([[5.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_unfitted_predict(self):
+        gp = GaussianProcess()
+        mean, std = gp.predict(np.ones((3, 2)))
+        assert mean.shape == (3,)
+        assert np.all(std > 0)
+
+    def test_shape_validation(self):
+        gp = GaussianProcess()
+        with pytest.raises(ValueError):
+            gp.fit(np.ones((3, 2)), np.ones((4,)))
+
+    def test_expected_improvement_prefers_high_mean_and_high_std(self):
+        mean = np.array([1.0, 2.0, 1.0])
+        std = np.array([0.1, 0.1, 2.0])
+        ei = expected_improvement(mean, std, best=1.5)
+        assert ei[1] > ei[0]
+        assert ei[2] > ei[0]
+
+
+class TestBayesianSearch:
+    def test_warmup_then_model_based(self, small_space):
+        search = BayesianOptimizationSearch(small_space, seed=6,
+                                            favored_kinds=[ParameterKind.RUNTIME],
+                                            initial_random=3, candidate_pool_size=16)
+        history = ExplorationHistory(ThroughputMetric())
+        for index in range(6):
+            proposal = search.propose(history)
+            record = make_record(proposal, index, float(index))
+            history.add(record)
+            search.observe(record)
+        assert search.gp.is_fitted
+
+    def test_crashes_fold_into_surrogate(self, small_space):
+        search = BayesianOptimizationSearch(small_space, seed=6, initial_random=2)
+        history = ExplorationHistory(ThroughputMetric())
+        for index in range(5):
+            proposal = search.propose(history)
+            record = make_record(proposal, index, 10.0, crashed=(index % 2 == 0))
+            history.add(record)
+            search.observe(record)
+        proposal = search.propose(history)
+        assert proposal is not None
+
+
+class TestUnicorn:
+    def test_causal_discovery_identifies_influential_feature(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(120, 6))
+        objective = 3.0 * features[:, 2] + 0.1 * rng.normal(size=120)
+        graph = CausalDiscovery(alpha=0.15).learn(features, objective)
+        assert int(np.argmax(np.abs(graph.objective_strength))) == 2
+        assert graph.strongest_features(1) == [2]
+
+    def test_unicorn_search_proposes_and_records_stats(self, small_space):
+        search = UnicornSearch(small_space, seed=7,
+                               favored_kinds=[ParameterKind.RUNTIME],
+                               candidate_pool_size=8, top_k=4)
+        history = ExplorationHistory(ThroughputMetric())
+        for index in range(8):
+            proposal = search.propose(history)
+            record = make_record(proposal, index, float(index), crashed=(index == 3))
+            history.add(record)
+            search.observe(record)
+        assert search.iteration_stats
+        assert search.iteration_stats[-1]["samples"] >= 4
+
+
+class TestRegistry:
+    def test_available(self):
+        assert {"random", "grid", "bayesian", "unicorn", "deeptune"} <= \
+            set(available_algorithms())
+
+    def test_create_each(self, small_space):
+        for name in ("random", "grid", "bayesian", "unicorn", "deeptune"):
+            algorithm = create_algorithm(name, small_space, seed=1,
+                                         favored_kinds=[ParameterKind.RUNTIME])
+            assert algorithm.name == name
+
+    def test_unknown_rejected(self, small_space):
+        with pytest.raises(KeyError):
+            create_algorithm("simulated-annealing", small_space)

@@ -1,0 +1,135 @@
+"""Unit tests for the simulated procfs, boot parameters and the space prober."""
+
+import pytest
+
+from repro.config.parameter import BoolParameter, IntParameter, ParameterKind, StringParameter
+from repro.sysctl.bootparams import BOOT_PARAMETERS, boot_parameters
+from repro.sysctl.probe import SpaceProber
+from repro.sysctl.procfs import SYSCTL_CATALOG, ProcFS, runtime_parameters
+
+
+class TestCatalog:
+    def test_contains_paper_highlighted_parameters(self):
+        paths = {entry.path for entry in SYSCTL_CATALOG}
+        for name in ("net.core.somaxconn", "net.core.rmem_default",
+                     "net.ipv4.tcp_keepalive_time", "vm.stat_interval",
+                     "kernel.printk", "kernel.printk_delay", "vm.block_dump"):
+            assert name in paths
+
+    def test_entries_convert_to_runtime_parameters(self):
+        for entry in SYSCTL_CATALOG:
+            parameter = entry.to_parameter()
+            assert parameter.kind is ParameterKind.RUNTIME
+            assert parameter.validate(parameter.clip(parameter.default))
+
+    def test_runtime_parameters_include_generic_tail(self):
+        parameters = runtime_parameters(extra_generic=25, seed=3)
+        assert len(parameters) == len(SYSCTL_CATALOG) + 25
+        names = [p.name for p in parameters]
+        assert len(names) == len(set(names))
+
+
+class TestProcFS:
+    def test_list_read_write(self):
+        procfs = ProcFS(extra_generic=0)
+        writable = procfs.list_writable()
+        assert "net.core.somaxconn" in writable
+        assert procfs.read("net.core.somaxconn") == "128"
+        assert procfs.write("net.core.somaxconn", 4096)
+        assert procfs.read("net.core.somaxconn") == "4096"
+
+    def test_rejects_out_of_range(self):
+        procfs = ProcFS(extra_generic=0)
+        assert not procfs.write("vm.swappiness", 10_000)
+        assert procfs.read("vm.swappiness") == "60"
+
+    def test_rejects_bad_categorical(self):
+        procfs = ProcFS(extra_generic=0)
+        assert not procfs.write("net.ipv4.tcp_congestion_control", "warpspeed")
+        assert procfs.write("net.ipv4.tcp_congestion_control", "bbr")
+
+    def test_unknown_path_raises(self):
+        procfs = ProcFS(extra_generic=0)
+        with pytest.raises(FileNotFoundError):
+            procfs.read("does.not.exist")
+        with pytest.raises(FileNotFoundError):
+            procfs.write("does.not.exist", 1)
+
+    def test_fragile_write_far_out_of_range_crashes(self):
+        procfs = ProcFS(extra_generic=0)
+        entry = procfs.entry("vm.min_free_kbytes")
+        assert entry.fragile
+        assert not procfs.write("vm.min_free_kbytes", entry.maximum * 100)
+        assert procfs.crashed
+        with pytest.raises(RuntimeError):
+            procfs.write("vm.swappiness", 10)
+
+    def test_non_numeric_write_rejected(self):
+        procfs = ProcFS(extra_generic=0)
+        assert not procfs.write("vm.swappiness", "lots")
+
+    def test_snapshot_copies_state(self):
+        procfs = ProcFS(extra_generic=0)
+        snapshot = procfs.snapshot()
+        procfs.write("vm.swappiness", 10)
+        assert snapshot["vm.swappiness"] == 60
+
+
+class TestBootParameters:
+    def test_named_parameters_exist(self):
+        names = {p.name for p in BOOT_PARAMETERS}
+        for name in ("boot.mitigations", "boot.isolcpus", "boot.maxcpus",
+                     "boot.preempt", "boot.quiet"):
+            assert name in names
+
+    def test_all_are_boot_kind(self):
+        for parameter in boot_parameters(extra_generic=5):
+            assert parameter.kind is ParameterKind.BOOT_TIME
+
+    def test_extra_generic_extends_count(self):
+        assert len(boot_parameters(extra_generic=10)) == len(boot_parameters(0)) + 10
+
+
+class TestSpaceProber:
+    def test_infers_types_and_ranges(self):
+        procfs = ProcFS(extra_generic=0)
+        prober = SpaceProber(scale_factor=10, scale_rounds=3)
+        probed = {record.path: record for record in prober.probe(procfs)}
+
+        somaxconn = probed["net.core.somaxconn"]
+        assert somaxconn.inferred_type == "int"
+        assert somaxconn.minimum <= 128 <= somaxconn.maximum
+        assert somaxconn.maximum > 128  # upward probing accepted larger values
+
+        block_dump = probed["vm.block_dump"]
+        assert block_dump.inferred_type == "bool"
+
+        qdisc = probed["net.core.default_qdisc"]
+        assert qdisc.inferred_type == "string"
+
+    def test_probe_restores_defaults(self):
+        procfs = ProcFS(extra_generic=0)
+        SpaceProber().probe(procfs)
+        if not procfs.crashed:
+            assert procfs.read("net.core.somaxconn") == "128"
+
+    def test_probed_parameters_convert(self):
+        procfs = ProcFS(extra_generic=0)
+        parameters = SpaceProber().probe_parameters(procfs)
+        assert parameters
+        kinds = {type(p) for p in parameters}
+        assert IntParameter in kinds
+        assert BoolParameter in kinds
+        assert StringParameter in kinds
+        for parameter in parameters:
+            assert parameter.validate(parameter.clip(parameter.default))
+
+    def test_string_parameters_limited_to_observed_value(self):
+        procfs = ProcFS(extra_generic=0)
+        parameters = {p.name: p for p in SpaceProber().probe_parameters(procfs)}
+        qdisc = parameters["net.core.default_qdisc"]
+        assert qdisc.domain_values() == ("pfifo_fast",)
+
+    def test_scale_factor_validation(self):
+        with pytest.raises(ValueError):
+            SpaceProber(scale_factor=1)
