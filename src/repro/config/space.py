@@ -51,7 +51,18 @@ class Configuration(Mapping[str, Any]):
     # -- identity ------------------------------------------------------------
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(tuple(sorted((k, repr(v)) for k, v in self._values.items())))
+            # Hash the values themselves so the hash/eq contract holds:
+            # __eq__ is dict equality, under which e.g. True == 1, and
+            # Python guarantees hash(True) == hash(1).  A repr-based hash
+            # would break set/dict membership for such equal configurations
+            # (the exploration history and the encoder's vector cache both
+            # key on configurations).  repr stays as the fallback for
+            # unhashable values.
+            try:
+                self._hash = hash(tuple(sorted(self._values.items())))
+            except TypeError:
+                self._hash = hash(tuple(sorted((k, repr(v))
+                                               for k, v in self._values.items())))
         return self._hash
 
     def __eq__(self, other: object) -> bool:

@@ -23,6 +23,7 @@ from repro.config.encoding import ConfigEncoder
 from repro.config.parameter import ParameterKind
 from repro.config.space import Configuration, ConfigSpace
 from repro.deeptune.model import DeepTuneModel
+from repro.nn.buffers import ensure_row_capacity
 from repro.deeptune.scoring import score_candidates
 from repro.platform.history import ExplorationHistory, TrialRecord
 from repro.search.base import SearchAlgorithm
@@ -77,7 +78,11 @@ class DeepTuneSearch(SearchAlgorithm):
         #: True when the model was pre-trained on another application.
         self.transferred = model is not None and model.observation_count > 0
 
-        self._observed_vectors: List[np.ndarray] = []
+        # Observed encoded vectors, kept in a preallocated matrix grown by
+        # amortized doubling: propose() reads a slice view instead of
+        # re-stacking a list of rows every iteration.
+        self._observed_matrix = np.empty((0, self.encoder.width), dtype=np.float64)
+        self._observed_count = 0
         self._best_configurations: List[Configuration] = []
         self._best_objectives: List[float] = []
         #: seconds of model update time per iteration (Figure 8).
@@ -122,8 +127,7 @@ class DeepTuneSearch(SearchAlgorithm):
         matrix = self.encoder.encode_batch(candidates)
         prediction = self.model.predict(matrix)
 
-        known = (np.vstack(self._observed_vectors)
-                 if self._observed_vectors else np.empty((0, self.encoder.width)))
+        known = self._observed_matrix[:self._observed_count]
         scores = score_candidates(
             candidates=self.model.feature_scaler.transform(matrix),
             known=self.model.feature_scaler.transform(known) if known.size else known,
@@ -139,10 +143,16 @@ class DeepTuneSearch(SearchAlgorithm):
         self.proposal_times_s.append(time.perf_counter() - started)
         return candidates[best_index]
 
+    def _append_observed(self, vector: np.ndarray) -> None:
+        self._observed_matrix = ensure_row_capacity(
+            self._observed_matrix, self._observed_count + 1)
+        self._observed_matrix[self._observed_count] = vector
+        self._observed_count += 1
+
     def observe(self, record: TrialRecord) -> None:
         started = time.perf_counter()
         vector = self.encoder.encode(record.configuration)
-        self._observed_vectors.append(vector)
+        self._append_observed(vector)
         self.model.add_observation(vector, record.objective, record.crashed)
         self._track_best(record)
         self.model.fit_incremental(

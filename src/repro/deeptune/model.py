@@ -35,7 +35,8 @@ from repro.nn.losses import (
     heteroscedastic_regression_loss,
     softmax_cross_entropy,
 )
-from repro.nn.normalize import StandardScaler
+from repro.nn.buffers import ensure_row_capacity
+from repro.nn.normalize import RunningMoments, StandardScaler
 from repro.nn.optimizer import Adam
 
 Array = np.ndarray
@@ -116,16 +117,22 @@ class DeepTuneModel:
         self.feature_scaler = StandardScaler()
         self.target_scaler = StandardScaler()
 
-        # Replay buffer of every observation seen so far.
-        self._features: list = []
-        self._targets: list = []
-        self._crashed: list = []
+        # Replay buffer of every observation seen so far.  Stored in
+        # preallocated arrays grown by amortized doubling so appends are O(1)
+        # and minibatch gathers never re-stack the whole history; scaler
+        # statistics are maintained incrementally (Welford) at the same time.
+        self._count = 0
+        self._feature_buffer = np.empty((0, input_dim), dtype=np.float64)
+        self._target_buffer = np.empty(0, dtype=np.float64)
+        self._crash_buffer = np.empty(0, dtype=bool)
+        self._feature_moments = RunningMoments()
+        self._target_moments = RunningMoments()
         self.training_steps = 0
 
     # -- bookkeeping --------------------------------------------------------------
     @property
     def observation_count(self) -> int:
-        return len(self._features)
+        return self._count
 
     def add_observation(self, features: Array, target: Optional[float], crashed: bool) -> None:
         """Append one observed configuration to the replay buffer.
@@ -137,16 +144,28 @@ class DeepTuneModel:
         if features.shape[0] != self.input_dim:
             raise ValueError("expected {} features, got {}".format(self.input_dim,
                                                                    features.shape[0]))
-        self._features.append(features)
-        self._targets.append(np.nan if (crashed or target is None) else float(target))
-        self._crashed.append(bool(crashed))
+        needed = self._count + 1
+        self._feature_buffer = ensure_row_capacity(self._feature_buffer, needed)
+        self._target_buffer = ensure_row_capacity(self._target_buffer, needed)
+        self._crash_buffer = ensure_row_capacity(self._crash_buffer, needed)
+        target_value = np.nan if (crashed or target is None) else float(target)
+        self._feature_buffer[self._count] = features
+        self._target_buffer[self._count] = target_value
+        self._crash_buffer[self._count] = bool(crashed)
+        self._count += 1
+        self._feature_moments.update(features)
+        if not np.isnan(target_value):
+            self._target_moments.update(np.array([target_value]))
 
     def _refit_scalers(self) -> None:
-        X = np.vstack(self._features)
-        self.feature_scaler.fit(X)
-        finite = np.array([t for t in self._targets if not np.isnan(t)])
-        if finite.size >= 2:
-            self.target_scaler.fit(finite.reshape(-1, 1))
+        """Publish the incrementally maintained moments into the scalers.
+
+        O(input_dim) per call — this used to ``np.vstack`` and refit over the
+        whole history every iteration.
+        """
+        self.feature_scaler.fit_from_moments(self._feature_moments)
+        if self._target_moments.count >= 2:
+            self.target_scaler.fit_from_moments(self._target_moments)
 
     # -- forward passes -------------------------------------------------------------
     def _forward_prediction(self, X: Array, training: bool) -> Dict[str, Array]:
@@ -236,23 +255,25 @@ class DeepTuneModel:
         if self.observation_count < 2:
             return {"cce": 0.0, "regression": 0.0, "chamfer": 0.0, "total": 0.0}
         self._refit_scalers()
-        X = self.feature_scaler.transform(np.vstack(self._features))
-        raw_targets = np.array(self._targets, dtype=np.float64)
-        targets = raw_targets.copy()
-        finite = ~np.isnan(raw_targets)
-        if self.target_scaler.is_fitted and finite.any():
-            targets[finite] = self.target_scaler.transform(
-                raw_targets[finite].reshape(-1, 1)).reshape(-1)
-        crashed = np.array(self._crashed, dtype=bool)
+        n = self._count
+        raw_targets = self._target_buffer[:n]
+        crashed = self._crash_buffer[:n]
 
         losses = {"cce": 0.0, "regression": 0.0, "chamfer": 0.0, "total": 0.0}
-        n = X.shape[0]
         for _ in range(steps):
             if n <= batch_size:
                 batch = np.arange(n)
             else:
                 batch = self._rng.choice(n, size=batch_size, replace=False)
-            step_losses = self.train_step(X[batch], targets[batch], crashed[batch])
+            # Normalize only the sampled minibatch: per-step work is bounded
+            # by the batch size, never by the history length.
+            X_batch = self.feature_scaler.transform(self._feature_buffer[batch])
+            targets_batch = raw_targets[batch].copy()
+            finite = ~np.isnan(targets_batch)
+            if self.target_scaler.is_fitted and finite.any():
+                targets_batch[finite] = self.target_scaler.transform(
+                    targets_batch[finite].reshape(-1, 1)).reshape(-1)
+            step_losses = self.train_step(X_batch, targets_batch, crashed[batch])
             for key in losses:
                 losses[key] += step_losses[key] / steps
         return losses

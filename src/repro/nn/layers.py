@@ -135,12 +135,16 @@ class RBFLayer(Layer):
         self._activations: Optional[Array] = None
         self._diff: Optional[Array] = None
 
+    def _kernel(self, inputs: Array) -> Tuple[Array, Array]:
+        """Stateless Gaussian kernel: returns (diff, activations)."""
+        # diff[b, k, d] = z_b[d] - c_k[d]
+        diff = inputs[:, None, :] - self.centroids[None, :, :]
+        sq_dist = np.sum(diff ** 2, axis=2)
+        return diff, np.exp(-sq_dist / (2.0 * self.gamma ** 2))
+
     def forward(self, inputs: Array, training: bool = False) -> Array:
         self._inputs = inputs
-        # diff[b, k, d] = z_b[d] - c_k[d]
-        self._diff = inputs[:, None, :] - self.centroids[None, :, :]
-        sq_dist = np.sum(self._diff ** 2, axis=2)
-        self._activations = np.exp(-sq_dist / (2.0 * self.gamma ** 2))
+        self._diff, self._activations = self._kernel(inputs)
         return self._activations
 
     def backward(self, grad_output: Array) -> Array:
@@ -160,8 +164,13 @@ class RBFLayer(Layer):
         return self.centroids.shape[0]
 
     def max_activation(self, inputs: Array) -> Array:
-        """Per-sample maximum centroid activation (1 = prototypical, 0 = outlier)."""
-        activations = self.forward(inputs, training=False)
+        """Per-sample maximum centroid activation (1 = prototypical, 0 = outlier).
+
+        Computed without going through :meth:`forward`, which would clobber
+        the cached ``_inputs``/``_diff``/``_activations`` that a pending
+        :meth:`backward` still needs.
+        """
+        _, activations = self._kernel(inputs)
         return activations.max(axis=1)
 
 

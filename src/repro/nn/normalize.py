@@ -1,4 +1,11 @@
-"""Feature and target normalization helpers."""
+"""Feature and target normalization helpers.
+
+Besides the batch :class:`StandardScaler`, this module provides
+:class:`RunningMoments` — a Welford online mean/variance accumulator — so the
+DeepTune replay buffer can keep its scaler statistics up to date in O(dim)
+per new observation instead of re-stacking and re-fitting the whole history
+every iteration (the flat-per-iteration invariant of Figure 7/8).
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,57 @@ import numpy as np
 
 Array = np.ndarray
 
+
+class RunningMoments:
+    """Welford's online algorithm for per-column mean and variance.
+
+    Numerically stable streaming moments: ``update`` folds one row in O(dim),
+    and the resulting mean/std match a from-scratch batch fit to floating-
+    point accuracy (the test suite asserts 1e-10 agreement after 500 updates).
+    """
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self, dim: Optional[int] = None) -> None:
+        self.count = 0
+        self.mean: Optional[Array] = None if dim is None else np.zeros(dim)
+        self.m2: Optional[Array] = None if dim is None else np.zeros(dim)
+
+    def update(self, row: Array) -> None:
+        """Fold one observation (a flat vector) into the running moments."""
+        row = np.asarray(row, dtype=np.float64).reshape(-1)
+        if self.mean is None:
+            self.mean = np.zeros_like(row)
+            self.m2 = np.zeros_like(row)
+        self.count += 1
+        delta = row - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (row - self.mean)
+
+    def update_batch(self, rows: Array) -> None:
+        """Fold a (n, dim) batch row by row.
+
+        Note the 1-D convention differs from :meth:`update`: a flat array
+        here is treated as n one-dimensional observations (matching
+        ``StandardScaler.fit``), whereas ``update`` takes one dim-n row.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows.reshape(-1, 1)
+        for row in rows:
+            self.update(row)
+
+    def variance(self) -> Array:
+        """Population variance (ddof=0, matching ``np.std``'s default)."""
+        if self.mean is None or self.count == 0:
+            raise ValueError("no observations accumulated")
+        return self.m2 / self.count
+
+    def std(self, min_std: float = 1e-12) -> Array:
+        """Population standard deviation; constant columns get unit scale."""
+        std = np.sqrt(self.variance())
+        std[std < min_std] = 1.0
+        return std
 
 class StandardScaler:
     """Z-score normalizer that tolerates constant columns and empty fits.
@@ -22,6 +80,7 @@ class StandardScaler:
     def __init__(self) -> None:
         self.mean_: Optional[Array] = None
         self.std_: Optional[Array] = None
+        self._moments: Optional[RunningMoments] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -37,6 +96,42 @@ class StandardScaler:
         std = data.std(axis=0)
         std[std < 1e-12] = 1.0
         self.std_ = std
+        self._moments = None
+        return self
+
+    def partial_fit(self, data: Array) -> "StandardScaler":
+        """Incrementally fold *data* into the fitted statistics (Welford).
+
+        Unlike :meth:`fit`, which recomputes from scratch, ``partial_fit``
+        accumulates across calls: after any sequence of partial fits the
+        statistics match a single :meth:`fit` over the concatenated data to
+        floating-point accuracy.  A later call to :meth:`fit` resets the
+        accumulator.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.size == 0:
+            return self
+        if data.ndim == 1:
+            data = data.reshape(-1, 1)
+        if self._moments is None:
+            self._moments = RunningMoments()
+        self._moments.update_batch(data)
+        self.mean_ = self._moments.mean.copy()
+        self.std_ = self._moments.std()
+        return self
+
+    def fit_from_moments(self, moments: RunningMoments) -> "StandardScaler":
+        """Adopt the statistics of an externally maintained accumulator.
+
+        Like :meth:`fit`, this resets any :meth:`partial_fit` accumulator —
+        otherwise a later partial fit would silently resurrect pre-adoption
+        data into the statistics.
+        """
+        if moments.mean is None or moments.count == 0:
+            raise ValueError("cannot fit a scaler from empty moments")
+        self.mean_ = moments.mean.copy()
+        self.std_ = moments.std()
+        self._moments = None
         return self
 
     def transform(self, data: Array) -> Array:

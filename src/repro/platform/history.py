@@ -9,12 +9,13 @@ best-so-far curves over virtual time and windowed crash rates.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.config.encoding import ConfigEncoder
 from repro.config.space import Configuration
+from repro.nn.buffers import ensure_row_capacity
 from repro.platform.metrics import Metric
 from repro.vm.failures import FailureStage
 
@@ -61,15 +62,44 @@ class TrialRecord:
 
 
 class ExplorationHistory:
-    """Ordered collection of trial records for one search session."""
+    """Ordered collection of trial records for one search session.
+
+    Membership tests and best-record queries are called once per candidate by
+    the search algorithms (192 times per iteration with the default DeepTune
+    pool), so both are maintained incrementally: a hash set indexes explored
+    configurations and the best successful record is cached as records are
+    added, keeping :meth:`contains_configuration` and :meth:`best_record` O(1)
+    instead of O(n) scans.  The per-trial objective/crash columns consumed by
+    :meth:`training_arrays` live in preallocated arrays grown by amortized
+    doubling.
+    """
 
     def __init__(self, metric: Metric) -> None:
         self.metric = metric
         self._records: List[TrialRecord] = []
+        self._explored: Set[Configuration] = set()
+        self._best: Optional[TrialRecord] = None
+        self._crash_count = 0
+        self._objective_buffer = np.empty(0, dtype=np.float64)
+        self._crash_buffer = np.empty(0, dtype=bool)
 
     # -- collection protocol -----------------------------------------------------
     def add(self, record: TrialRecord) -> None:
+        index = len(self._records)
         self._records.append(record)
+        self._explored.add(record.configuration)
+        if record.crashed:
+            self._crash_count += 1
+        elif record.objective is not None and (
+                self._best is None
+                or self.metric.is_improvement(record.objective, self._best.objective)):
+            self._best = record
+        self._objective_buffer = ensure_row_capacity(self._objective_buffer, index + 1)
+        self._crash_buffer = ensure_row_capacity(self._crash_buffer, index + 1)
+        self._objective_buffer[index] = (
+            record.objective
+            if (not record.crashed and record.objective is not None) else np.nan)
+        self._crash_buffer[index] = record.crashed
 
     def __len__(self) -> int:
         return len(self._records)
@@ -89,7 +119,7 @@ class ExplorationHistory:
         return [record.configuration for record in self._records]
 
     def contains_configuration(self, configuration: Configuration) -> bool:
-        return any(record.configuration == configuration for record in self._records)
+        return configuration in self._explored
 
     def successful_records(self) -> List[TrialRecord]:
         return [r for r in self._records if not r.crashed and r.objective is not None]
@@ -99,7 +129,11 @@ class ExplorationHistory:
 
     def crash_rate(self, window: Optional[int] = None) -> float:
         """Fraction of crashed trials, optionally over the last *window* trials."""
-        records = self._records if window is None else self._records[-window:]
+        if window is None:
+            if not self._records:
+                return 0.0
+            return self._crash_count / float(len(self._records))
+        records = self._records[-window:]
         if not records:
             return 0.0
         return sum(1 for r in records if r.crashed) / float(len(records))
@@ -111,12 +145,8 @@ class ExplorationHistory:
 
     # -- best configuration ---------------------------------------------------------------
     def best_record(self) -> Optional[TrialRecord]:
-        """The best successful trial under the session's metric."""
-        best: Optional[TrialRecord] = None
-        for record in self.successful_records():
-            if best is None or self.metric.is_improvement(record.objective, best.objective):
-                best = record
-        return best
+        """The best successful trial under the session's metric (O(1), cached)."""
+        return self._best
 
     def best_objective(self) -> Optional[float]:
         best = self.best_record()
@@ -163,18 +193,12 @@ class ExplorationHistory:
         can mask them out of the regression loss while keeping them for the
         crash-classification loss.
         """
+        n = len(self._records)
         configurations = [record.configuration for record in self._records]
         matrix = encoder.encode_batch(configurations)
         if normalize:
             matrix = encoder.normalize(matrix)
-        objectives = np.array(
-            [record.objective if (not record.crashed and record.objective is not None)
-             else np.nan
-             for record in self._records],
-            dtype=np.float64,
-        )
-        crashed = np.array([record.crashed for record in self._records], dtype=bool)
-        return matrix, objectives, crashed
+        return matrix, self._objective_buffer[:n].copy(), self._crash_buffer[:n].copy()
 
     def summary(self) -> dict:
         """Aggregate statistics used by reports and tests."""
