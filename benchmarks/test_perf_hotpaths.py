@@ -64,6 +64,11 @@ FLAT_RATIO_BOUND = 2.0 if SMOKE else 1.5
 
 UNICORN_ITERATIONS = 16 if SMOKE else 30
 
+#: trials for the batched-vs-sequential execution benchmark.
+BATCH_TRIALS = 24 if SMOKE else 60
+#: system-under-test workers in the batched run.
+BATCH_WORKERS = 4
+
 
 def _record_artifact(section: str, payload: Dict) -> None:
     """Merge one benchmark section into the BENCH_hotpaths.json artifact."""
@@ -275,3 +280,64 @@ def test_unicorn_superlinear_profile_preserved():
     assert ratio > 2.0, (
         "Unicorn per-iteration cost flattened (x{:.2f}); the Figure 7 "
         "baseline contrast is broken".format(ratio))
+
+
+# -- batched multi-worker execution ---------------------------------------------------
+
+def test_batched_execution_compresses_time_to_best():
+    """A 4-worker fleet beats the sequential loop on the virtual time axis.
+
+    Runs the same DeepTune search budget twice — ``workers=1, batch_size=1``
+    (the historical loop) and ``workers=4, batch_size=4`` — and records
+    virtual elapsed time, virtual time-to-best, and real wall-clock per
+    iteration, so batched-execution trajectories can be compared across PRs.
+    """
+    from repro.core.wayfinder import Wayfinder
+
+    def run(workers, batch_size):
+        wayfinder = Wayfinder.for_linux(
+            application="nginx", metric="throughput", seed=21,
+            algorithm="deeptune", favor="runtime",
+            space_options={"extra_compile": 20, "extra_runtime": 12,
+                           "extra_boot": 4},
+            workers=workers, batch_size=batch_size,
+            algorithm_options={"warmup_iterations": 6,
+                               "candidate_pool_size": 64,
+                               "training_steps_per_iteration": 8},
+        )
+        started = time.perf_counter()
+        result = wayfinder.specialize(iterations=BATCH_TRIALS)
+        wall_s = time.perf_counter() - started
+        return result, wall_s
+
+    sequential, sequential_wall_s = run(1, 1)
+    batched, batched_wall_s = run(BATCH_WORKERS, BATCH_WORKERS)
+
+    assert sequential.iterations == BATCH_TRIALS
+    assert batched.iterations == BATCH_TRIALS
+    virtual_speedup = sequential.total_time_s / max(batched.total_time_s, 1e-9)
+    _record_artifact("batched_execution", {
+        "iterations": BATCH_TRIALS,
+        "workers": BATCH_WORKERS,
+        "batch_size": BATCH_WORKERS,
+        "sequential_elapsed_s": sequential.total_time_s,
+        "batched_elapsed_s": batched.total_time_s,
+        "virtual_speedup": virtual_speedup,
+        "sequential_time_to_best_s": sequential.time_to_best_s,
+        "batched_time_to_best_s": batched.time_to_best_s,
+        "sequential_best_objective": sequential.best_performance,
+        "batched_best_objective": batched.best_performance,
+        "sequential_wall_ms_per_iteration": sequential_wall_s * 1e3 / BATCH_TRIALS,
+        "batched_wall_ms_per_iteration": batched_wall_s * 1e3 / BATCH_TRIALS,
+    })
+    print("\nbatched execution: sequential {:.0f} s, {} workers {:.0f} s "
+          "(virtual x{:.2f}), wall {:.1f} / {:.1f} ms per iteration".format(
+              sequential.total_time_s, BATCH_WORKERS, batched.total_time_s,
+              virtual_speedup, sequential_wall_s * 1e3 / BATCH_TRIALS,
+              batched_wall_s * 1e3 / BATCH_TRIALS))
+    # The fleet must compress virtual wall-clock: the whole point of the
+    # batched architecture is cutting time-to-best on the paper's time axis.
+    assert batched.total_time_s < sequential.total_time_s, (
+        "4-worker batched run ({:.0f} s) did not beat the sequential run "
+        "({:.0f} s) on the virtual clock".format(
+            batched.total_time_s, sequential.total_time_s))

@@ -10,8 +10,18 @@ the reproduction:
     $ python -m repro.cli probe --output probed-job.yaml
     $ python -m repro.cli run --application nginx --metric throughput \
           --algorithm deeptune --iterations 100 --results results/
+    $ python -m repro.cli run --application redis --algorithm deeptune \
+          --workers 4 --batch-size 4 --iterations 200
     $ python -m repro.cli run --job job.yaml
     $ python -m repro.cli compare --application nginx --iterations 60
+    $ python -m repro.cli compare --application nginx --favor none \
+          --time-budget-s 7200 --workers 4 --batch-size 4
+
+``--workers N`` evaluates trials on N simulated system-under-test machines
+in parallel (batches of ``--batch-size`` proposals per search round), which
+compresses the virtual time-to-best.  Skip-build image reuse is per-worker
+state, so trial durations — and through them the explored trajectory — can
+differ slightly from a single-worker run at the same seed.
 
 Every subcommand prints plain-text tables (no plotting dependencies) and can
 persist histories through :class:`repro.platform.results.ResultsStore`.
@@ -34,6 +44,13 @@ from repro.sysctl.probe import SpaceProber
 from repro.sysctl.procfs import ProcFS
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def _add_run_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "run", help="run a specialization search for an application/metric")
@@ -46,11 +63,19 @@ def _add_run_parser(subparsers) -> None:
                         choices=available_algorithms())
     parser.add_argument("--os", dest="os_name", default="linux",
                         choices=("linux", "unikraft"))
-    parser.add_argument("--favor", default="runtime",
-                        choices=("runtime", "boot", "compile", "runtime+boot", "none"))
+    parser.add_argument("--favor", default=None,
+                        choices=("runtime", "boot", "compile", "runtime+boot", "none"),
+                        help="parameter kinds to concentrate the search on "
+                             "(default: runtime on linux, none on unikraft)")
     parser.add_argument("--iterations", type=int, default=100)
     parser.add_argument("--time-budget-s", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        help="simulated SUT machines evaluating in parallel "
+                             "(default: 1, or the job file's value)")
+    parser.add_argument("--batch-size", type=_positive_int, default=None,
+                        help="configurations proposed per search round "
+                             "(default: 1, or the job file's value)")
     parser.add_argument("--results", help="directory to store the exploration history")
     parser.add_argument("--name", help="name of the stored history (default: derived)")
 
@@ -80,8 +105,17 @@ def _add_compare_parser(subparsers) -> None:
                         choices=("linux", "unikraft"))
     parser.add_argument("--algorithms", nargs="+",
                         default=["random", "bayesian", "deeptune"])
+    parser.add_argument("--favor", default=None,
+                        choices=("runtime", "boot", "compile", "runtime+boot", "none"),
+                        help="parameter kinds to concentrate the search on "
+                             "(default: runtime on linux, none on unikraft)")
     parser.add_argument("--iterations", type=int, default=60)
+    parser.add_argument("--time-budget-s", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="simulated SUT machines evaluating in parallel")
+    parser.add_argument("--batch-size", type=_positive_int, default=1,
+                        help="configurations proposed per search round")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,13 +131,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _build_wayfinder(os_name: str, application: str, metric: str, algorithm: str,
-                     favor: str, seed: int) -> Wayfinder:
-    favor_value = None if favor == "none" else favor
+                     favor: Optional[str], seed: int, workers: int = 1,
+                     batch_size: int = 1) -> Wayfinder:
+    # favor=None means "not specified": linux keeps its historical runtime
+    # preset, unikraft keeps its unfavored default.  An explicit --favor is
+    # honoured on both OSes ("none" meaning no favoured kinds).
     if os_name == "unikraft":
+        kwargs = {}
+        if favor is not None:
+            kwargs["favor"] = None if favor == "none" else favor
         return Wayfinder.for_unikraft(metric="throughput" if metric == "auto" else metric,
-                                      algorithm=algorithm, seed=seed)
+                                      algorithm=algorithm, seed=seed,
+                                      workers=workers, batch_size=batch_size,
+                                      **kwargs)
+    favor = "runtime" if favor is None else favor
+    favor_value = None if favor == "none" else favor
     return Wayfinder.for_linux(application=application, metric=metric,
-                               algorithm=algorithm, favor=favor_value, seed=seed)
+                               algorithm=algorithm, favor=favor_value, seed=seed,
+                               workers=workers, batch_size=batch_size)
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -114,9 +159,13 @@ def _command_run(args: argparse.Namespace) -> int:
         seed = job.seed
         iterations: Optional[int] = job.iterations
         time_budget = job.time_budget_s
-        favor = job.favor_kinds[0] if job.favor_kinds else "runtime"
+        favor = job.favor_kinds[0] if job.favor_kinds else None
         algorithm = args.algorithm
         os_name = job.os_name
+        # explicit CLI flags override the job file's execution settings
+        workers = args.workers if args.workers is not None else job.workers
+        batch_size = (args.batch_size if args.batch_size is not None
+                      else job.batch_size)
     else:
         application = args.application
         metric = args.metric
@@ -126,10 +175,14 @@ def _command_run(args: argparse.Namespace) -> int:
         favor = args.favor
         algorithm = args.algorithm
         os_name = args.os_name
+        workers = args.workers if args.workers is not None else 1
+        batch_size = args.batch_size if args.batch_size is not None else 1
 
-    wayfinder = _build_wayfinder(os_name, application, metric, algorithm, favor, seed)
-    print("Searching {} parameters with {} for {} ({})...".format(
-        len(wayfinder.space), algorithm, application, wayfinder.metric.name))
+    wayfinder = _build_wayfinder(os_name, application, metric, algorithm, favor,
+                                 seed, workers=workers, batch_size=batch_size)
+    print("Searching {} parameters with {} for {} ({}, {} worker{})...".format(
+        len(wayfinder.space), algorithm, application, wayfinder.metric.name,
+        workers, "" if workers == 1 else "s"))
     result = wayfinder.specialize(iterations=iterations, time_budget_s=time_budget)
 
     rows = [
@@ -184,8 +237,11 @@ def _command_compare(args: argparse.Namespace) -> int:
     rows = []
     for algorithm in args.algorithms:
         wayfinder = _build_wayfinder(args.os_name, args.application, "auto",
-                                     algorithm, "runtime", args.seed)
-        result = wayfinder.specialize(iterations=args.iterations)
+                                     algorithm, args.favor, args.seed,
+                                     workers=args.workers,
+                                     batch_size=args.batch_size)
+        result = wayfinder.specialize(iterations=args.iterations,
+                                      time_budget_s=args.time_budget_s)
         rows.append((algorithm,
                      "{:.2f}".format(result.best_performance or float("nan")),
                      "{:.2f}x".format(result.improvement_factor or float("nan")),

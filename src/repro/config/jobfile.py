@@ -31,6 +31,25 @@ from repro.config.space import ConfigSpace
 # Minimal YAML subset
 # ---------------------------------------------------------------------------
 
+def _looks_numeric(text: str) -> bool:
+    """True when the scalar parser would read *text* back as an int/float.
+
+    Mirrors :func:`_parse_scalar`: ``int(text, 0)`` also accepts hex/octal/
+    binary literals ("0x1f", "0o7", "0b101") and ``float`` accepts exponent
+    and nan/inf spellings ("1e3", "nan", "-inf").
+    """
+    try:
+        int(text, 0)
+        return True
+    except ValueError:
+        pass
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
 def _render_scalar(value: Any) -> str:
     if value is None:
         return "null"
@@ -42,8 +61,14 @@ def _render_scalar(value: Any) -> str:
     needs_quotes = (
         text == ""
         or text.strip() != text
+        # "-x" at the start of a list item reads as nested-list syntax, and
+        # "?" is a YAML indicator; quote both so the string survives.
+        or text[0] in "-?"
         or any(ch in text for ch in ":#{}[],&*!|>'\"%@`")
         or text.lower() in ("null", "true", "false", "yes", "no", "~")
+        # numeric-looking strings ("1.5", "007", "0x1f", "nan") would parse
+        # back as numbers; quoting keeps the round trip type-faithful.
+        or _looks_numeric(text)
     )
     if needs_quotes:
         return json.dumps(text)
@@ -307,6 +332,8 @@ class JobFile:
         favor_kinds: Optional[List[str]] = None,
         frozen: Optional[Dict[str, Any]] = None,
         seed: int = 0,
+        workers: int = 1,
+        batch_size: int = 1,
     ) -> None:
         self.name = name
         self.os_name = os_name
@@ -319,6 +346,10 @@ class JobFile:
         self.favor_kinds = list(favor_kinds or [])
         self.frozen = dict(frozen or {})
         self.seed = seed
+        #: simulated system-under-test machines evaluating trials in parallel.
+        self.workers = workers
+        #: configurations proposed per search round.
+        self.batch_size = batch_size
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -333,6 +364,8 @@ class JobFile:
                 "favor_kinds": self.favor_kinds,
                 "frozen": self.frozen,
                 "seed": self.seed,
+                "workers": self.workers,
+                "batch_size": self.batch_size,
             },
             "parameters": [parameter.to_dict() for parameter in self.space.parameters()],
         }
@@ -358,6 +391,8 @@ class JobFile:
             favor_kinds=job.get("favor_kinds") or [],
             frozen=frozen,
             seed=int(job.get("seed", 0)),
+            workers=int(job.get("workers", 1)),
+            batch_size=int(job.get("batch_size", 1)),
         )
 
     def __repr__(self) -> str:

@@ -28,7 +28,7 @@ from repro.platform.metrics import (
     ThroughputMetric,
     metric_for_application,
 )
-from repro.platform.pipeline import BenchmarkingPipeline, VirtualClock
+from repro.platform.executor import make_backend
 from repro.platform.runner import SearchSession, SessionResult
 from repro.search.base import SearchAlgorithm
 from repro.search.registry import create_algorithm
@@ -138,12 +138,13 @@ class SearchResult:
 
 
 class SpecializationSession:
-    """A fully wired specialization run: simulator, pipeline, algorithm."""
+    """A fully wired specialization run: simulator, execution backend, algorithm."""
 
     def __init__(self, os_model: OSModel, application: Application,
                  bench_tool: BenchmarkTool, metric: Metric,
                  algorithm: SearchAlgorithm, hardware: HardwareSpec,
-                 seed: int, enable_skip_build: bool = True) -> None:
+                 seed: int, enable_skip_build: bool = True,
+                 workers: int = 1, batch_size: int = 1) -> None:
         self.os_model = os_model
         self.application = application
         self.bench_tool = bench_tool
@@ -151,15 +152,22 @@ class SpecializationSession:
         self.algorithm = algorithm
         self.hardware = hardware
         self.seed = seed
+        self.workers = workers
+        self.batch_size = batch_size
         self.simulator = SystemSimulator(os_model, application, bench_tool,
                                          hardware=hardware, seed=seed)
-        self.pipeline = BenchmarkingPipeline(self.simulator, metric,
-                                             clock=VirtualClock(),
-                                             enable_skip_build=enable_skip_build)
+        # workers=1 wires the historical single-pipeline serial backend;
+        # workers>1 models a fleet of SUT machines sharing the simulator.
+        self.backend = make_backend(self.simulator, metric, workers=workers,
+                                    enable_skip_build=enable_skip_build)
+        self.pipeline = getattr(self.backend, "pipeline",
+                                None) or self.backend.pipelines[0]
         # The default configuration is always benchmarked first: it is the
         # incumbent every specialized configuration is compared against.
-        self.session = SearchSession(self.pipeline, algorithm, metric,
-                                     evaluate_default_first=True)
+        self.session = SearchSession(algorithm=algorithm, metric=metric,
+                                     evaluate_default_first=True,
+                                     backend=self.backend,
+                                     batch_size=batch_size)
 
     def evaluate_default(self) -> Dict[str, Any]:
         """Evaluate the default configuration outside the search history."""
@@ -193,7 +201,12 @@ class Wayfinder:
                  hardware: HardwareSpec = PAPER_TESTBED,
                  frozen: Optional[Dict[str, Any]] = None,
                  algorithm_options: Optional[Dict[str, Any]] = None,
-                 enable_skip_build: bool = True) -> None:
+                 enable_skip_build: bool = True,
+                 workers: int = 1, batch_size: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self.os_model = os_model
         self.application = application
         self.bench_tool = bench_tool
@@ -202,6 +215,8 @@ class Wayfinder:
         self.seed = seed
         self.hardware = hardware
         self.enable_skip_build = enable_skip_build
+        self.workers = workers
+        self.batch_size = batch_size
         if favor not in _FAVOR_PRESETS:
             raise ValueError("unknown favor preset {!r}".format(favor))
         self.favored_kinds = _FAVOR_PRESETS[favor]
@@ -255,6 +270,7 @@ class Wayfinder:
                 self.os_model, self.application, self.bench_tool, self.metric,
                 self.algorithm, self.hardware, self.seed,
                 enable_skip_build=self.enable_skip_build,
+                workers=self.workers, batch_size=self.batch_size,
             )
         return self._session
 

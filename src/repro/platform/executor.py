@@ -1,0 +1,202 @@
+"""Execution backends: how a batch of proposed configurations is evaluated.
+
+The search session hands every proposed batch to an :class:`ExecutionBackend`
+and gets completed :class:`~repro.platform.history.TrialRecord` objects back.
+Two backends are provided:
+
+* :class:`SerialBackend` drives a single
+  :class:`~repro.platform.pipeline.BenchmarkingPipeline` one configuration at
+  a time — the platform's historical behaviour, kept bit-identical so that a
+  ``workers=1, batch_size=1`` session reproduces the sequential loop trial
+  for trial.
+* :class:`WorkerPoolBackend` models a fleet of N system-under-test machines.
+  Each worker owns a full :class:`BenchmarkingPipeline` — its own virtual
+  clock and its own skip-build state (a worker can only reuse an image *it*
+  has booted) — while all workers share one
+  :class:`~repro.vm.simulator.SystemSimulator`.  Sharing the simulator means
+  the measurement-noise RNG stream is consumed in dispatch order, so with
+  ``enable_skip_build=False`` the *outcome* of evaluating a given dispatch
+  sequence does not depend on how many workers it was spread across; only
+  the time axis does.  With skip-build enabled (the default), image reuse
+  is inherently per-worker state — a variant the serial pipeline would have
+  reused may be cold-built on a different worker — so durations and the
+  build/boot failure masking of reused images can legitimately differ
+  between worker counts.
+
+Clock-merge semantics: a trial's timestamps come from the clock of the worker
+it ran on, and the session-level clock is the maximum over all worker clocks.
+Because a batch is only proposed once every observation of the previous batch
+is in (the propose→evaluate→observe barrier), every worker clock is advanced
+to the session clock at the start of a batch — workers idle at the barrier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config.space import Configuration
+from repro.platform.history import TrialRecord
+from repro.platform.metrics import Metric
+from repro.platform.pipeline import BenchmarkingPipeline, VirtualClock
+from repro.vm.simulator import SystemSimulator
+
+
+class ExecutionBackend:
+    """Evaluates batches of configurations for a search session."""
+
+    name = "backend"
+
+    #: number of system-under-test workers the backend models.
+    workers = 1
+
+    @property
+    def space(self):
+        """The configuration space of the system under test."""
+        raise NotImplementedError
+
+    @property
+    def metric(self) -> Metric:
+        raise NotImplementedError
+
+    @property
+    def now_s(self) -> float:
+        """Session-level virtual time (seconds)."""
+        raise NotImplementedError
+
+    @property
+    def trials_run(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def builds_skipped(self) -> int:
+        raise NotImplementedError
+
+    def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
+        """Evaluate *configurations* and return their records in submission order.
+
+        Submission order (not completion order) keeps the observation stream
+        seen by the search algorithm independent of the worker count; the
+        history re-orders by virtual completion time on ingestion
+        (:meth:`ExplorationHistory.add_batch`).
+        """
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """One system under test, evaluated strictly sequentially."""
+
+    name = "serial"
+    workers = 1
+
+    def __init__(self, pipeline: BenchmarkingPipeline) -> None:
+        self.pipeline = pipeline
+
+    @property
+    def space(self):
+        return self.pipeline.space
+
+    @property
+    def metric(self) -> Metric:
+        return self.pipeline.metric
+
+    @property
+    def now_s(self) -> float:
+        return self.pipeline.clock.now_s
+
+    @property
+    def trials_run(self) -> int:
+        return self.pipeline.trials_run
+
+    @property
+    def builds_skipped(self) -> int:
+        return self.pipeline.builds_skipped
+
+    def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
+        return [self.pipeline.evaluate(configuration)
+                for configuration in configurations]
+
+
+class WorkerPoolBackend(ExecutionBackend):
+    """A pool of N simulated system-under-test machines.
+
+    Dispatch is greedy list scheduling: each configuration of a batch (in
+    proposal order) goes to the worker whose clock is earliest, ties broken
+    by worker id.  Trial timestamps are the assigned worker's clock, so
+    trials of one batch overlap in virtual time — which is the entire point:
+    the fleet compresses wall-clock time-to-best without touching per-trial
+    durations.
+    """
+
+    name = "worker-pool"
+
+    def __init__(self, simulator: SystemSimulator, metric: Metric,
+                 workers: int = 2, enable_skip_build: bool = True) -> None:
+        if workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        self.simulator = simulator
+        self._metric = metric
+        self.workers = workers
+        self.pipelines = [
+            BenchmarkingPipeline(simulator, metric, clock=VirtualClock(),
+                                 enable_skip_build=enable_skip_build)
+            for _ in range(workers)
+        ]
+        #: worker index each trial ran on, parallel to dispatch order.
+        self.assignments: List[int] = []
+
+    @property
+    def space(self):
+        return self.pipelines[0].space
+
+    @property
+    def metric(self) -> Metric:
+        return self._metric
+
+    @property
+    def now_s(self) -> float:
+        return max(pipeline.clock.now_s for pipeline in self.pipelines)
+
+    @property
+    def worker_clocks_s(self) -> List[float]:
+        return [pipeline.clock.now_s for pipeline in self.pipelines]
+
+    @property
+    def trials_run(self) -> int:
+        return sum(pipeline.trials_run for pipeline in self.pipelines)
+
+    @property
+    def builds_skipped(self) -> int:
+        return sum(pipeline.builds_skipped for pipeline in self.pipelines)
+
+    def _sync_to_barrier(self) -> None:
+        """Advance every worker clock to the session clock (idle at barrier)."""
+        session_now = self.now_s
+        for pipeline in self.pipelines:
+            behind = session_now - pipeline.clock.now_s
+            if behind > 0:
+                pipeline.clock.advance(behind)
+
+    def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
+        self._sync_to_barrier()
+        records: List[TrialRecord] = []
+        for configuration in configurations:
+            worker = min(range(self.workers),
+                         key=lambda index: (self.pipelines[index].clock.now_s, index))
+            record = self.pipelines[worker].evaluate(configuration)
+            record.worker = worker
+            self.assignments.append(worker)
+            records.append(record)
+        return records
+
+
+def make_backend(simulator: SystemSimulator, metric: Metric, workers: int = 1,
+                 enable_skip_build: bool = True,
+                 clock: Optional[VirtualClock] = None) -> ExecutionBackend:
+    """Build the appropriate backend for *workers* simulated SUT machines."""
+    if workers <= 1:
+        pipeline = BenchmarkingPipeline(simulator, metric,
+                                        clock=clock or VirtualClock(),
+                                        enable_skip_build=enable_skip_build)
+        return SerialBackend(pipeline)
+    return WorkerPoolBackend(simulator, metric, workers=workers,
+                             enable_skip_build=enable_skip_build)

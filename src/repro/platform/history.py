@@ -36,6 +36,7 @@ class TrialRecord:
         duration_s: float,
         started_at_s: float,
         build_skipped: bool = False,
+        worker: int = 0,
     ) -> None:
         self.index = index
         self.configuration = configuration
@@ -48,6 +49,8 @@ class TrialRecord:
         self.duration_s = duration_s
         self.started_at_s = started_at_s
         self.build_skipped = build_skipped
+        #: index of the system-under-test worker that ran the trial.
+        self.worker = worker
 
     @property
     def finished_at_s(self) -> float:
@@ -100,6 +103,23 @@ class ExplorationHistory:
             record.objective
             if (not record.crashed and record.objective is not None) else np.nan)
         self._crash_buffer[index] = record.crashed
+
+    def add_batch(self, records: Sequence[TrialRecord]) -> List[TrialRecord]:
+        """Ingest one batch of completed trials in virtual-completion-time order.
+
+        Workers finish out of submission order, so the batch is stably sorted
+        by :attr:`TrialRecord.finished_at_s` (submission order breaks ties)
+        before ingestion and every record's ``index`` is rewritten to its
+        session-global position.  This keeps the incumbent cache, the
+        best-so-far series, and time-to-best semantics well-defined: a trial
+        only becomes the incumbent from the moment it *completed* on the
+        virtual time axis.  Returns the records in ingestion order.
+        """
+        ordered = sorted(records, key=lambda record: record.finished_at_s)
+        for record in ordered:
+            record.index = len(self._records)
+            self.add(record)
+        return ordered
 
     def __len__(self) -> int:
         return len(self._records)

@@ -49,6 +49,7 @@ def record_to_dict(record: TrialRecord) -> Dict[str, object]:
         "duration_s": record.duration_s,
         "started_at_s": record.started_at_s,
         "build_skipped": record.build_skipped,
+        "worker": record.worker,
     }
 
 
@@ -67,6 +68,7 @@ def record_from_dict(data: Dict[str, object], space: ConfigSpace) -> TrialRecord
         duration_s=float(data.get("duration_s", 0.0)),
         started_at_s=float(data.get("started_at_s", 0.0)),
         build_skipped=bool(data.get("build_skipped", False)),
+        worker=int(data.get("worker", 0)),
     )
 
 
@@ -147,7 +149,7 @@ class ResultsStore:
         parameter_names = list(parameters or [])
         fieldnames = ["index", "objective", "crashed", "failure_stage",
                       "metric_value", "memory_mb", "duration_s", "started_at_s",
-                      "build_skipped"] + parameter_names
+                      "build_skipped", "worker"] + parameter_names
         with open(path, "w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=fieldnames)
             writer.writeheader()

@@ -1,9 +1,18 @@
 """The search session: the core exploration loop of the platform.
 
-A session iterates "select configuration → evaluate → record" until the
+A session iterates "select configuration(s) → evaluate → record" until the
 iteration or (virtual) time budget is exhausted, then reports the best
 configuration found, how long it took to find it, and the full exploration
 history used by the evaluation figures.
+
+The loop is batch-oriented: each round asks the algorithm for up to
+``batch_size`` configurations (:meth:`SearchAlgorithm.propose_batch`) and
+hands them to an :class:`~repro.platform.executor.ExecutionBackend`, which
+may spread them over several simulated system-under-test workers.  With
+``workers=1, batch_size=1`` the loop reproduces the strictly sequential
+propose→evaluate→observe loop trial for trial — same proposals, same RNG
+consumption, same timestamps — which is asserted by
+``tests/test_batch_execution.py``.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ import time
 from typing import Optional
 
 from repro.config.space import Configuration
+from repro.platform.executor import ExecutionBackend, SerialBackend
 from repro.platform.history import ExplorationHistory, TrialRecord
 from repro.platform.metrics import Metric
 from repro.platform.pipeline import BenchmarkingPipeline
@@ -22,11 +32,14 @@ class SessionResult:
     """Outcome of one complete search session."""
 
     def __init__(self, history: ExplorationHistory, algorithm_name: str,
-                 search_overhead_s: float, builds_skipped: int) -> None:
+                 search_overhead_s: float, builds_skipped: int,
+                 workers: int = 1, batch_size: int = 1) -> None:
         self.history = history
         self.algorithm_name = algorithm_name
         self.search_overhead_s = search_overhead_s
         self.builds_skipped = builds_skipped
+        self.workers = workers
+        self.batch_size = batch_size
 
     @property
     def best_record(self) -> Optional[TrialRecord]:
@@ -59,6 +72,8 @@ class SessionResult:
             "algorithm": self.algorithm_name,
             "search_overhead_s": self.search_overhead_s,
             "builds_skipped": self.builds_skipped,
+            "workers": self.workers,
+            "batch_size": self.batch_size,
         })
         return data
 
@@ -71,54 +86,89 @@ class SessionResult:
 class SearchSession:
     """Runs one specialization search with a given algorithm and budget."""
 
-    def __init__(self, pipeline: BenchmarkingPipeline, algorithm: SearchAlgorithm,
+    def __init__(self, pipeline: Optional[BenchmarkingPipeline] = None,
+                 algorithm: SearchAlgorithm = None,
                  metric: Optional[Metric] = None,
-                 evaluate_default_first: bool = False) -> None:
-        self.pipeline = pipeline
+                 evaluate_default_first: bool = False,
+                 backend: Optional[ExecutionBackend] = None,
+                 batch_size: int = 1) -> None:
+        if backend is None:
+            if pipeline is None:
+                raise ValueError("a session needs a pipeline or an execution backend")
+            backend = SerialBackend(pipeline)
+        if algorithm is None:
+            raise ValueError("a session needs a search algorithm")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.backend = backend
+        self.pipeline = pipeline if pipeline is not None else getattr(backend, "pipeline", None)
         self.algorithm = algorithm
-        self.metric = metric or pipeline.metric
+        self.metric = metric or backend.metric
+        self.batch_size = batch_size
         self.history = ExplorationHistory(self.metric)
         #: when set, the very first trial benchmarks the default configuration
         #: so the incumbent baseline is always part of the explored set (and
-        #: of the model's training data).
+        #: of the model's training data).  It always runs first *and alone*,
+        #: even in batched sessions: the baseline must not share a batch with
+        #: configurations proposed without any observation to learn from.
         self.evaluate_default_first = evaluate_default_first
 
     def run(self, iterations: Optional[int] = None,
-            time_budget_s: Optional[float] = None) -> SessionResult:
+            time_budget_s: Optional[float] = None,
+            batch_size: Optional[int] = None) -> SessionResult:
         """Run the exploration loop until the iteration or time budget is spent.
 
         *time_budget_s* is measured on the platform's virtual clock, i.e. in
         simulated benchmarking time, matching how the paper expresses budgets
-        (e.g. "a time budget of 3 hours").
+        (e.g. "a time budget of 3 hours").  The budget is checked at batch
+        boundaries, so a batched session may overshoot it by at most one
+        batch — with ``batch_size=1`` the historical per-trial check.
+
+        *batch_size* overrides the session-level batch size for this run.
+        Each round proposes up to ``batch_size`` configurations; completed
+        trials enter the history in virtual-completion-time order while the
+        algorithm observes them in submission order, keeping its training
+        stream independent of how many workers evaluated the batch.
         """
         if iterations is None and time_budget_s is None:
             raise ValueError("a session needs an iteration or time budget")
+        batch_size = self.batch_size if batch_size is None else batch_size
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         search_overhead = 0.0
         completed = 0
         if self.evaluate_default_first and not self.history:
-            record = self.pipeline.evaluate(self.pipeline.space.default_configuration())
-            self.history.add(record)
-            self.algorithm.observe(record)
-            completed += 1
+            records = self.backend.run_batch(
+                [self.backend.space.default_configuration()])
+            self.history.add_batch(records)
+            for record in records:
+                self.algorithm.observe(record)
+            completed += len(records)
         while True:
             if iterations is not None and completed >= iterations:
                 break
-            if time_budget_s is not None and self.pipeline.clock.now_s >= time_budget_s:
+            if time_budget_s is not None and self.backend.now_s >= time_budget_s:
                 break
+            k = batch_size
+            if iterations is not None:
+                k = min(k, iterations - completed)
             proposal_started = time.perf_counter()
-            configuration = self.algorithm.propose(self.history)
+            batch = self.algorithm.propose_batch(self.history, k)
             search_overhead += time.perf_counter() - proposal_started
 
-            record = self.pipeline.evaluate(configuration)
-            self.history.add(record)
+            records = self.backend.run_batch(batch)
+            self.history.add_batch(records)
 
             observe_started = time.perf_counter()
-            self.algorithm.observe(record)
+            for record in records:
+                self.algorithm.observe(record)
             search_overhead += time.perf_counter() - observe_started
-            completed += 1
+            completed += len(records)
         return SessionResult(
             history=self.history,
             algorithm_name=self.algorithm.name,
             search_overhead_s=search_overhead,
-            builds_skipped=self.pipeline.builds_skipped,
+            builds_skipped=self.backend.builds_skipped,
+            workers=self.backend.workers,
+            batch_size=batch_size,
         )

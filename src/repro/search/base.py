@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.config.parameter import ParameterKind
 from repro.config.space import Configuration, ConfigSpace
@@ -67,17 +67,82 @@ class ConfigurationSampler:
             configuration = self.space.repair(configuration, self.rng)
         return configuration
 
-    def sample_unique(self, history: ExplorationHistory, attempts: int = 32) -> Configuration:
-        """Draw a configuration not yet present in *history* (best effort)."""
+    def sample_unique(self, history: ExplorationHistory, attempts: int = 32,
+                      exclude: Optional[Set[Configuration]] = None) -> Configuration:
+        """Draw a configuration not yet present in *history* (best effort).
+
+        *exclude* extends the membership check to configurations already
+        chosen for the current batch but not yet evaluated, so batched
+        proposers can avoid intra-batch duplicates.  With ``exclude`` empty
+        or ``None`` the draw sequence is identical to the historical
+        single-proposal behaviour.
+        """
         for _ in range(attempts):
             candidate = self.sample()
-            if not history.contains_configuration(candidate):
-                return candidate
+            if history.contains_configuration(candidate):
+                continue
+            if exclude and candidate in exclude:
+                continue
+            return candidate
         return self.sample()
 
-    def sample_pool(self, size: int) -> List[Configuration]:
-        """Draw a pool of candidates (duplicates possible on tiny spaces)."""
-        return [self.sample() for _ in range(size)]
+    def sample_pool(self, size: int,
+                    history: Optional[ExplorationHistory] = None,
+                    attempts_per_slot: int = 8) -> List[Configuration]:
+        """Draw a pool of candidates (duplicates possible on tiny spaces).
+
+        When *history* is given, each slot is re-drawn (up to
+        *attempts_per_slot* times) while it collides with an already
+        evaluated configuration, using the history's O(1) membership index.
+        On small spaces this stops candidate pools from wasting slots on
+        configurations whose outcome is already known.
+        """
+        if history is None:
+            return [self.sample() for _ in range(size)]
+        pool: List[Configuration] = []
+        for _ in range(size):
+            candidate = self.sample()
+            for _ in range(attempts_per_slot - 1):
+                if not history.contains_configuration(candidate):
+                    break
+                candidate = self.sample()
+            pool.append(candidate)
+        return pool
+
+    def sample_batch_unique(self, history: ExplorationHistory,
+                            k: int) -> List[Configuration]:
+        """Draw *k* configurations avoiding *history* and intra-batch repeats."""
+        return self.fill_batch((), history, k)
+
+    def fill_batch(self, ranked, history: ExplorationHistory, k: int,
+                   skip_explored: bool = True) -> List[Configuration]:
+        """Take up to *k* distinct configurations from the *ranked* iterable,
+        padding any shortfall with unique random samples.
+
+        Intra-batch duplicates and (with *skip_explored*) already-evaluated
+        configurations are skipped but still consumed from the iterable, and
+        nothing beyond the *k*-th pick is consumed — so stateful sources
+        (e.g. a grid-plan cursor) advance exactly as far as the selection
+        needed.  Shared by every batch-native proposer so the dedup/padding
+        semantics cannot drift between algorithms.
+        """
+        batch: List[Configuration] = []
+        chosen: Set[Configuration] = set()
+        if k > 0:
+            for candidate in ranked:
+                if candidate in chosen:
+                    continue
+                if skip_explored and history.contains_configuration(candidate):
+                    continue
+                batch.append(candidate)
+                chosen.add(candidate)
+                if len(batch) >= k:
+                    break
+        while len(batch) < k:
+            candidate = self.sample_unique(history, exclude=chosen)
+            batch.append(candidate)
+            chosen.add(candidate)
+        return batch
 
     def mutate(self, configuration: Configuration, mutation_rate: float = 0.1) -> Configuration:
         """Mutate an existing configuration within the favoured kinds."""
@@ -96,6 +161,11 @@ class SearchAlgorithm:
     #: registry/reporting name.
     name = "search"
 
+    #: True for algorithms that derive a whole batch from one model/scoring
+    #: pass (overriding :meth:`propose_batch`); False for algorithms that
+    #: fall back to sequential proposals.
+    batch_native = False
+
     def __init__(self, space: ConfigSpace, seed: int = 0,
                  favored_kinds: Optional[Sequence[ParameterKind]] = None) -> None:
         self.space = space
@@ -105,6 +175,25 @@ class SearchAlgorithm:
     def propose(self, history: ExplorationHistory) -> Configuration:
         """Return the next configuration the platform should evaluate."""
         raise NotImplementedError
+
+    def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:
+        """Return up to *k* configurations to evaluate as one batch.
+
+        The default implementation issues *k* sequential :meth:`propose`
+        calls without intermediate observations, which preserves each
+        algorithm's per-proposal cost profile (deliberately so for the
+        Unicorn baseline, whose Figure 7 growth curve depends on a full
+        graph recomputation per proposal).  Batch-native algorithms override
+        this to derive the whole batch from a single scoring pass.
+
+        Contract: ``propose_batch(history, 1)`` must behave exactly like
+        ``[propose(history)]`` — same configuration, same RNG consumption —
+        so a ``batch_size=1`` session reproduces the sequential loop
+        trial for trial.
+        """
+        if k < 1:
+            raise ValueError("batch size must be at least 1")
+        return [self.propose(history) for _ in range(k)]
 
     def observe(self, record: TrialRecord) -> None:
         """Learn from the result of the most recent evaluation.

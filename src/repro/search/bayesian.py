@@ -98,6 +98,7 @@ class BayesianOptimizationSearch(SearchAlgorithm):
     """GP-based Bayesian optimization over the encoded configuration space."""
 
     name = "bayesian"
+    batch_native = True
 
     def __init__(self, space: ConfigSpace, seed: int = 0,
                  favored_kinds: Optional[Sequence[ParameterKind]] = None,
@@ -148,18 +149,46 @@ class BayesianOptimizationSearch(SearchAlgorithm):
         return True
 
     # -- proposal ----------------------------------------------------------------------
-    def propose(self, history: ExplorationHistory) -> Configuration:
-        if len(self._X) < self.initial_random or not self._fit():
-            return self.sampler.sample_unique(history)
-        candidates = self.sampler.sample_pool(self.candidate_pool_size)
+    def _ranked_pool(self, history: ExplorationHistory) -> Tuple[List[Configuration], np.ndarray]:
+        """Sample a candidate pool and rank it by expected improvement.
+
+        Pool slots are deduplicated against the history (O(1) membership
+        index), so on small spaces the acquisition step does not waste
+        candidates on configurations whose outcome is already known.  On
+        large spaces collisions essentially never happen and the draw
+        sequence is unchanged.
+        """
+        candidates = self.sampler.sample_pool(self.candidate_pool_size,
+                                              history=history)
         matrix = self.encoder.encode_batch(candidates)
         mean, std = self.gp.predict(matrix)
         observed = [v for v in self._y if not math.isnan(v)]
         best = max(observed) if observed else 0.0
         scores = expected_improvement(mean, std, best)
-        order = np.argsort(-scores)
+        return candidates, np.argsort(-scores)
+
+    def propose(self, history: ExplorationHistory) -> Configuration:
+        if len(self._X) < self.initial_random or not self._fit():
+            return self.sampler.sample_unique(history)
+        candidates, order = self._ranked_pool(history)
         for index in order:
             candidate = candidates[int(index)]
             if not history.contains_configuration(candidate):
                 return candidate
         return self.sampler.sample_unique(history)
+
+    def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:
+        """Take the top-*k* distinct candidates from one EI scoring pass.
+
+        The surrogate is fit once for the whole batch (no fantasized
+        observations between picks), so a batch costs one cubic fit instead
+        of *k* — the batched counterpart of the paper's criticism of the
+        per-observation refit.
+        """
+        if k < 1:
+            raise ValueError("batch size must be at least 1")
+        if len(self._X) < self.initial_random or not self._fit():
+            return self.sampler.sample_batch_unique(history, k)
+        candidates, order = self._ranked_pool(history)
+        return self.sampler.fill_batch(
+            (candidates[int(index)] for index in order), history, k)

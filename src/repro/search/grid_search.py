@@ -22,6 +22,7 @@ class GridSearch(SearchAlgorithm):
     """One-at-a-time sweep of every parameter around the default configuration."""
 
     name = "grid"
+    batch_native = True
 
     def __init__(self, space: ConfigSpace, seed: int = 0,
                  favored_kinds: Optional[Sequence[ParameterKind]] = None,
@@ -65,13 +66,24 @@ class GridSearch(SearchAlgorithm):
         """Number of configurations the sweep will enumerate before recycling."""
         return len(self._plan)
 
-    # -- search interface ------------------------------------------------------------
-    def propose(self, history: ExplorationHistory) -> Configuration:
+    def _plan_entries(self) -> Iterator[Configuration]:
+        """Consume plan entries in sweep order, advancing the cursor."""
         while self._cursor < len(self._plan):
             candidate = self._plan[self._cursor]
             self._cursor += 1
+            yield candidate
+
+    # -- search interface ------------------------------------------------------------
+    def propose(self, history: ExplorationHistory) -> Configuration:
+        for candidate in self._plan_entries():
             if not history.contains_configuration(candidate):
                 return candidate
         # Plan exhausted: fall back to random sampling so long sessions can
         # keep running (matches how the platform treats exhausted strategies).
         return self.sampler.sample_unique(history)
+
+    def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:
+        """Take the next *k* unexplored plan entries (random once exhausted)."""
+        if k < 1:
+            raise ValueError("batch size must be at least 1")
+        return self.sampler.fill_batch(self._plan_entries(), history, k)

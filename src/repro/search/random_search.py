@@ -9,6 +9,8 @@ learns which regions fail.
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.config.space import Configuration
 from repro.platform.history import ExplorationHistory
 from repro.search.base import SearchAlgorithm
@@ -18,6 +20,13 @@ class RandomSearch(SearchAlgorithm):
     """Uniform random sampling of the configuration space."""
 
     name = "random"
+    batch_native = True
 
     def propose(self, history: ExplorationHistory) -> Configuration:
         return self.sampler.sample_unique(history)
+
+    def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:
+        """Draw *k* fresh samples, avoiding intra-batch duplicates as well."""
+        if k < 1:
+            raise ValueError("batch size must be at least 1")
+        return self.sampler.sample_batch_unique(history, k)

@@ -211,7 +211,11 @@ class UnicornSearch(SearchAlgorithm):
         if self._graph is None:
             return self.sampler.sample_unique(history)
         important = set(self._graph.strongest_features(self.top_k))
-        candidates = self.sampler.sample_pool(self.candidate_pool_size)
+        # dedup pool slots against already-evaluated configurations (O(1)
+        # membership index); the ranked fallback scan below stays as the
+        # safety net when the space is nearly exhausted.
+        candidates = self.sampler.sample_pool(self.candidate_pool_size,
+                                              history=history)
         matrix = np.vstack([self._encode(candidate) for candidate in candidates])
 
         best_record = history.best_record()

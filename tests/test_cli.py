@@ -23,6 +23,47 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "magic"])
 
+    def test_run_accepts_workers_and_batch_size(self):
+        args = build_parser().parse_args(
+            ["run", "--workers", "4", "--batch-size", "8"])
+        assert args.workers == 4
+        assert args.batch_size == 8
+
+    def test_compare_accepts_budget_and_favor(self):
+        args = build_parser().parse_args(
+            ["compare", "--favor", "none", "--time-budget-s", "3600",
+             "--workers", "2", "--batch-size", "2"])
+        assert args.favor == "none"
+        assert args.time_budget_s == 3600.0
+        assert args.workers == 2
+
+    def test_compare_rejects_unknown_favor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--favor", "everything"])
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--batch-size", "0"])
+
+    def test_favor_forwarded_per_os(self):
+        from repro.cli import _build_wayfinder
+        from repro.config.parameter import ParameterKind
+
+        # explicit favor is honoured on unikraft too (was silently dropped)
+        wf = _build_wayfinder("unikraft", "unikraft-nginx", "auto", "random",
+                              "boot", 1)
+        assert wf.favored_kinds == [ParameterKind.BOOT_TIME]
+        # unspecified favor keeps the per-OS historical defaults
+        assert _build_wayfinder("unikraft", "unikraft-nginx", "auto", "random",
+                                None, 1).favored_kinds is None
+        assert _build_wayfinder("linux", "nginx", "auto", "random",
+                                None, 1).favored_kinds == [ParameterKind.RUNTIME]
+        # "none" means explicitly unfavored on both
+        assert _build_wayfinder("linux", "nginx", "auto", "random",
+                                "none", 1).favored_kinds is None
+
 
 class TestCensus:
     def test_census_prints_table(self, capsys):
@@ -74,6 +115,35 @@ class TestRun:
         assert code == 0
         assert "Search result" in capsys.readouterr().out
 
+    def test_run_with_workers_and_batch(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "results")
+        code = main([
+            "run", "--application", "nginx", "--algorithm", "random",
+            "--iterations", "8", "--seed", "3", "--workers", "4",
+            "--batch-size", "4", "--results", results_dir, "--name", "fleet",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "4 workers" in output
+        with open(os.path.join(results_dir, "fleet.json")) as handle:
+            document = json.load(handle)
+        assert document["summary"]["trials"] == 8
+
+    def test_job_file_workers_used_and_overridable(self, tmp_path, capsys, small_space):
+        from repro.config.jobfile import JobFile, dump_job_file
+
+        job_path = str(tmp_path / "job.yaml")
+        job = JobFile(name="job", os_name="linux", application="nginx",
+                      bench_tool="wrk", metric="throughput", space=small_space,
+                      iterations=6, favor_kinds=["runtime"], seed=1,
+                      workers=2, batch_size=2)
+        dump_job_file(job, job_path)
+        assert main(["run", "--job", job_path, "--algorithm", "random"]) == 0
+        assert "2 workers" in capsys.readouterr().out
+        assert main(["run", "--job", job_path, "--algorithm", "random",
+                     "--workers", "3"]) == 0
+        assert "3 workers" in capsys.readouterr().out
+
 
 class TestCompare:
     def test_compare_two_algorithms(self, capsys):
@@ -82,4 +152,19 @@ class TestCompare:
         assert code == 0
         output = capsys.readouterr().out
         assert "algorithm comparison" in output
+        assert "random" in output and "grid" in output
+
+    def test_compare_honours_favor_and_time_budget(self, capsys):
+        code = main(["compare", "--application", "nginx", "--algorithms", "random",
+                     "--favor", "none", "--iterations", "50",
+                     "--time-budget-s", "2000", "--seed", "2"])
+        assert code == 0
+        assert "algorithm comparison" in capsys.readouterr().out
+
+    def test_compare_with_worker_fleet(self, capsys):
+        code = main(["compare", "--application", "nginx", "--algorithms", "random",
+                     "grid", "--iterations", "6", "--seed", "2",
+                     "--workers", "2", "--batch-size", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
         assert "random" in output and "grid" in output

@@ -54,6 +54,33 @@ job:
         text = dump_yaml({"key": "value: with colon"})
         assert load_yaml(text) == {"key": "value: with colon"}
 
+    def test_numeric_looking_strings_round_trip_as_strings(self):
+        # regression: these previously dumped unquoted and parsed back as
+        # ints/floats ("1.5" -> 1.5, "007" -> 7, "0x1f" -> 31, "1e3" -> 1000.0)
+        data = {"a": "1.5", "b": "007", "c": "0x1f", "d": "1e3",
+                "e": "nan", "f": "-inf", "g": "0b101", "h": "+3"}
+        roundtripped = load_yaml(dump_yaml(data))
+        assert roundtripped == data
+        for value in roundtripped.values():
+            assert isinstance(value, str)
+
+    def test_numbers_still_round_trip_as_numbers(self):
+        data = {"a": 1.5, "b": 7, "c": 0.0, "d": -3}
+        assert load_yaml(dump_yaml(data)) == data
+
+    def test_leading_indicator_strings_round_trip(self):
+        # "-x" as a list item previously rendered as "- -x"; "?y" is a YAML
+        # indicator.  Both must survive in mappings and in lists.
+        data = {"values": ["-x", "- spaced", "?y", "plain"],
+                "flag": "-x", "question": "?y"}
+        assert load_yaml(dump_yaml(data)) == data
+
+    def test_reserved_words_round_trip_as_strings(self):
+        data = {"values": ["null", "true", "no", "~"]}
+        roundtripped = load_yaml(dump_yaml(data))
+        assert roundtripped == data
+        assert all(isinstance(v, str) for v in roundtripped["values"])
+
 
 class TestParameterFromDict:
     def test_int_roundtrip(self, small_space):
@@ -85,6 +112,8 @@ class TestJobFile:
             favor_kinds=["runtime"],
             frozen={"kernel.randomize_va_space": 2},
             seed=7,
+            workers=4,
+            batch_size=8,
         )
 
     @pytest.mark.parametrize("extension", ["yaml", "json"])
@@ -98,6 +127,8 @@ class TestJobFile:
         assert loaded.metric == "throughput"
         assert loaded.iterations == 100
         assert loaded.seed == 7
+        assert loaded.workers == 4
+        assert loaded.batch_size == 8
         assert len(loaded.space) == len(small_space)
         assert loaded.space.frozen_parameters == {"kernel.randomize_va_space": 2}
 
@@ -114,3 +145,5 @@ class TestJobFile:
         job = JobFile.from_dict({"job": {}, "parameters": []})
         assert job.os_name == "linux"
         assert job.iterations == 250
+        assert job.workers == 1
+        assert job.batch_size == 1

@@ -30,6 +30,17 @@ class TestRecordSerialization:
         assert restored.crashed
         assert restored.objective is None
 
+    def test_worker_attribution_roundtrip(self, small_space):
+        record = make_record(small_space.default_configuration(), index=2,
+                             objective=5.0)
+        record.worker = 3
+        restored = record_from_dict(record_to_dict(record), small_space)
+        assert restored.worker == 3
+        # histories saved before the worker field existed load as worker 0
+        legacy = record_to_dict(record)
+        del legacy["worker"]
+        assert record_from_dict(legacy, small_space).worker == 0
+
 
 class TestResultsStore:
     def make_history(self, small_linux_model, iterations=8):
