@@ -8,7 +8,6 @@ scalability claims: Unicorn's per-iteration time and memory keep growing as
 the observation history grows, while DeepTune's stay essentially flat.
 """
 
-import random
 import time
 import tracemalloc
 

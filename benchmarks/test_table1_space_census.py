@@ -7,7 +7,6 @@ boot-time options, 13328 runtime options).
 """
 
 from repro.analysis.reporting import format_table
-from repro.config.parameter import ParameterKind
 from repro.kconfig.linux import LinuxSpaceBuilder, linux_census
 
 

@@ -73,7 +73,6 @@ def test_table3_prediction_accuracy(benchmark):
         title="Table 3: DeepTune prediction accuracy on held-out configurations"))
 
     mean_failure = np.mean([summaries[a]["failure_accuracy"] for a in LINUX_APPLICATIONS])
-    mean_run = np.mean([summaries[a]["run_accuracy"] for a in LINUX_APPLICATIONS])
     # The crash head is usable (paper: 0.74-0.80 failure accuracy) and the
     # failure accuracy is the stronger of the two signals, which is why
     # Wayfinder relies on it rather than on run accuracy.

@@ -4,7 +4,8 @@
 Reproduces the setting of the paper's Figure 9 at a reduced budget: the same
 33-parameter Unikraft/Nginx space explored by random search, Bayesian
 optimization and DeepTune, reporting the best throughput each algorithm finds
-and how quickly it gets there.
+and how quickly it gets there.  Each run is described by one declarative
+:class:`ExperimentSpec`; only the algorithm field differs between rows.
 
 Usage:
     python examples/compare_algorithms.py [iterations]
@@ -12,13 +13,14 @@ Usage:
 
 import sys
 
-from repro import Wayfinder
+from repro import ExperimentSpec, Wayfinder
 from repro.analysis.reporting import format_table
 
 
 def run(algorithm: str, iterations: int, seed: int = 7):
-    wayfinder = Wayfinder.for_unikraft(algorithm=algorithm, seed=seed)
-    result = wayfinder.specialize(iterations=iterations)
+    spec = ExperimentSpec(os_name="unikraft", algorithm=algorithm, seed=seed,
+                          iterations=iterations)
+    result = Wayfinder.from_spec(spec).specialize()
     return {
         "algorithm": algorithm,
         "best (req/s)": "{:.0f}".format(result.best_performance or 0.0),

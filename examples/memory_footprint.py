@@ -11,7 +11,7 @@ Usage:
 
 import sys
 
-from repro import Wayfinder
+from repro import ExperimentSpec, Wayfinder
 from repro.analysis.reporting import format_table
 from repro.config.parameter import ParameterKind
 
@@ -19,15 +19,17 @@ from repro.config.parameter import ParameterKind
 def main() -> None:
     iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 80
 
-    wayfinder = Wayfinder.for_linux(
+    spec = ExperimentSpec(
         application="nginx",
         metric="memory",
         architecture="riscv64",      # the embedded target of the paper's experiment
         algorithm="deeptune",
         favor="compile",
         seed=5,
+        iterations=iterations,
     )
-    result = wayfinder.specialize(iterations=iterations)
+    wayfinder = Wayfinder.from_spec(spec)
+    result = wayfinder.specialize()
 
     reduction = 1.0 - result.best_performance / result.default_objective
     print(format_table(

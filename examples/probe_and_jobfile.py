@@ -5,7 +5,8 @@ This example exercises the §3.4 pipeline: boot a (simulated) VM, list the
 writable files under /proc/sys and /sys, infer each parameter's type and valid
 range by scaling its default value up and down, and write the resulting space
 to a YAML job file that the platform can execute.  It then loads the job file
-back and runs a short random-search session over the probed space.
+back, converts it to the declarative :class:`ExperimentSpec` every front-end
+shares, and runs a short random-search session from that spec.
 
 Usage:
     python examples/probe_and_jobfile.py [output.yaml]
@@ -13,19 +14,12 @@ Usage:
 
 import sys
 
+from repro import Wayfinder
 from repro.analysis.reporting import format_table
-from repro.apps.registry import default_bench_tool_for, get_application
 from repro.config.jobfile import JobFile, dump_job_file, load_job_file
-from repro.config.parameter import ParameterKind
 from repro.config.space import ConfigSpace
-from repro.platform.metrics import metric_for_application
-from repro.platform.pipeline import BenchmarkingPipeline
-from repro.platform.runner import SearchSession
-from repro.search.random_search import RandomSearch
 from repro.sysctl.probe import SpaceProber
 from repro.sysctl.procfs import ProcFS
-from repro.vm.os_model import linux_os_model
-from repro.vm.simulator import SystemSimulator
 
 
 def main() -> None:
@@ -46,29 +40,26 @@ def main() -> None:
                         name="probed-runtime-space")
     job = JobFile(name="nginx-probed", os_name="linux", application="nginx",
                   bench_tool="wrk", metric="throughput", space=space,
-                  iterations=30, favor_kinds=["runtime"], seed=3)
+                  iterations=30, favor_kinds=["runtime"], seed=3,
+                  algorithm="random")
     dump_job_file(job, output)
     print("\nWrote job file to {}".format(output))
 
-    # Step 3: load the job file back and run a short session for its
-    # application.  The platform searches the OS model's space directly; the
-    # job file documents the probed runtime subset for reproducibility.
+    # Step 3: load the job file back, build the one spec every front-end
+    # shares, and run a short session from it.  The platform searches the OS
+    # model's space directly; the job file documents the probed runtime
+    # subset for reproducibility.
     loaded = load_job_file(output)
+    spec = loaded.to_spec()
+    wayfinder = Wayfinder.from_spec(spec)
     probed_names = set(loaded.space.parameter_names())
-    os_model = linux_os_model(seed=loaded.seed)
-    overlap = [name for name in probed_names if name in os_model.space]
+    overlap = [name for name in probed_names if name in wayfinder.space]
     print("\n{} of the probed parameters exist in the experiment space".format(len(overlap)))
 
-    application = get_application(loaded.application)
-    bench = default_bench_tool_for(loaded.application)
-    simulator = SystemSimulator(os_model, application, bench, seed=loaded.seed)
-    pipeline = BenchmarkingPipeline(simulator, metric_for_application(loaded.application))
-    search = RandomSearch(os_model.space, seed=loaded.seed,
-                          favored_kinds=[ParameterKind.RUNTIME])
-    result = SearchSession(pipeline, search).run(iterations=loaded.iterations)
+    result = wayfinder.specialize()   # budget and algorithm come from the job
     print("Short random session: best {:.0f} req/s after {} iterations "
           "({:.0%} crash rate)".format(
-              result.best_objective, result.iterations, result.crash_rate))
+              result.best_performance, result.iterations, result.crash_rate))
 
 
 if __name__ == "__main__":

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Quickstart: specialize the simulated Linux kernel for Nginx throughput.
 
-This is the smallest end-to-end use of the public API: build a Wayfinder
-instance for an application and a metric, run the DeepTune-driven search for a
-fixed number of iterations, and inspect the result.  Runs in well under a
+This is the smallest end-to-end use of the public API: describe the
+experiment once as a declarative :class:`ExperimentSpec`, run the
+DeepTune-driven search, and inspect the result.  The same spec object is
+what the CLI and YAML job files build under the hood, and it is embedded in
+every checkpoint — the end of this example interrupts the workflow on
+purpose and resumes it from the stored checkpoint.  Runs in well under a
 minute on a laptop.
 
 Usage:
@@ -11,26 +14,34 @@ Usage:
 """
 
 import sys
+import tempfile
 
-from repro import Wayfinder
+from repro import ExperimentSpec, Wayfinder
 from repro.analysis.reporting import format_table
 
 
 def main() -> None:
     iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 60
 
-    wayfinder = Wayfinder.for_linux(
+    spec = ExperimentSpec(
+        os_name="linux",
         application="nginx",
         metric="throughput",
-        version="v4.19",
+        os_version="v4.19",
         algorithm="deeptune",
         favor="runtime",          # explore runtime sysctls, as in the paper's §4.1
         seed=42,
+        iterations=iterations,
     )
+    wayfinder = Wayfinder.from_spec(spec)
     print("Configuration space: {} parameters (~10^{:.0f} configurations)".format(
         len(wayfinder.space), wayfinder.space.log10_cardinality()))
 
-    result = wayfinder.specialize(iterations=iterations)
+    # Checkpoint every 10 batches so the sweep survives interruptions.
+    results_dir = tempfile.mkdtemp(prefix="wayfinder-quickstart-")
+    checkpointer = wayfinder.enable_checkpointing(results_dir, every=10)
+
+    result = wayfinder.specialize()   # the spec carries the budget
 
     print()
     print(format_table(
@@ -55,6 +66,15 @@ def main() -> None:
     for name in best.differing_parameters(default)[:12]:
         rows.append((name, str(default[name]), str(best[name])))
     print(format_table(("parameter", "default", "specialized"), rows))
+
+    # Resume the finished run from its checkpoint and extend the budget by a
+    # few trials — the restored session continues with the exact RNG streams,
+    # worker clocks, and model state the original run would have had.
+    checkpoint_path = checkpointer.store.checkpoint_path(checkpointer.name)
+    resumed = Wayfinder.resume(checkpoint_path)
+    extended = resumed.specialize(iterations=iterations + 5)
+    print("\nResumed from {} and extended to {} trials; best now {:.0f} req/s".format(
+        checkpoint_path, extended.iterations, extended.best_performance))
 
 
 if __name__ == "__main__":

@@ -7,6 +7,11 @@ DeepTune model while specializing Redis, transfers it, and shows that the
 Nginx search starts from better configurations and crashes less often than a
 cold-started search — the behaviour of the "DeepTune+TL" curves in Figure 6.
 
+The ``Wayfinder.for_linux`` keyword constructor used here is a thin builder
+over :class:`ExperimentSpec`; passing the live pre-trained model through
+``algorithm_options`` keeps the experiment runnable but (deliberately) not
+checkpoint-serializable.
+
 Usage:
     python examples/transfer_learning.py [pretrain_iterations] [search_iterations]
 """

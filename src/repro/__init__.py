@@ -19,13 +19,15 @@ The public entry point is :class:`repro.core.Wayfinder`:
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExperimentSpec",
     "Wayfinder",
     "SpecializationSession",
     "SearchResult",
     "__version__",
 ]
 
-_LAZY_EXPORTS = {"Wayfinder", "SpecializationSession", "SearchResult"}
+_LAZY_EXPORTS = {"ExperimentSpec", "Wayfinder", "SpecializationSession",
+                 "SearchResult"}
 
 
 def __getattr__(name):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Mapping, Optional
+from typing import List, Mapping
 
 from repro.vm.machine import PAPER_TESTBED, HardwareSpec
 

@@ -11,7 +11,6 @@ deviations make latency worse, and only marginal gains are available.
 
 from __future__ import annotations
 
-import math
 from typing import List, Mapping
 
 from repro.apps.base import Application, BenchmarkTool

@@ -13,15 +13,21 @@ the reproduction:
     $ python -m repro.cli run --application redis --algorithm deeptune \
           --workers 4 --batch-size 4 --iterations 200
     $ python -m repro.cli run --job job.yaml
+    $ python -m repro.cli run --application nginx --iterations 200 \
+          --results results/ --checkpoint-every 5
+    $ python -m repro.cli run --resume linux-nginx-deeptune --results results/
     $ python -m repro.cli compare --application nginx --iterations 60
     $ python -m repro.cli compare --application nginx --favor none \
           --time-budget-s 7200 --workers 4 --batch-size 4
 
-``--workers N`` evaluates trials on N simulated system-under-test machines
-in parallel (batches of ``--batch-size`` proposals per search round), which
-compresses the virtual time-to-best.  Skip-build image reuse is per-worker
-state, so trial durations — and through them the explored trajectory — can
-differ slightly from a single-worker run at the same seed.
+Every front-end — CLI flags, job files, the Python API — builds the same
+declarative :class:`~repro.core.spec.ExperimentSpec`, which the platform
+consumes wholesale.  ``--workers N`` evaluates trials on N simulated
+system-under-test machines in parallel (batches of ``--batch-size`` proposals
+per search round), which compresses the virtual time-to-best.  With
+``--results`` and ``--checkpoint-every`` the run periodically persists a
+resumable checkpoint; ``--resume NAME`` continues an interrupted run from it,
+reproducing the uninterrupted run trial for trial.
 
 Every subcommand prints plain-text tables (no plotting dependencies) and can
 persist histories through :class:`repro.platform.results.ResultsStore`.
@@ -30,14 +36,17 @@ persist histories through :class:`repro.platform.results.ResultsStore`.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.config.jobfile import JobFile, dump_job_file, load_job_file
 from repro.config.space import ConfigSpace
+from repro.core.spec import UNSPECIFIED, ExperimentSpec
 from repro.core.wayfinder import Wayfinder
 from repro.kconfig.linux import linux_census
+from repro.platform.lifecycle import SessionObserver
 from repro.platform.results import ResultsStore
 from repro.search.registry import available_algorithms
 from repro.sysctl.probe import SpaceProber
@@ -59,16 +68,21 @@ def _add_run_parser(subparsers) -> None:
                         help="application to specialize for (default: nginx)")
     parser.add_argument("--metric", default="auto",
                         help="throughput | latency | memory | score | auto")
-    parser.add_argument("--algorithm", default="deeptune",
-                        choices=available_algorithms())
+    parser.add_argument("--algorithm", default=None,
+                        choices=available_algorithms(),
+                        help="search algorithm (default: deeptune, or the "
+                             "job file's value)")
     parser.add_argument("--os", dest="os_name", default="linux",
                         choices=("linux", "unikraft"))
     parser.add_argument("--favor", default=None,
                         choices=("runtime", "boot", "compile", "runtime+boot", "none"),
                         help="parameter kinds to concentrate the search on "
                              "(default: runtime on linux, none on unikraft)")
-    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument("--iterations", type=_positive_int, default=None,
+                        help="trial budget (default: 100, or the job file's value)")
     parser.add_argument("--time-budget-s", type=float, default=None)
+    parser.add_argument("--plateau", type=_positive_int, default=None,
+                        help="stop after this many trials without a new incumbent")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=_positive_int, default=None,
                         help="simulated SUT machines evaluating in parallel "
@@ -78,6 +92,15 @@ def _add_run_parser(subparsers) -> None:
                              "(default: 1, or the job file's value)")
     parser.add_argument("--results", help="directory to store the exploration history")
     parser.add_argument("--name", help="name of the stored history (default: derived)")
+    parser.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                        help="persist a resumable checkpoint every N batches "
+                             "(requires --results)")
+    parser.add_argument("--resume", metavar="NAME",
+                        help="continue from a stored checkpoint (a name inside "
+                             "--results, or a checkpoint file path); the stored "
+                             "spec supplies the experiment settings and budget "
+                             "flags extend it. Checkpoints embed pickled state: "
+                             "only resume files from a trusted source")
 
 
 def _add_probe_parser(subparsers) -> None:
@@ -109,7 +132,7 @@ def _add_compare_parser(subparsers) -> None:
                         choices=("runtime", "boot", "compile", "runtime+boot", "none"),
                         help="parameter kinds to concentrate the search on "
                              "(default: runtime on linux, none on unikraft)")
-    parser.add_argument("--iterations", type=int, default=60)
+    parser.add_argument("--iterations", type=_positive_int, default=60)
     parser.add_argument("--time-budget-s", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=_positive_int, default=1,
@@ -130,60 +153,150 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cli_favor(favor: Optional[str]):
+    """Map the CLI favor flag onto the spec's favor value.
+
+    None means "not specified" (the spec applies the per-OS default:
+    runtime on linux, unfavored on unikraft); the literal "none" means
+    explicitly unfavored.
+    """
+    if favor is None:
+        return UNSPECIFIED
+    return None if favor == "none" else favor
+
+
+def _spec_from_flags(os_name: str, application: str, metric: str, algorithm: str,
+                     favor: Optional[str], seed: int, workers: int = 1,
+                     batch_size: int = 1, iterations: Optional[int] = None,
+                     time_budget_s: Optional[float] = None,
+                     plateau_trials: Optional[int] = None) -> ExperimentSpec:
+    return ExperimentSpec(os_name=os_name, application=application,
+                          metric=metric, algorithm=algorithm,
+                          favor=_cli_favor(favor), seed=seed, workers=workers,
+                          batch_size=batch_size, iterations=iterations,
+                          time_budget_s=time_budget_s,
+                          plateau_trials=plateau_trials)
+
+
 def _build_wayfinder(os_name: str, application: str, metric: str, algorithm: str,
                      favor: Optional[str], seed: int, workers: int = 1,
                      batch_size: int = 1) -> Wayfinder:
-    # favor=None means "not specified": linux keeps its historical runtime
-    # preset, unikraft keeps its unfavored default.  An explicit --favor is
-    # honoured on both OSes ("none" meaning no favoured kinds).
-    if os_name == "unikraft":
-        kwargs = {}
-        if favor is not None:
-            kwargs["favor"] = None if favor == "none" else favor
-        return Wayfinder.for_unikraft(metric="throughput" if metric == "auto" else metric,
-                                      algorithm=algorithm, seed=seed,
-                                      workers=workers, batch_size=batch_size,
-                                      **kwargs)
-    favor = "runtime" if favor is None else favor
-    favor_value = None if favor == "none" else favor
-    return Wayfinder.for_linux(application=application, metric=metric,
-                               algorithm=algorithm, favor=favor_value, seed=seed,
-                               workers=workers, batch_size=batch_size)
+    """Resolve CLI-style settings into a spec and wire a Wayfinder from it."""
+    return Wayfinder.from_spec(_spec_from_flags(
+        os_name, application, metric, algorithm, favor, seed,
+        workers=workers, batch_size=batch_size))
+
+
+def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Build the experiment spec a ``run`` invocation describes."""
+    if args.job:
+        job = load_job_file(args.job)
+        # explicit CLI flags override the job file's settings
+        overrides = {}
+        for field, value in (("algorithm", args.algorithm),
+                             ("workers", args.workers),
+                             ("batch_size", args.batch_size),
+                             ("iterations", args.iterations),
+                             ("time_budget_s", args.time_budget_s),
+                             ("plateau_trials", args.plateau)):
+            if value is not None:
+                overrides[field] = value
+        return job.to_spec(**overrides)
+    return _spec_from_flags(
+        args.os_name, args.application, args.metric,
+        args.algorithm if args.algorithm is not None else "deeptune",
+        args.favor, args.seed,
+        workers=args.workers if args.workers is not None else 1,
+        batch_size=args.batch_size if args.batch_size is not None else 1,
+        iterations=args.iterations if args.iterations is not None else 100,
+        time_budget_s=args.time_budget_s,
+        plateau_trials=args.plateau)
+
+
+class _ProgressObserver(SessionObserver):
+    """Renders the session lifecycle as live CLI progress lines."""
+
+    def on_batch_start(self, session, batch_index, planned):
+        history = session.history
+        best = history.best_objective()
+        print("[batch {:>3}] trials={:<4d} best={} crash={:>4.0%} "
+              "virtual={:.2f}h".format(
+                  batch_index, len(history),
+                  "-" if best is None else "{:.2f}".format(best),
+                  history.crash_rate(),
+                  session.backend.now_s / 3600.0))
+
+    def on_new_incumbent(self, session, record):
+        print("  new incumbent: {:.2f} (trial #{}, worker {})".format(
+            record.objective, record.index, record.worker))
+
+    def on_checkpoint(self, session, path):
+        print("  checkpoint saved to {}".format(path))
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    if args.job:
-        job = load_job_file(args.job)
-        application = job.application
-        metric = job.metric
-        seed = job.seed
-        iterations: Optional[int] = job.iterations
-        time_budget = job.time_budget_s
-        favor = job.favor_kinds[0] if job.favor_kinds else None
-        algorithm = args.algorithm
-        os_name = job.os_name
-        # explicit CLI flags override the job file's execution settings
-        workers = args.workers if args.workers is not None else job.workers
-        batch_size = (args.batch_size if args.batch_size is not None
-                      else job.batch_size)
+    store = ResultsStore(args.results) if args.results else None
+    if args.resume:
+        if os.path.exists(args.resume):
+            checkpoint_path = args.resume
+        elif store is not None:
+            checkpoint_path = store.checkpoint_path(args.resume)
+        else:
+            print("--resume needs a checkpoint file path or --results to "
+                  "locate the named checkpoint", file=sys.stderr)
+            return 2
+        if not os.path.exists(checkpoint_path):
+            print("--resume: no checkpoint at {}".format(checkpoint_path),
+                  file=sys.stderr)
+            return 2
+        # the checkpoint's spec defines the experiment: flags that would
+        # invalidate the restored state are rejected, budget flags extend it.
+        for flag, value in (("--algorithm", args.algorithm),
+                            ("--workers", args.workers),
+                            ("--batch-size", args.batch_size)):
+            if value is not None:
+                print("--resume: {} cannot be changed on a resumed run "
+                      "(the checkpointed state depends on it)".format(flag),
+                      file=sys.stderr)
+                return 2
+        wayfinder = Wayfinder.resume(checkpoint_path)
+        spec = wayfinder.spec
+        if (args.iterations is not None or args.time_budget_s is not None
+                or args.plateau is not None):
+            wayfinder.spec = spec = spec.with_overrides(
+                iterations=args.iterations if args.iterations is not None
+                else spec.iterations,
+                time_budget_s=args.time_budget_s if args.time_budget_s is not None
+                else spec.time_budget_s,
+                plateau_trials=args.plateau if args.plateau is not None
+                else spec.plateau_trials)
+        print("Resuming {} from {} ({} trials done)...".format(
+            spec.name, checkpoint_path, len(wayfinder.build_session().session.history)))
+        # keep storing under the name the run was checkpointed as
+        checkpoint_file = os.path.basename(checkpoint_path)
+        resumed_name = checkpoint_file[:-len(ResultsStore.CHECKPOINT_SUFFIX)] \
+            if checkpoint_file.endswith(ResultsStore.CHECKPOINT_SUFFIX) else spec.name
+        name = args.name or resumed_name
     else:
-        application = args.application
-        metric = args.metric
-        seed = args.seed
-        iterations = args.iterations
-        time_budget = args.time_budget_s
-        favor = args.favor
-        algorithm = args.algorithm
-        os_name = args.os_name
-        workers = args.workers if args.workers is not None else 1
-        batch_size = args.batch_size if args.batch_size is not None else 1
+        spec = _spec_from_args(args)
+        wayfinder = Wayfinder.from_spec(spec)
+        name = args.name or spec.name
 
-    wayfinder = _build_wayfinder(os_name, application, metric, algorithm, favor,
-                                 seed, workers=workers, batch_size=batch_size)
+    wayfinder.add_observer(_ProgressObserver())
+    if args.checkpoint_every:
+        if store is None:
+            print("--checkpoint-every requires --results", file=sys.stderr)
+            return 2
+        wayfinder.enable_checkpointing(store, name=name, every=args.checkpoint_every)
+    elif args.resume and store is not None:
+        # keep the resumed run checkpointing at the default cadence so it
+        # stays interruptible.
+        wayfinder.enable_checkpointing(store, name=name)
+
     print("Searching {} parameters with {} for {} ({}, {} worker{})...".format(
-        len(wayfinder.space), algorithm, application, wayfinder.metric.name,
-        workers, "" if workers == 1 else "s"))
-    result = wayfinder.specialize(iterations=iterations, time_budget_s=time_budget)
+        len(wayfinder.space), spec.algorithm, spec.application,
+        wayfinder.metric.name, spec.workers, "" if spec.workers == 1 else "s"))
+    result = wayfinder.specialize()
 
     rows = [
         ("iterations", result.iterations),
@@ -192,15 +305,18 @@ def _command_run(args: argparse.Namespace) -> int:
         ("improvement", "{:.2f}x".format(result.improvement_factor or float("nan"))),
         ("crash rate", "{:.0%}".format(result.crash_rate)),
         ("virtual time (h)", "{:.1f}".format(result.total_time_s / 3600.0)),
+        ("stopped by", result.stop_reason or "-"),
     ]
     print(format_table(("quantity", "value"), rows, title="Search result"))
 
-    if args.results:
-        store = ResultsStore(args.results)
-        name = args.name or "{}-{}-{}".format(os_name, application, algorithm)
+    if store is not None:
+        summary = result.summary()
         path = store.save_history(name, result.history, metadata={
-            "application": application, "metric": wayfinder.metric.name,
-            "algorithm": algorithm, "seed": seed,
+            "application": spec.application, "metric": wayfinder.metric.name,
+            "algorithm": spec.algorithm, "seed": spec.seed,
+            "workers": spec.workers, "batch_size": spec.batch_size,
+            "favor": summary["favor"], "time_budget_s": summary["time_budget_s"],
+            "stop_reason": summary["stop_reason"],
         })
         print("History stored at {}".format(path))
     return 0
@@ -236,12 +352,14 @@ def _command_census(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     rows = []
     for algorithm in args.algorithms:
-        wayfinder = _build_wayfinder(args.os_name, args.application, "auto",
-                                     algorithm, args.favor, args.seed,
-                                     workers=args.workers,
-                                     batch_size=args.batch_size)
-        result = wayfinder.specialize(iterations=args.iterations,
-                                      time_budget_s=args.time_budget_s)
+        spec = _spec_from_flags(args.os_name, args.application, "auto",
+                                algorithm, args.favor, args.seed,
+                                workers=args.workers,
+                                batch_size=args.batch_size,
+                                iterations=args.iterations,
+                                time_budget_s=args.time_budget_s)
+        wayfinder = Wayfinder.from_spec(spec)
+        result = wayfinder.specialize()
         rows.append((algorithm,
                      "{:.2f}".format(result.best_performance or float("nan")),
                      "{:.2f}x".format(result.improvement_factor or float("nan")),

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+import warnings
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.config.parameter import (
     BoolParameter,
@@ -319,6 +320,15 @@ class JobFile:
     the configuration space itself.
     """
 
+    #: favor_kinds combinations expressible as a spec favor preset.
+    _FAVOR_KIND_PRESETS = {
+        ("runtime",): "runtime",
+        ("boot",): "boot",
+        ("compile",): "compile",
+        ("runtime", "boot"): "runtime+boot",
+        ("boot", "runtime"): "runtime+boot",
+    }
+
     def __init__(
         self,
         name: str,
@@ -334,6 +344,8 @@ class JobFile:
         seed: int = 0,
         workers: int = 1,
         batch_size: int = 1,
+        algorithm: str = "deeptune",
+        plateau_trials: Optional[int] = None,
     ) -> None:
         self.name = name
         self.os_name = os_name
@@ -350,6 +362,10 @@ class JobFile:
         self.workers = workers
         #: configurations proposed per search round.
         self.batch_size = batch_size
+        #: search algorithm to drive the exploration with.
+        self.algorithm = algorithm
+        #: optional early stop: trials without a new incumbent before giving up.
+        self.plateau_trials = plateau_trials
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -366,6 +382,8 @@ class JobFile:
                 "seed": self.seed,
                 "workers": self.workers,
                 "batch_size": self.batch_size,
+                "algorithm": self.algorithm,
+                "plateau_trials": self.plateau_trials,
             },
             "parameters": [parameter.to_dict() for parameter in self.space.parameters()],
         }
@@ -393,7 +411,57 @@ class JobFile:
             seed=int(job.get("seed", 0)),
             workers=int(job.get("workers", 1)),
             batch_size=int(job.get("batch_size", 1)),
+            algorithm=job.get("algorithm") or "deeptune",
+            plateau_trials=job.get("plateau_trials"),
         )
+
+    def to_spec(self, **overrides: Any):
+        """Build the :class:`~repro.core.spec.ExperimentSpec` this job describes.
+
+        The declarative job fields (OS, application, metric, budget, fleet
+        shape, frozen parameters) map one-to-one onto the spec; *overrides*
+        replace individual spec fields, which is how the CLI applies explicit
+        flags on top of a job file.  The job's parameter list itself is not
+        carried over: the platform searches the target OS model's space, and
+        the embedded space documents the probed subset for reproducibility.
+        """
+        # Imported lazily: the config layer stays importable without the
+        # core/search stack.
+        from repro.core.spec import UNSPECIFIED, ExperimentSpec
+
+        kinds = tuple(self.favor_kinds)
+        if not kinds:
+            favor: Any = UNSPECIFIED
+        elif kinds in self._FAVOR_KIND_PRESETS:
+            favor = self._FAVOR_KIND_PRESETS[kinds]
+        elif (kinds[0],) in self._FAVOR_KIND_PRESETS:
+            # combination with no exact preset: keep the historical CLI
+            # behaviour of honouring the first kind, but say so.
+            favor = self._FAVOR_KIND_PRESETS[(kinds[0],)]
+            warnings.warn(
+                "favor_kinds {!r} has no exact favor preset; favoring "
+                "{!r} only".format(self.favor_kinds, favor), stacklevel=2)
+        else:
+            raise ValueError(
+                "favor_kinds {!r} has no favor preset equivalent".format(
+                    self.favor_kinds))
+        fields = {
+            "name": self.name,
+            "os_name": self.os_name,
+            "application": self.application,
+            "metric": self.metric,
+            "algorithm": self.algorithm,
+            "favor": favor,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "time_budget_s": self.time_budget_s,
+            "plateau_trials": self.plateau_trials,
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "frozen": dict(self.frozen),
+        }
+        fields.update(overrides)
+        return ExperimentSpec(**fields)
 
     def __repr__(self) -> str:
         return "JobFile(name={!r}, os={!r}, app={!r}, metric={!r}, params={})".format(

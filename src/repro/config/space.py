@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from repro.config.constraints import Constraint, ConstraintViolation
 from repro.config.parameter import Parameter, ParameterKind

@@ -1,8 +1,10 @@
 """Public high-level API of the Wayfinder reproduction."""
 
+from repro.core.spec import ExperimentSpec
 from repro.core.wayfinder import SearchResult, SpecializationSession, Wayfinder
 
 __all__ = [
+    "ExperimentSpec",
     "Wayfinder",
     "SpecializationSession",
     "SearchResult",

@@ -1,0 +1,205 @@
+"""The declarative experiment specification.
+
+An :class:`ExperimentSpec` is the single description of one specialization
+experiment: which OS and application to specialize, which metric and search
+algorithm to use, the search budget, and how the evaluation fleet is shaped.
+Every front-end builds one — the CLI from its flags, :class:`JobFile` via
+:meth:`JobFile.to_spec`, and the :class:`~repro.core.wayfinder.Wayfinder`
+constructors from their keyword arguments — and the rest of the platform
+consumes only the spec, so a new knob is added in exactly one place.
+
+The spec is *fully resolved*: OS-dependent defaults (the ``favor`` preset,
+the Unikraft application) are applied at construction, so two specs built
+from equivalent inputs through different front-ends compare equal.  It is
+also *serializable* (``to_dict``/``from_dict`` round-trip through JSON),
+which is what makes checkpoints self-describing: a stored checkpoint embeds
+the spec, and :meth:`Wayfinder.resume` rebuilds the entire experiment from
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.config.parameter import ParameterKind
+
+#: favor preset name -> parameter kinds the search concentrates on.
+FAVOR_PRESETS: Dict[Optional[str], Optional[List[ParameterKind]]] = {
+    "runtime": [ParameterKind.RUNTIME],
+    "boot": [ParameterKind.BOOT_TIME],
+    "compile": [ParameterKind.COMPILE_TIME],
+    "runtime+boot": [ParameterKind.RUNTIME, ParameterKind.BOOT_TIME],
+    None: None,
+}
+
+_KNOWN_METRICS = ("auto", "throughput", "performance", "latency", "memory", "score")
+_KNOWN_OS = ("linux", "unikraft")
+
+#: sentinel distinguishing "favor not specified" (use the OS default) from an
+#: explicit ``favor=None`` ("do not favor any parameter kind").
+UNSPECIFIED = object()
+
+
+def default_favor(os_name: str) -> Optional[str]:
+    """The historical per-OS favor default: runtime on Linux, none on Unikraft."""
+    return "runtime" if os_name == "linux" else None
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively normalize tuples to lists so dict round-trips compare equal.
+
+    Values that are not JSON-representable (e.g. a pre-trained model passed
+    through ``algorithm_options``) are left untouched; such specs still run
+    but refuse to serialize (see :meth:`ExperimentSpec.to_dict`).
+    """
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+class ExperimentSpec:
+    """A complete, validated description of one specialization experiment."""
+
+    FIELDS = (
+        "name", "os_name", "application", "metric", "algorithm", "favor",
+        "seed", "iterations", "time_budget_s", "plateau_trials", "workers",
+        "batch_size", "enable_skip_build", "frozen", "algorithm_options",
+        "os_version", "architecture", "space_options",
+    )
+
+    def __init__(
+        self,
+        os_name: str = "linux",
+        application: str = "nginx",
+        metric: str = "auto",
+        algorithm: str = "deeptune",
+        favor: Any = UNSPECIFIED,
+        seed: int = 0,
+        iterations: Optional[int] = None,
+        time_budget_s: Optional[float] = None,
+        plateau_trials: Optional[int] = None,
+        workers: int = 1,
+        batch_size: int = 1,
+        enable_skip_build: bool = True,
+        frozen: Optional[Dict[str, Any]] = None,
+        algorithm_options: Optional[Dict[str, Any]] = None,
+        os_version: str = "v4.19",
+        architecture: str = "x86_64",
+        space_options: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if os_name not in _KNOWN_OS:
+            raise ValueError("unknown os {!r}; expected one of {}".format(
+                os_name, ", ".join(_KNOWN_OS)))
+        if metric not in _KNOWN_METRICS:
+            raise ValueError("unknown metric {!r}; expected one of {}".format(
+                metric, ", ".join(_KNOWN_METRICS)))
+        # Imported here so building a spec stays cheap for the config layer.
+        from repro.search.registry import available_algorithms
+
+        if algorithm not in available_algorithms():
+            raise ValueError("unknown algorithm {!r}; available: {}".format(
+                algorithm, ", ".join(available_algorithms())))
+        if favor is UNSPECIFIED:
+            favor = default_favor(os_name)
+        if favor not in FAVOR_PRESETS:
+            raise ValueError("unknown favor preset {!r}; expected one of {}".format(
+                favor, ", ".join(sorted(k for k in FAVOR_PRESETS if k))))
+        if iterations is not None and int(iterations) < 1:
+            raise ValueError("iterations must be at least 1 (got {!r})".format(iterations))
+        if time_budget_s is not None and float(time_budget_s) <= 0:
+            raise ValueError("time_budget_s must be positive")
+        if plateau_trials is not None and int(plateau_trials) < 1:
+            raise ValueError("plateau_trials must be at least 1")
+        if int(workers) < 1:
+            raise ValueError("workers must be at least 1")
+        if int(batch_size) < 1:
+            raise ValueError("batch_size must be at least 1")
+
+        self.os_name = os_name
+        # The Unikraft experiment always targets the §4.4 Nginx image, exactly
+        # as the CLI has always resolved it; normalizing here keeps specs from
+        # different front-ends comparable.
+        self.application = "unikraft-nginx" if os_name == "unikraft" else application
+        # auto-metric on Unikraft has always meant throughput.
+        if os_name == "unikraft" and metric == "auto":
+            metric = "throughput"
+        self.metric = metric
+        self.algorithm = algorithm
+        self.favor = favor
+        self.seed = int(seed)
+        self.iterations = None if iterations is None else int(iterations)
+        self.time_budget_s = None if time_budget_s is None else float(time_budget_s)
+        self.plateau_trials = None if plateau_trials is None else int(plateau_trials)
+        self.workers = int(workers)
+        self.batch_size = int(batch_size)
+        self.enable_skip_build = bool(enable_skip_build)
+        self.frozen = _jsonable(dict(frozen or {}))
+        self.algorithm_options = _jsonable(dict(algorithm_options or {}))
+        self.os_version = os_version
+        self.architecture = architecture
+        self.space_options = _jsonable(dict(space_options or {}))
+        self.name = name or "{}-{}-{}".format(self.os_name, self.application,
+                                              self.algorithm)
+
+    # -- favored kinds -----------------------------------------------------------
+    @property
+    def favored_kinds(self) -> Optional[List[ParameterKind]]:
+        """The parameter kinds the favor preset resolves to (None = all)."""
+        return FAVOR_PRESETS[self.favor]
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the spec to a JSON-representable dictionary.
+
+        Raises :class:`ValueError` when the spec carries non-serializable
+        payloads (e.g. a live model object in ``algorithm_options``) — such
+        experiments cannot be checkpointed or resumed.
+        """
+        data = {field: getattr(self, field) for field in self.FIELDS}
+        try:
+            json.dumps(data)
+        except TypeError as error:
+            raise ValueError(
+                "spec is not serializable (non-JSON value in frozen/"
+                "algorithm_options/space_options): {}".format(error)) from None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys rejected)."""
+        unknown = sorted(set(data) - set(cls.FIELDS))
+        if unknown:
+            raise ValueError("unknown spec fields: {}".format(", ".join(unknown)))
+        kwargs = dict(data)
+        # an absent favor key means "unspecified", an explicit null means
+        # "unfavored" — mirror that distinction through the sentinel.
+        if "favor" not in kwargs:
+            kwargs["favor"] = UNSPECIFIED
+        return cls(**kwargs)
+
+    def with_overrides(self, **overrides: Any) -> "ExperimentSpec":
+        """A copy of the spec with *overrides* applied (and re-validated)."""
+        data = {field: getattr(self, field) for field in self.FIELDS}
+        data.update(overrides)
+        kwargs = {key: value for key, value in data.items() if key in self.FIELDS}
+        unknown = sorted(set(overrides) - set(self.FIELDS))
+        if unknown:
+            raise ValueError("unknown spec fields: {}".format(", ".join(unknown)))
+        return type(self)(**kwargs)
+
+    # -- identity ----------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExperimentSpec):
+            return NotImplemented
+        return all(getattr(self, field) == getattr(other, field)
+                   for field in self.FIELDS)
+
+    def __repr__(self) -> str:
+        return ("ExperimentSpec(os={!r}, app={!r}, metric={!r}, algorithm={!r}, "
+                "seed={}, workers={}, batch_size={})").format(
+                    self.os_name, self.application, self.metric, self.algorithm,
+                    self.seed, self.workers, self.batch_size)

@@ -1,14 +1,23 @@
 """The Wayfinder facade: configure, search, and report in a few lines.
 
-``Wayfinder`` wires together the configuration space of the target OS, the
-simulated system under test, the metric, and a search algorithm, and runs the
-specialization loop.  It is the API the examples and benchmarks use:
+``Wayfinder`` turns a declarative :class:`~repro.core.spec.ExperimentSpec`
+into a fully wired specialization run: the configuration space of the target
+OS, the simulated system under test, the metric, and a search algorithm.  The
+keyword-argument constructors (:meth:`Wayfinder.for_linux`,
+:meth:`Wayfinder.for_unikraft`) are thin builders producing a spec, exactly
+like the CLI and :meth:`JobFile.to_spec` do — all front-ends meet at the same
+spec object, so equivalent inputs construct identical experiments:
 
     >>> from repro import Wayfinder
     >>> wf = Wayfinder.for_linux(application="nginx", metric="throughput", seed=7)
     >>> result = wf.specialize(iterations=40)
     >>> result.improvement_factor >= 0.9
     True
+
+Because the spec is serializable, runs are resumable: attach checkpointing
+with :meth:`Wayfinder.enable_checkpointing` and continue an interrupted
+sweep with :meth:`Wayfinder.resume` — the resumed session reproduces the
+uninterrupted run trial for trial.
 """
 
 from __future__ import annotations
@@ -17,9 +26,10 @@ from typing import Any, Dict, Optional, Sequence
 
 from repro.apps.base import Application, BenchmarkTool
 from repro.apps.registry import default_bench_tool_for, get_application
-from repro.config.parameter import ParameterKind
 from repro.config.space import Configuration, ConfigSpace
+from repro.core.spec import FAVOR_PRESETS, ExperimentSpec
 from repro.platform.history import ExplorationHistory
+from repro.platform.lifecycle import IncumbentPlateau, SessionObserver, StopCondition
 from repro.platform.metrics import (
     CompositeScoreMetric,
     LatencyMetric,
@@ -29,20 +39,21 @@ from repro.platform.metrics import (
     metric_for_application,
 )
 from repro.platform.executor import make_backend
+from repro.platform.results import (
+    ResultsStore,
+    SessionCheckpointer,
+    load_checkpoint_file,
+    restore_search_session,
+)
 from repro.platform.runner import SearchSession, SessionResult
-from repro.search.base import SearchAlgorithm
 from repro.search.registry import create_algorithm
 from repro.vm.machine import PAPER_TESTBED, RISCV_EMBEDDED_BOARD, HardwareSpec
 from repro.vm.os_model import OSModel, linux_os_model, unikraft_os_model
 from repro.vm.simulator import SystemSimulator
 
-_FAVOR_PRESETS = {
-    "runtime": [ParameterKind.RUNTIME],
-    "boot": [ParameterKind.BOOT_TIME],
-    "compile": [ParameterKind.COMPILE_TIME],
-    "runtime+boot": [ParameterKind.RUNTIME, ParameterKind.BOOT_TIME],
-    None: None,
-}
+#: kept as an alias for backwards compatibility; the presets now live with
+#: the spec (the single place every front-end resolves them through).
+_FAVOR_PRESETS = FAVOR_PRESETS
 
 
 def _build_metric(metric: str, application: Application) -> Metric:
@@ -108,6 +119,10 @@ class SearchResult:
         return self._session_result.builds_skipped
 
     @property
+    def stop_reason(self) -> Optional[str]:
+        return self._session_result.stop_reason
+
+    @property
     def improvement_factor(self) -> Optional[float]:
         """Best objective relative to the default configuration (>1 is better).
 
@@ -138,28 +153,29 @@ class SearchResult:
 
 
 class SpecializationSession:
-    """A fully wired specialization run: simulator, execution backend, algorithm."""
+    """A fully wired specialization run: simulator, execution backend, algorithm.
 
-    def __init__(self, os_model: OSModel, application: Application,
-                 bench_tool: BenchmarkTool, metric: Metric,
-                 algorithm: SearchAlgorithm, hardware: HardwareSpec,
-                 seed: int, enable_skip_build: bool = True,
-                 workers: int = 1, batch_size: int = 1) -> None:
+    The declarative knobs (seed, worker fleet shape, batch size, skip-build)
+    are read from the spec; the wired components are resolved by the owning
+    :class:`Wayfinder` and passed in alongside it.
+    """
+
+    def __init__(self, spec: ExperimentSpec, os_model: OSModel,
+                 application: Application, bench_tool: BenchmarkTool,
+                 metric: Metric, algorithm, hardware: HardwareSpec) -> None:
+        self.spec = spec
         self.os_model = os_model
         self.application = application
         self.bench_tool = bench_tool
         self.metric = metric
         self.algorithm = algorithm
         self.hardware = hardware
-        self.seed = seed
-        self.workers = workers
-        self.batch_size = batch_size
         self.simulator = SystemSimulator(os_model, application, bench_tool,
-                                         hardware=hardware, seed=seed)
+                                         hardware=hardware, seed=spec.seed)
         # workers=1 wires the historical single-pipeline serial backend;
         # workers>1 models a fleet of SUT machines sharing the simulator.
-        self.backend = make_backend(self.simulator, metric, workers=workers,
-                                    enable_skip_build=enable_skip_build)
+        self.backend = make_backend(self.simulator, metric, workers=spec.workers,
+                                    enable_skip_build=spec.enable_skip_build)
         self.pipeline = getattr(self.backend, "pipeline",
                                 None) or self.backend.pipelines[0]
         # The default configuration is always benchmarked first: it is the
@@ -167,12 +183,13 @@ class SpecializationSession:
         self.session = SearchSession(algorithm=algorithm, metric=metric,
                                      evaluate_default_first=True,
                                      backend=self.backend,
-                                     batch_size=batch_size)
+                                     batch_size=spec.batch_size,
+                                     favor=spec.favor)
 
     def evaluate_default(self) -> Dict[str, Any]:
         """Evaluate the default configuration outside the search history."""
         simulator = SystemSimulator(self.os_model, self.application, self.bench_tool,
-                                    hardware=self.hardware, seed=self.seed + 9999)
+                                    hardware=self.hardware, seed=self.spec.seed + 9999)
         outcome = simulator.evaluate(self.os_model.default_configuration())
         return {
             "objective": self.metric.extract(outcome),
@@ -182,55 +199,80 @@ class SpecializationSession:
         }
 
     def run(self, iterations: Optional[int] = None,
-            time_budget_s: Optional[float] = None) -> SearchResult:
+            time_budget_s: Optional[float] = None,
+            stop: Optional[Sequence[StopCondition]] = None) -> SearchResult:
         default = self.evaluate_default()
         session_result = self.session.run(iterations=iterations,
-                                          time_budget_s=time_budget_s)
+                                          time_budget_s=time_budget_s,
+                                          stop=stop)
         return SearchResult(session_result, self.metric,
                             default_objective=default["objective"],
                             default_crashed=default["crashed"])
 
 
 class Wayfinder:
-    """Facade constructing specialization sessions for the supported OSes."""
+    """Facade turning an :class:`ExperimentSpec` into a specialization run."""
 
-    def __init__(self, os_model: OSModel, application: Application,
-                 bench_tool: BenchmarkTool, metric: Metric,
-                 algorithm: str = "deeptune", seed: int = 0,
-                 favor: Optional[str] = "runtime",
-                 hardware: HardwareSpec = PAPER_TESTBED,
-                 frozen: Optional[Dict[str, Any]] = None,
-                 algorithm_options: Optional[Dict[str, Any]] = None,
-                 enable_skip_build: bool = True,
-                 workers: int = 1, batch_size: int = 1) -> None:
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
-        if batch_size < 1:
-            raise ValueError("batch_size must be at least 1")
-        self.os_model = os_model
-        self.application = application
-        self.bench_tool = bench_tool
-        self.metric = metric
-        self.algorithm_name = algorithm
-        self.seed = seed
-        self.hardware = hardware
-        self.enable_skip_build = enable_skip_build
-        self.workers = workers
-        self.batch_size = batch_size
-        if favor not in _FAVOR_PRESETS:
-            raise ValueError("unknown favor preset {!r}".format(favor))
-        self.favored_kinds = _FAVOR_PRESETS[favor]
-        for name, value in (frozen or {}).items():
+    def __init__(self, spec: ExperimentSpec,
+                 hardware: Optional[HardwareSpec] = None) -> None:
+        self.spec = spec
+        if spec.os_name == "unikraft":
+            self.os_model = unikraft_os_model(seed=spec.seed)
+            default_hardware = PAPER_TESTBED
+        else:
+            self.os_model = linux_os_model(version=spec.os_version,
+                                           seed=spec.seed,
+                                           architecture=spec.architecture,
+                                           **spec.space_options)
+            default_hardware = (RISCV_EMBEDDED_BOARD
+                                if spec.architecture == "riscv64" else PAPER_TESTBED)
+        self.hardware = hardware if hardware is not None else default_hardware
+        #: a hardware object the spec cannot re-derive makes the experiment
+        #: non-reconstructible; checkpointing refuses rather than letting a
+        #: resume silently wire different build/boot duration models.
+        self._custom_hardware = self.hardware is not default_hardware
+        self.application = get_application(spec.application)
+        self.bench_tool = default_bench_tool_for(spec.application)
+        self.metric = _build_metric(spec.metric, self.application)
+        self.favored_kinds = spec.favored_kinds
+        for name, value in spec.frozen.items():
             self.os_model.space.freeze(name, value)
-        options = dict(algorithm_options or {})
-        if algorithm in ("deeptune", "bayesian", "unicorn"):
-            options.setdefault("maximize", metric.maximize)
+        options = dict(spec.algorithm_options)
+        if spec.algorithm in ("deeptune", "bayesian", "unicorn"):
+            options.setdefault("maximize", self.metric.maximize)
         self.algorithm = create_algorithm(
-            algorithm, self.os_model.space, seed=seed,
+            spec.algorithm, self.os_model.space, seed=spec.seed,
             favored_kinds=self.favored_kinds, **options)
         self._session: Optional[SpecializationSession] = None
 
+    # -- spec passthroughs -------------------------------------------------------------
+    @property
+    def algorithm_name(self) -> str:
+        return self.spec.algorithm
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    @property
+    def workers(self) -> int:
+        return self.spec.workers
+
+    @property
+    def batch_size(self) -> int:
+        return self.spec.batch_size
+
+    @property
+    def enable_skip_build(self) -> bool:
+        return self.spec.enable_skip_build
+
     # -- constructors -----------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec,
+                  hardware: Optional[HardwareSpec] = None) -> "Wayfinder":
+        """Build a Wayfinder instance from a declarative experiment spec."""
+        return cls(spec, hardware=hardware)
+
     @classmethod
     def for_linux(cls, application: str = "nginx", metric: str = "auto",
                   version: str = "v4.19", seed: int = 0,
@@ -240,45 +282,103 @@ class Wayfinder:
                   space_options: Optional[Dict[str, Any]] = None,
                   **kwargs) -> "Wayfinder":
         """Build a Wayfinder instance targeting the simulated Linux kernel."""
-        app = get_application(application)
-        bench = default_bench_tool_for(application)
-        os_model = linux_os_model(version=version, seed=seed,
-                                  architecture=architecture,
-                                  **(space_options or {}))
-        if hardware is None:
-            hardware = RISCV_EMBEDDED_BOARD if architecture == "riscv64" else PAPER_TESTBED
-        return cls(os_model, app, bench, _build_metric(metric, app),
-                   algorithm=algorithm, seed=seed, favor=favor,
-                   hardware=hardware, **kwargs)
+        spec = ExperimentSpec(os_name="linux", application=application,
+                              metric=metric, algorithm=algorithm, favor=favor,
+                              seed=seed, os_version=version,
+                              architecture=architecture,
+                              space_options=space_options, **kwargs)
+        return cls(spec, hardware=hardware)
 
     @classmethod
     def for_unikraft(cls, metric: str = "throughput", seed: int = 0,
                      algorithm: str = "deeptune", **kwargs) -> "Wayfinder":
         """Build a Wayfinder instance targeting the Unikraft+Nginx image (§4.4)."""
-        app = get_application("unikraft-nginx")
-        bench = default_bench_tool_for("unikraft-nginx")
-        os_model = unikraft_os_model(seed=seed)
         kwargs.setdefault("favor", None)
-        return cls(os_model, app, bench, _build_metric(metric, app),
-                   algorithm=algorithm, seed=seed, **kwargs)
+        spec = ExperimentSpec(os_name="unikraft", metric=metric,
+                              algorithm=algorithm, seed=seed, **kwargs)
+        return cls(spec)
+
+    @classmethod
+    def resume(cls, path: str) -> "Wayfinder":
+        """Rebuild an experiment from a checkpoint file and restore its state.
+
+        The returned instance is primed to continue exactly where the
+        checkpointed run stopped: calling :meth:`specialize` (the stored
+        spec supplies the original budget) reproduces the uninterrupted run
+        trial for trial — same proposals, same RNG consumption, same
+        timestamps.
+
+        .. warning::
+            Checkpoints embed pickled state; loading one can execute
+            arbitrary code, so only resume files written by a process you
+            trust.
+        """
+        document = load_checkpoint_file(path)
+        spec = ExperimentSpec.from_dict(document["spec"])
+        wayfinder = cls.from_spec(spec)
+        session = wayfinder.build_session()
+        restore_search_session(document, session.session)
+        return wayfinder
 
     # -- running -----------------------------------------------------------------------
     def build_session(self) -> SpecializationSession:
         """Wire up (or return the already wired) specialization session."""
         if self._session is None:
             self._session = SpecializationSession(
-                self.os_model, self.application, self.bench_tool, self.metric,
-                self.algorithm, self.hardware, self.seed,
-                enable_skip_build=self.enable_skip_build,
-                workers=self.workers, batch_size=self.batch_size,
+                self.spec, self.os_model, self.application, self.bench_tool,
+                self.metric, self.algorithm, self.hardware,
             )
         return self._session
 
+    def add_observer(self, observer: SessionObserver) -> SessionObserver:
+        """Attach a lifecycle observer to the (lazily wired) search session."""
+        return self.build_session().session.add_observer(observer)
+
+    def enable_checkpointing(self, store, name: Optional[str] = None,
+                             every: Optional[int] = None) -> SessionCheckpointer:
+        """Persist resumable session state every *every* batches.
+
+        *store* is a :class:`ResultsStore` or a directory path.  Returns the
+        attached checkpointer; the checkpoint lives at
+        ``store.checkpoint_path(name)`` and is consumed by :meth:`resume`.
+        *every* defaults to the session's current cadence — 1 for fresh
+        sessions, the original run's cadence for resumed ones.
+        """
+        if not isinstance(store, ResultsStore):
+            store = ResultsStore(str(store))
+        if self._custom_hardware:
+            raise ValueError(
+                "cannot checkpoint an experiment built with a custom hardware "
+                "object: the spec cannot reconstruct it on resume (use the "
+                "spec's architecture field instead)")
+        session = self.build_session().session
+        if every is not None:
+            if every < 1:
+                raise ValueError("checkpoint cadence must be at least 1 batch")
+            session.checkpoint_every = every
+        checkpointer = SessionCheckpointer(store, name or self.spec.name,
+                                           self.spec, session)
+        session.checkpointer = checkpointer
+        return checkpointer
+
     def specialize(self, iterations: Optional[int] = None,
-                   time_budget_s: Optional[float] = None) -> SearchResult:
-        """Run the specialization search and return its result."""
+                   time_budget_s: Optional[float] = None,
+                   stop: Optional[Sequence[StopCondition]] = None) -> SearchResult:
+        """Run the specialization search and return its result.
+
+        Budgets default to the spec's ``iterations`` / ``time_budget_s`` /
+        ``plateau_trials`` when no explicit budget is given, so a spec-driven
+        run (CLI, job file, resume) needs no arguments here.
+        """
+        stop = list(stop or [])
+        if iterations is None and time_budget_s is None and not stop:
+            iterations = self.spec.iterations
+            time_budget_s = self.spec.time_budget_s
+            if self.spec.plateau_trials is not None:
+                stop.append(IncumbentPlateau(self.spec.plateau_trials))
         return self.build_session().run(iterations=iterations,
-                                        time_budget_s=time_budget_s)
+                                        time_budget_s=time_budget_s,
+                                        stop=stop or None)
 
     @property
     def space(self) -> ConfigSpace:

@@ -13,7 +13,7 @@ are never perfectly minimal).
 from __future__ import annotations
 
 import hashlib
-from typing import List, Set
+from typing import Set
 
 from repro.config.parameter import ParameterKind
 from repro.vm.os_model import OSModel

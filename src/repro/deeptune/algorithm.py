@@ -14,6 +14,7 @@ regions in play — the exploration/exploitation balance the paper discusses.
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import List, Optional, Sequence
 
@@ -192,6 +193,42 @@ class DeepTuneSearch(SearchAlgorithm):
             steps=self.training_steps_per_iteration, batch_size=self.batch_size
         )
         self.update_times_s.append(time.perf_counter() - started)
+
+    # -- checkpointing ----------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot everything a resumed search needs to continue bit-identically.
+
+        The model is deep-copied wholesale: its weights, Adam moments, replay
+        buffer, Welford scaler moments, and the NumPy generator shared by the
+        dropout layers and the minibatch sampler all contribute to the future
+        proposal stream, and copying the object is the only way to guarantee
+        no field is forgotten as the model evolves.
+        """
+        state = super().export_state()
+        state["model"] = copy.deepcopy(self.model)
+        state["transferred"] = self.transferred
+        state["observed_matrix"] = self._observed_matrix[:self._observed_count].copy()
+        state["best_values"] = [c.as_dict() for c in self._best_configurations]
+        state["best_objectives"] = list(self._best_objectives)
+        state["update_times_s"] = list(self.update_times_s)
+        state["proposal_times_s"] = list(self.proposal_times_s)
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self.model = copy.deepcopy(state["model"])
+        self.transferred = bool(state["transferred"])
+        observed = np.array(state["observed_matrix"], dtype=np.float64)
+        self._observed_count = observed.shape[0]
+        self._observed_matrix = ensure_row_capacity(
+            np.empty((0, self.encoder.width), dtype=np.float64),
+            max(1, self._observed_count))
+        self._observed_matrix[:self._observed_count] = observed
+        self._best_configurations = [Configuration(self.space, values)
+                                     for values in state["best_values"]]
+        self._best_objectives = [float(value) for value in state["best_objectives"]]
+        self.update_times_s = list(state["update_times_s"])
+        self.proposal_times_s = list(state["proposal_times_s"])
 
     # -- inspection ------------------------------------------------------------------------
     def mean_update_time_s(self) -> float:

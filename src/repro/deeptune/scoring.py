@@ -16,8 +16,6 @@ random search keeps paying the full ~1/3 failure rate.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 import numpy as np
 
 Array = np.ndarray

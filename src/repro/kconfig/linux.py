@@ -17,7 +17,6 @@ Two spaces are produced from the same model:
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.config.constraints import Constraint, DependsOn, ForbiddenCombination

@@ -13,7 +13,7 @@ the paper observes for random configurations).
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.config.constraints import Constraint, DependsOn
 from repro.config.parameter import (

@@ -12,7 +12,7 @@ Linux, well-chosen configurations improve throughput much more than on Linux
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.config.parameter import (
     BoolParameter,

@@ -81,6 +81,14 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    def export_state(self) -> dict:
+        """Snapshot worker clocks, skip-build state, and the simulator RNG."""
+        raise NotImplementedError
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        raise NotImplementedError
+
 
 class SerialBackend(ExecutionBackend):
     """One system under test, evaluated strictly sequentially."""
@@ -114,6 +122,19 @@ class SerialBackend(ExecutionBackend):
     def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
         return [self.pipeline.evaluate(configuration)
                 for configuration in configurations]
+
+    def export_state(self) -> dict:
+        return {
+            "kind": self.name,
+            "simulator": self.pipeline.simulator.export_state(),
+            "pipelines": [self.pipeline.export_state()],
+        }
+
+    def import_state(self, state: dict) -> None:
+        if state.get("kind") != self.name or len(state["pipelines"]) != 1:
+            raise ValueError("checkpoint backend state does not match a serial backend")
+        self.pipeline.simulator.import_state(state["simulator"])
+        self.pipeline.import_state(state["pipelines"][0])
 
 
 class WorkerPoolBackend(ExecutionBackend):
@@ -175,6 +196,26 @@ class WorkerPoolBackend(ExecutionBackend):
             behind = session_now - pipeline.clock.now_s
             if behind > 0:
                 pipeline.clock.advance(behind)
+
+    def export_state(self) -> dict:
+        return {
+            "kind": self.name,
+            "simulator": self.simulator.export_state(),
+            "pipelines": [pipeline.export_state() for pipeline in self.pipelines],
+            "assignments": list(self.assignments),
+        }
+
+    def import_state(self, state: dict) -> None:
+        if state.get("kind") != self.name:
+            raise ValueError("checkpoint backend state does not match a worker pool")
+        if len(state["pipelines"]) != len(self.pipelines):
+            raise ValueError(
+                "checkpoint was taken with {} workers, backend has {}".format(
+                    len(state["pipelines"]), len(self.pipelines)))
+        self.simulator.import_state(state["simulator"])
+        for pipeline, pipeline_state in zip(self.pipelines, state["pipelines"]):
+            pipeline.import_state(pipeline_state)
+        self.assignments = [int(worker) for worker in state.get("assignments", [])]
 
     def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
         self._sync_to_barrier()

@@ -1,0 +1,154 @@
+"""Session lifecycle: pluggable stop conditions and observers.
+
+The search session's run loop used to hard-code two budget checks
+(``iterations`` / ``time_budget_s``).  This module turns both into
+:class:`StopCondition` objects — plus the incumbent-plateau condition long
+sweeps want — and defines the :class:`SessionObserver` callback interface the
+session notifies as it progresses.  The CLI uses an observer for its live
+progress output, tests use :class:`CallbackObserver` for assertions, and the
+checkpointing machinery hangs off ``on_checkpoint``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class StopCondition:
+    """Decides when a search session is finished.
+
+    Conditions are evaluated at batch boundaries against the *session* (its
+    history and its execution backend), so they compose with resumed
+    sessions for free: a restored history already counts toward the budget.
+    """
+
+    name = "stop"
+
+    def should_stop(self, session) -> bool:
+        raise NotImplementedError
+
+    def remaining_trials(self, session) -> Optional[int]:
+        """Upper bound on trials still to run (None = no trial-count bound).
+
+        The run loop uses this to trim the final batch so iteration budgets
+        are hit exactly even with ragged batch sizes.
+        """
+        return None
+
+    def describe(self) -> Dict[str, object]:
+        return {"condition": self.name}
+
+
+class IterationBudget(StopCondition):
+    """Stop once the history holds *iterations* trials (total, across resumes)."""
+
+    name = "iterations"
+
+    def __init__(self, iterations: int) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        self.iterations = int(iterations)
+
+    def should_stop(self, session) -> bool:
+        return len(session.history) >= self.iterations
+
+    def remaining_trials(self, session) -> Optional[int]:
+        return max(0, self.iterations - len(session.history))
+
+    def describe(self) -> Dict[str, object]:
+        return {"condition": self.name, "iterations": self.iterations}
+
+
+class TimeBudget(StopCondition):
+    """Stop once the backend's virtual clock reaches *seconds*.
+
+    Checked at batch boundaries, so a batched session may overshoot by at
+    most one batch — with ``batch_size=1`` the historical per-trial check.
+    """
+
+    name = "time-budget"
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError("time budget must be positive")
+        self.seconds = float(seconds)
+
+    def should_stop(self, session) -> bool:
+        return session.backend.now_s >= self.seconds
+
+    def describe(self) -> Dict[str, object]:
+        return {"condition": self.name, "seconds": self.seconds}
+
+
+class IncumbentPlateau(StopCondition):
+    """Stop after *patience* trials without a new incumbent.
+
+    Counts completed trials since the best record entered the history (or
+    since the session started while no successful trial exists yet).
+    """
+
+    name = "incumbent-plateau"
+
+    def __init__(self, patience: int) -> None:
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        self.patience = int(patience)
+
+    def should_stop(self, session) -> bool:
+        best = session.history.best_record()
+        best_index = -1 if best is None else best.index
+        return (len(session.history) - 1 - best_index) >= self.patience
+
+    def describe(self) -> Dict[str, object]:
+        return {"condition": self.name, "patience": self.patience}
+
+
+class SessionObserver:
+    """Callback interface notified as a search session progresses.
+
+    Every hook is a no-op by default; subclasses override what they need.
+    Observers must not mutate session state — they exist for progress
+    reporting, metrics, and tests.
+    """
+
+    def on_batch_start(self, session, batch_index: int, planned: int) -> None:
+        """A new batch of *planned* proposals is about to be evaluated."""
+
+    def on_trial(self, session, record) -> None:
+        """One trial completed and entered the history (completion order)."""
+
+    def on_new_incumbent(self, session, record) -> None:
+        """*record* became the best successful trial seen so far."""
+
+    def on_checkpoint(self, session, path: str) -> None:
+        """Session state was checkpointed to *path*."""
+
+
+class CallbackObserver(SessionObserver):
+    """Adapter turning plain callables into an observer (handy in tests)."""
+
+    def __init__(self,
+                 on_batch_start: Optional[Callable] = None,
+                 on_trial: Optional[Callable] = None,
+                 on_new_incumbent: Optional[Callable] = None,
+                 on_checkpoint: Optional[Callable] = None) -> None:
+        self._on_batch_start = on_batch_start
+        self._on_trial = on_trial
+        self._on_new_incumbent = on_new_incumbent
+        self._on_checkpoint = on_checkpoint
+
+    def on_batch_start(self, session, batch_index, planned):
+        if self._on_batch_start:
+            self._on_batch_start(session, batch_index, planned)
+
+    def on_trial(self, session, record):
+        if self._on_trial:
+            self._on_trial(session, record)
+
+    def on_new_incumbent(self, session, record):
+        if self._on_new_incumbent:
+            self._on_new_incumbent(session, record)
+
+    def on_checkpoint(self, session, path):
+        if self._on_checkpoint:
+            self._on_checkpoint(session, path)

@@ -38,6 +38,10 @@ class VirtualClock:
         self._now_s += seconds
         return self._now_s
 
+    def restore(self, now_s: float) -> None:
+        """Set the clock to an absolute time (checkpoint restoration only)."""
+        self._now_s = float(now_s)
+
 
 class BenchmarkingPipeline:
     """Evaluates configurations through the simulated system under test."""
@@ -69,6 +73,26 @@ class BenchmarkingPipeline:
     @property
     def builds_skipped(self) -> int:
         return self._builds_skipped
+
+    # -- checkpointing ------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the pipeline's mutable state (clock, counters, image reuse)."""
+        last = self._last_running_configuration
+        return {
+            "clock_now_s": self.clock.now_s,
+            "trial_count": self._trial_count,
+            "builds_skipped": self._builds_skipped,
+            "last_running_configuration": None if last is None else last.as_dict(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self.clock.restore(state["clock_now_s"])
+        self._trial_count = int(state["trial_count"])
+        self._builds_skipped = int(state["builds_skipped"])
+        last = state.get("last_running_configuration")
+        self._last_running_configuration = (
+            None if last is None else Configuration(self.space, last))
 
     # -- evaluation ------------------------------------------------------------------
     def _can_reuse_image(self, configuration: Configuration) -> bool:

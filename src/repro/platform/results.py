@@ -1,22 +1,31 @@
-"""Persistence of exploration results.
+"""Persistence of exploration results and session checkpoints.
 
 The original platform stores every explored configuration and its measurements
 in off-the-shelf databases so runs can be resumed, audited, and re-plotted
 long after the fact.  This module provides the equivalent for the
 reproduction: a JSON results store that round-trips an entire exploration
-history — configurations, objectives, crash outcomes, timings — plus helpers
-to resume a search session from a stored history (useful when a long sweep is
-interrupted) and to export flat CSV rows for external analysis.
+history — configurations, objectives, crash outcomes, timings — plus
+first-class *checkpoints*.  A checkpoint embeds the experiment spec, the
+completed trial records, and an opaque state blob covering the search
+algorithm (RNG streams, model weights, replay buffers), the execution
+backend (worker clocks, skip-build image state), and the simulator's
+measurement-noise RNG — everything needed for
+:meth:`Wayfinder.resume` to continue an interrupted run *bit-identically*
+to the uninterrupted one.  Flat CSV export for external analysis rounds the
+module off.
 """
 
 from __future__ import annotations
 
+import base64
 import csv
 import json
 import os
+import pickle
+import warnings
 from typing import Dict, Iterable, List, Optional
 
-from repro.config.space import Configuration, ConfigSpace
+from repro.config.space import ConfigSpace
 from repro.platform.history import ExplorationHistory, TrialRecord
 from repro.platform.metrics import (
     CompositeScoreMetric,
@@ -72,10 +81,34 @@ def record_from_dict(data: Dict[str, object], space: ConfigSpace) -> TrialRecord
     )
 
 
+def encode_state(payload: object) -> str:
+    """Pickle *payload* and encode it for embedding in a JSON document.
+
+    Checkpoint state (RNG streams, model weights, replay buffers) must
+    round-trip *exactly* — a single flipped mantissa bit would make a resumed
+    run diverge — so it is serialized with pickle rather than re-encoded as
+    JSON numbers, and carried as base64 text inside the document.
+    """
+    return base64.b64encode(pickle.dumps(payload)).decode("ascii")
+
+
+def decode_state(text: str) -> object:
+    """Inverse of :func:`encode_state`.
+
+    .. warning::
+        This unpickles the blob, which can execute arbitrary code — only
+        resume checkpoints you (or a process you trust) wrote, exactly like
+        any other pickle-bearing artifact.
+    """
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
 class ResultsStore:
-    """Save and load exploration histories as JSON documents."""
+    """Save and load exploration histories and checkpoints as JSON documents."""
 
     FORMAT_VERSION = 1
+    CHECKPOINT_FORMAT_VERSION = 1
+    CHECKPOINT_SUFFIX = ".checkpoint.json"
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
@@ -103,10 +136,10 @@ class ResultsStore:
 
     # -- reading -----------------------------------------------------------------
     def list_histories(self) -> List[str]:
-        """Names of every stored history, sorted."""
+        """Names of every stored history, sorted (checkpoints excluded)."""
         names = []
         for entry in os.listdir(self.directory):
-            if entry.endswith(".json"):
+            if entry.endswith(".json") and not entry.endswith(self.CHECKPOINT_SUFFIX):
                 names.append(entry[:-5])
         return sorted(names)
 
@@ -135,6 +168,38 @@ class ResultsStore:
         return {"metadata": document.get("metadata", {}),
                 "summary": document.get("summary", {})}
 
+    # -- checkpoints -----------------------------------------------------------------
+    def checkpoint_path(self, name: str) -> str:
+        """Filesystem path of the checkpoint stored under *name*."""
+        return os.path.join(self.directory, name + self.CHECKPOINT_SUFFIX)
+
+    def list_checkpoints(self) -> List[str]:
+        """Names of every stored checkpoint, sorted."""
+        names = []
+        for entry in os.listdir(self.directory):
+            if entry.endswith(self.CHECKPOINT_SUFFIX):
+                names.append(entry[:-len(self.CHECKPOINT_SUFFIX)])
+        return sorted(names)
+
+    def save_checkpoint(self, name: str, document: Dict[str, object]) -> str:
+        """Atomically persist a checkpoint *document* under *name*.
+
+        The write goes through a temporary file and an ``os.replace`` so an
+        interruption mid-write never corrupts the previous checkpoint — the
+        entire point of checkpointing long sweeps.
+        """
+        path = self.checkpoint_path(name)
+        staging = path + ".tmp"
+        with open(staging, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        os.replace(staging, path)
+        return path
+
+    def load_checkpoint(self, name: str) -> Dict[str, object]:
+        """Load the checkpoint document stored under *name*."""
+        return load_checkpoint_file(self.checkpoint_path(name))
+
     # -- exports ---------------------------------------------------------------------
     def export_csv(self, name: str, path: str,
                    parameters: Optional[Iterable[str]] = None) -> str:
@@ -162,11 +227,96 @@ class ResultsStore:
         return path
 
 
+class SessionCheckpointer:
+    """Serializes a search session's full state through a :class:`ResultsStore`.
+
+    Attach an instance to :attr:`SearchSession.checkpointer` (or call
+    :meth:`Wayfinder.enable_checkpointing`) and the session will persist a
+    resumable checkpoint every ``checkpoint_every`` batches, plus one at the
+    final state.  The checkpoint embeds the experiment spec, so
+    :meth:`Wayfinder.resume` can rebuild the entire experiment from the file
+    alone.
+    """
+
+    def __init__(self, store: ResultsStore, name: str, spec, session) -> None:
+        self.store = store
+        self.name = name
+        self.spec = spec
+        self.session = session
+
+    def build_document(self) -> Dict[str, object]:
+        session = self.session
+        state = {
+            "algorithm": session.algorithm.export_state(),
+            "backend": session.backend.export_state(),
+            "search_overhead_s": session.search_overhead_s,
+            "batches_run": session.batches_run,
+        }
+        return {
+            "format_version": ResultsStore.CHECKPOINT_FORMAT_VERSION,
+            "kind": "checkpoint",
+            "spec": self.spec.to_dict(),
+            "checkpoint_every": session.checkpoint_every,
+            "metric": session.history.metric.name,
+            "summary": session.history.summary(),
+            "records": [record_to_dict(record) for record in session.history],
+            "state": encode_state(state),
+        }
+
+    def save(self) -> str:
+        return self.store.save_checkpoint(self.name, self.build_document())
+
+
+def load_checkpoint_file(path: str) -> Dict[str, object]:
+    """Load and validate a checkpoint document from *path*."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("kind") != "checkpoint":
+        raise ValueError("{} is not a session checkpoint".format(path))
+    if document.get("format_version") != ResultsStore.CHECKPOINT_FORMAT_VERSION:
+        raise ValueError("unsupported checkpoint format version: {!r}".format(
+            document.get("format_version")))
+    return document
+
+
+def restore_search_session(document: Dict[str, object], session) -> None:
+    """Load a checkpoint *document* into a freshly wired search session.
+
+    The session must have been built from the same :class:`ExperimentSpec`
+    the checkpoint embeds (which is what :meth:`Wayfinder.resume` does); the
+    restore then replays the stored records into the history index and hands
+    the opaque state blob back to the algorithm, the execution backend, and
+    the simulator, after which the run loop continues exactly where the
+    checkpointed run left off.
+    """
+    if session.history:
+        raise ValueError("can only restore a checkpoint into a fresh session")
+    space = session.backend.space
+    for entry in document.get("records", []):
+        session.history.add(record_from_dict(entry, space))
+    state = decode_state(document["state"])
+    session.algorithm.import_state(state["algorithm"])
+    session.backend.import_state(state["backend"])
+    session.search_overhead_s = float(state["search_overhead_s"])
+    session.batches_run = int(state["batches_run"])
+    # carry the original checkpoint cadence, so re-enabling checkpointing on
+    # the resumed session defaults to the same rhythm.
+    session.checkpoint_every = int(document.get("checkpoint_every", 1))
+
+
 def resume_session(history: ExplorationHistory, algorithm) -> None:
     """Replay a stored history into a search algorithm's observation stream.
 
-    After replaying, the algorithm proposes configurations as if it had run
-    the stored trials itself, which is how an interrupted sweep is resumed.
+    .. deprecated::
+        Replaying observations cannot restore RNG streams, worker clocks, or
+        skip-build state, so the continued run differs from an uninterrupted
+        one.  Use session checkpoints (:class:`SessionCheckpointer`,
+        :meth:`Wayfinder.resume`) for faithful resumption.
     """
+    warnings.warn(
+        "resume_session() is deprecated: it replays observations but cannot "
+        "restore RNG/clock/worker state; use Wayfinder.resume() with a "
+        "session checkpoint instead",
+        DeprecationWarning, stacklevel=2)
     for record in history:
         algorithm.observe(record)

@@ -1,7 +1,7 @@
-"""The search session: the core exploration loop of the platform.
+"""The search session: the lifecycle engine of the platform.
 
-A session iterates "select configuration(s) → evaluate → record" until the
-iteration or (virtual) time budget is exhausted, then reports the best
+A session iterates "select configuration(s) → evaluate → record" until a
+:class:`~repro.platform.lifecycle.StopCondition` fires, then reports the best
 configuration found, how long it took to find it, and the full exploration
 history used by the evaluation figures.
 
@@ -13,16 +13,36 @@ may spread them over several simulated system-under-test workers.  With
 propose→evaluate→observe loop trial for trial — same proposals, same RNG
 consumption, same timestamps — which is asserted by
 ``tests/test_batch_execution.py``.
+
+Around that core the session exposes a lifecycle:
+
+* **stop conditions** — iteration budgets, virtual-time budgets, and
+  incumbent plateaus are pluggable :class:`StopCondition` objects; budgets
+  count the whole history, so resumed sessions continue toward the original
+  budget rather than restarting it;
+* **observers** — :class:`SessionObserver` callbacks (``on_batch_start``,
+  ``on_trial``, ``on_new_incumbent``, ``on_checkpoint``) fire as the run
+  progresses; the CLI renders its live progress from them;
+* **checkpointing** — when a checkpointer is attached (see
+  :class:`repro.platform.results.SessionCheckpointer`), full session state is
+  persisted every ``checkpoint_every`` batches, making the run resumable via
+  :meth:`Wayfinder.resume`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.config.space import Configuration
 from repro.platform.executor import ExecutionBackend, SerialBackend
 from repro.platform.history import ExplorationHistory, TrialRecord
+from repro.platform.lifecycle import (
+    IterationBudget,
+    SessionObserver,
+    StopCondition,
+    TimeBudget,
+)
 from repro.platform.metrics import Metric
 from repro.platform.pipeline import BenchmarkingPipeline
 from repro.search.base import SearchAlgorithm
@@ -33,13 +53,19 @@ class SessionResult:
 
     def __init__(self, history: ExplorationHistory, algorithm_name: str,
                  search_overhead_s: float, builds_skipped: int,
-                 workers: int = 1, batch_size: int = 1) -> None:
+                 workers: int = 1, batch_size: int = 1,
+                 time_budget_s: Optional[float] = None,
+                 favor: Optional[str] = None,
+                 stop_reason: Optional[str] = None) -> None:
         self.history = history
         self.algorithm_name = algorithm_name
         self.search_overhead_s = search_overhead_s
         self.builds_skipped = builds_skipped
         self.workers = workers
         self.batch_size = batch_size
+        self.time_budget_s = time_budget_s
+        self.favor = favor
+        self.stop_reason = stop_reason
 
     @property
     def best_record(self) -> Optional[TrialRecord]:
@@ -74,6 +100,9 @@ class SessionResult:
             "builds_skipped": self.builds_skipped,
             "workers": self.workers,
             "batch_size": self.batch_size,
+            "time_budget_s": self.time_budget_s,
+            "favor": self.favor,
+            "stop_reason": self.stop_reason,
         })
         return data
 
@@ -91,7 +120,9 @@ class SearchSession:
                  metric: Optional[Metric] = None,
                  evaluate_default_first: bool = False,
                  backend: Optional[ExecutionBackend] = None,
-                 batch_size: int = 1) -> None:
+                 batch_size: int = 1,
+                 observers: Optional[Sequence[SessionObserver]] = None,
+                 favor: Optional[str] = None) -> None:
         if backend is None:
             if pipeline is None:
                 raise ValueError("a session needs a pipeline or an execution backend")
@@ -111,18 +142,91 @@ class SearchSession:
         #: of the model's training data).  It always runs first *and alone*,
         #: even in batched sessions: the baseline must not share a batch with
         #: configurations proposed without any observation to learn from.
+        #: A resumed session skips it — the restored history already holds it.
         self.evaluate_default_first = evaluate_default_first
+        self.observers: List[SessionObserver] = list(observers or [])
+        #: favor preset recorded in the session result (purely descriptive;
+        #: the favored kinds themselves live inside the algorithm's sampler).
+        self.favor = favor
+        #: optional :class:`repro.platform.results.SessionCheckpointer`; when
+        #: set, full session state is persisted every ``checkpoint_every``
+        #: batches and observers are notified via ``on_checkpoint``.
+        self.checkpointer = None
+        self.checkpoint_every = 1
+        self._last_checkpoint_batch: Optional[int] = None
+        #: cumulative wall-clock seconds spent proposing/observing, carried
+        #: across checkpoint/resume so overhead accounting stays complete.
+        self.search_overhead_s = 0.0
+        #: batches completed so far (the default-configuration trial is
+        #: batch 0); restored on resume so checkpoint cadence is stable.
+        self.batches_run = 0
 
+    # -- lifecycle plumbing ------------------------------------------------------
+    def add_observer(self, observer: SessionObserver) -> SessionObserver:
+        self.observers.append(observer)
+        return observer
+
+    def _notify(self, hook: str, *args) -> None:
+        for observer in self.observers:
+            getattr(observer, hook)(self, *args)
+
+    def _ingest_batch(self, records: Sequence[TrialRecord]) -> None:
+        """History ingestion + observer notifications for one completed batch."""
+        previous_best = self.history.best_record()
+        ordered = self.history.add_batch(records)
+        incumbent = previous_best
+        for record in ordered:
+            self._notify("on_trial", record)
+            if record.crashed or record.objective is None:
+                continue
+            if incumbent is None or self.metric.is_improvement(
+                    record.objective, incumbent.objective):
+                incumbent = record
+                self._notify("on_new_incumbent", record)
+
+    def _checkpoint(self, force: bool = False) -> None:
+        if self.checkpointer is None:
+            return
+        if not force and self.batches_run % max(1, self.checkpoint_every) != 0:
+            return
+        if self._last_checkpoint_batch == self.batches_run:
+            return
+        path = self.checkpointer.save()
+        self._last_checkpoint_batch = self.batches_run
+        self._notify("on_checkpoint", path)
+
+    def _build_conditions(self, iterations: Optional[int],
+                          time_budget_s: Optional[float],
+                          stop: Optional[Sequence[StopCondition]]) -> List[StopCondition]:
+        conditions: List[StopCondition] = list(stop or [])
+        if iterations is not None:
+            conditions.append(IterationBudget(iterations))
+        if time_budget_s is not None:
+            conditions.append(TimeBudget(time_budget_s))
+        if not conditions:
+            raise ValueError("a session needs an iteration, time, or custom stop budget")
+        return conditions
+
+    def _stopped_by(self, conditions: Sequence[StopCondition]) -> Optional[StopCondition]:
+        for condition in conditions:
+            if condition.should_stop(self):
+                return condition
+        return None
+
+    # -- the run loop ------------------------------------------------------------
     def run(self, iterations: Optional[int] = None,
             time_budget_s: Optional[float] = None,
-            batch_size: Optional[int] = None) -> SessionResult:
-        """Run the exploration loop until the iteration or time budget is spent.
+            batch_size: Optional[int] = None,
+            stop: Optional[Sequence[StopCondition]] = None) -> SessionResult:
+        """Run the exploration loop until a stop condition fires.
 
-        *time_budget_s* is measured on the platform's virtual clock, i.e. in
-        simulated benchmarking time, matching how the paper expresses budgets
-        (e.g. "a time budget of 3 hours").  The budget is checked at batch
-        boundaries, so a batched session may overshoot it by at most one
-        batch — with ``batch_size=1`` the historical per-trial check.
+        *iterations* and *time_budget_s* are conveniences wrapping the
+        :class:`IterationBudget` / :class:`TimeBudget` stop conditions;
+        arbitrary conditions (e.g. :class:`IncumbentPlateau`) are passed via
+        *stop*.  Budgets count the whole history, so a session resumed from a
+        checkpoint continues toward the original budget.  *time_budget_s* is
+        measured on the platform's virtual clock, i.e. in simulated
+        benchmarking time, matching how the paper expresses budgets.
 
         *batch_size* overrides the session-level batch size for this run.
         Each round proposes up to ``batch_size`` configurations; completed
@@ -130,45 +234,56 @@ class SearchSession:
         algorithm observes them in submission order, keeping its training
         stream independent of how many workers evaluated the batch.
         """
-        if iterations is None and time_budget_s is None:
-            raise ValueError("a session needs an iteration or time budget")
+        conditions = self._build_conditions(iterations, time_budget_s, stop)
         batch_size = self.batch_size if batch_size is None else batch_size
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
-        search_overhead = 0.0
-        completed = 0
+        stopped_by: Optional[StopCondition] = None
         if self.evaluate_default_first and not self.history:
+            self._notify("on_batch_start", self.batches_run, 1)
             records = self.backend.run_batch(
                 [self.backend.space.default_configuration()])
-            self.history.add_batch(records)
+            self._ingest_batch(records)
             for record in records:
                 self.algorithm.observe(record)
-            completed += len(records)
+            self.batches_run += 1
+            self._checkpoint()
         while True:
-            if iterations is not None and completed >= iterations:
-                break
-            if time_budget_s is not None and self.backend.now_s >= time_budget_s:
+            stopped_by = self._stopped_by(conditions)
+            if stopped_by is not None:
                 break
             k = batch_size
-            if iterations is not None:
-                k = min(k, iterations - completed)
+            for condition in conditions:
+                remaining = condition.remaining_trials(self)
+                if remaining is not None:
+                    k = min(k, remaining)
+            self._notify("on_batch_start", self.batches_run, k)
+
             proposal_started = time.perf_counter()
             batch = self.algorithm.propose_batch(self.history, k)
-            search_overhead += time.perf_counter() - proposal_started
+            self.search_overhead_s += time.perf_counter() - proposal_started
 
             records = self.backend.run_batch(batch)
-            self.history.add_batch(records)
+            self._ingest_batch(records)
 
             observe_started = time.perf_counter()
             for record in records:
                 self.algorithm.observe(record)
-            search_overhead += time.perf_counter() - observe_started
-            completed += len(records)
+            self.search_overhead_s += time.perf_counter() - observe_started
+            self.batches_run += 1
+            self._checkpoint()
+        # Always leave a final checkpoint at the finished state so a stored
+        # run can be extended later with a larger budget.
+        self._checkpoint(force=True)
+        time_budgets = [c.seconds for c in conditions if isinstance(c, TimeBudget)]
         return SessionResult(
             history=self.history,
             algorithm_name=self.algorithm.name,
-            search_overhead_s=search_overhead,
+            search_overhead_s=self.search_overhead_s,
             builds_skipped=self.backend.builds_skipped,
             workers=self.backend.workers,
             batch_size=batch_size,
+            time_budget_s=time_budgets[0] if time_budgets else None,
+            favor=self.favor,
+            stop_reason=stopped_by.name if stopped_by is not None else None,
         )

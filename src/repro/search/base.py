@@ -202,5 +202,28 @@ class SearchAlgorithm:
         random search read everything they need from the history.
         """
 
+    # -- checkpointing ------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the algorithm's mutable state as a picklable dictionary.
+
+        The base implementation captures the sampler's RNG stream — the one
+        piece of mutable state every algorithm shares.  Subclasses extend the
+        dictionary with their model/plan/observation state; together with
+        :meth:`import_state` this is what makes a checkpointed session resume
+        bit-identically (same future proposals, same RNG consumption).
+        Exported values must be *snapshots*: mutating the algorithm after the
+        export must not change an already exported state.
+        """
+        return {"sampler_rng": self.sampler.rng.getstate()}
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        The algorithm must have been constructed with the same space, seed,
+        and options as the exporting instance (the experiment spec guarantees
+        this on the checkpoint/resume path).
+        """
+        self.sampler.rng.setstate(state["sampler_rng"])
+
     def __repr__(self) -> str:
         return "{}(space={!r})".format(type(self).__name__, self.space.name)

@@ -192,3 +192,19 @@ class BayesianOptimizationSearch(SearchAlgorithm):
         candidates, order = self._ranked_pool(history)
         return self.sampler.fill_batch(
             (candidates[int(index)] for index in order), history, k)
+
+    # -- checkpointing ------------------------------------------------------------
+    def export_state(self) -> dict:
+        # The GP itself is refit from the observations on every proposal, so
+        # only the observation store needs to be captured.
+        state = super().export_state()
+        state["X"] = [vector.copy() for vector in self._X]
+        state["y"] = list(self._y)
+        state["crashed"] = list(self._crashed)
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self._X = [np.array(vector, dtype=np.float64) for vector in state["X"]]
+        self._y = [float(value) for value in state["y"]]
+        self._crashed = [bool(flag) for flag in state["crashed"]]

@@ -87,3 +87,15 @@ class GridSearch(SearchAlgorithm):
         if k < 1:
             raise ValueError("batch size must be at least 1")
         return self.sampler.fill_batch(self._plan_entries(), history, k)
+
+    # -- checkpointing ------------------------------------------------------------
+    def export_state(self) -> dict:
+        state = super().export_state()
+        # The plan itself is rebuilt deterministically from the space at
+        # construction; only the sweep position is mutable state.
+        state["cursor"] = self._cursor
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self._cursor = int(state["cursor"])

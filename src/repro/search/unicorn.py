@@ -20,7 +20,7 @@ real causal-discovery workload rather than an artificial sleep.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -237,3 +237,24 @@ class UnicornSearch(SearchAlgorithm):
             if not history.contains_configuration(candidate):
                 return candidate
         return self.sampler.sample_unique(history)
+
+    # -- checkpointing ------------------------------------------------------------
+    def export_state(self) -> dict:
+        # ``_graph`` is recomputed from scratch at every proposal (that is
+        # the point of the baseline), so only the observation store and the
+        # bootstrap RNG stream are mutable state.
+        state = super().export_state()
+        state["features"] = [vector.copy() for vector in self._features]
+        state["objectives"] = list(self._objectives)
+        state["bootstrap_rng"] = self.discovery._rng.bit_generator.state
+        state["iteration_stats"] = [dict(entry) for entry in self.iteration_stats]
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self._features = [np.array(vector, dtype=np.float64)
+                          for vector in state["features"]]
+        self._objectives = [float(value) for value in state["objectives"]]
+        self.discovery._rng.bit_generator.state = state["bootstrap_rng"]
+        self.iteration_stats = [dict(entry) for entry in state["iteration_stats"]]
+        self._graph = None

@@ -87,6 +87,20 @@ class SystemSimulator:
         self.boot_simulator = BootSimulator(os_model, self.failure_model, hardware)
         self._rng = random.Random(seed ^ 0x5F5E5F)
 
+    # -- checkpointing ------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the measurement-noise RNG (the only mutable state).
+
+        The failure model draws from a deterministic configuration hash and
+        the build/boot simulators are stateless, so restoring the RNG stream
+        makes a resumed run reproduce the remaining measurements exactly.
+        """
+        return {"rng": self._rng.getstate()}
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self._rng.setstate(state["rng"])
+
     # -- helpers -----------------------------------------------------------------
     def crash_probability(self, configuration: Configuration) -> float:
         """Expose the failure model's overall crash probability (for analysis)."""

@@ -1,7 +1,5 @@
 """Unit tests for the analysis helpers (similarity, smoothing, stats, reporting)."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -1,0 +1,279 @@
+"""Checkpoint → resume determinism and the session lifecycle engine.
+
+The hard acceptance bar of the checkpoint feature: a run checkpointed at
+trial k and resumed must reproduce the uninterrupted run *trial for trial* —
+same proposals, same RNG consumption, same timestamps, same incumbent
+trajectory — for every registered algorithm and any worker/batch shape.  The
+tests run each algorithm once with every-batch checkpointing (archiving each
+checkpoint file as it is written), then resume from several interruption
+points and assert record-level equality against the uninterrupted history.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.core.spec import ExperimentSpec
+from repro.core.wayfinder import Wayfinder
+from repro.platform.lifecycle import (
+    CallbackObserver,
+    IncumbentPlateau,
+    IterationBudget,
+    SessionObserver,
+    TimeBudget,
+)
+from repro.platform.results import ResultsStore, load_checkpoint_file
+
+from tests.conftest import SMALL_SPACE_OPTIONS
+
+#: per-algorithm options keeping the model-guided phases cheap but active
+#: (mirrors tests/test_batch_execution.py).
+ALGO_OPTIONS = {
+    "random": {},
+    "grid": {},
+    "bayesian": {"initial_random": 3, "candidate_pool_size": 16},
+    "unicorn": {"candidate_pool_size": 8, "top_k": 4},
+    "deeptune": {"warmup_iterations": 3, "candidate_pool_size": 32,
+                 "training_steps_per_iteration": 4, "hidden_dims": [24, 12],
+                 "n_centroids": 8},
+}
+
+
+def _spec(algorithm: str, workers: int, iterations: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        application="nginx", metric="throughput", algorithm=algorithm,
+        favor="runtime", seed=7, iterations=iterations, workers=workers,
+        batch_size=workers, space_options=SMALL_SPACE_OPTIONS,
+        algorithm_options=ALGO_OPTIONS[algorithm],
+        name="ckpt-{}-w{}".format(algorithm, workers))
+
+
+def _trial_tuple(record):
+    return (record.index, record.configuration, record.objective,
+            record.crashed, record.duration_s, record.started_at_s,
+            record.build_skipped, record.worker)
+
+
+def _full_run_with_checkpoints(spec, tmp_path):
+    """Run to completion, archiving the checkpoint written at every batch.
+
+    Returns (history tuples, [(trials_done, archived_path), ...]).
+    """
+    wayfinder = Wayfinder.from_spec(spec)
+    store = ResultsStore(str(tmp_path))
+    wayfinder.enable_checkpointing(store, name=spec.name, every=1)
+    archived = []
+
+    def archive(session, path):
+        copy = "{}.at{}".format(path, len(session.history))
+        shutil.copy(path, copy)
+        archived.append((len(session.history), copy))
+
+    wayfinder.add_observer(CallbackObserver(on_checkpoint=archive))
+    result = wayfinder.specialize()
+    return [_trial_tuple(r) for r in result.history], archived
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("name", sorted(ALGO_OPTIONS))
+    def test_resume_reproduces_uninterrupted_run(self, name, workers, tmp_path):
+        iterations = 5 if name == "unicorn" else 9
+        spec = _spec(name, workers, iterations)
+        reference, archived = _full_run_with_checkpoints(spec, tmp_path)
+        assert len(reference) == iterations
+
+        # every interior batch boundary is a valid interruption point
+        resume_points = [entry for entry in archived if 0 < entry[0] < iterations]
+        assert resume_points, "expected mid-run checkpoints to test against"
+        for trials_done, path in resume_points:
+            resumed = Wayfinder.resume(path)
+            session_history = resumed.build_session().session.history
+            assert len(session_history) == trials_done
+            result = resumed.specialize()
+            assert [_trial_tuple(r) for r in result.history] == reference
+
+    def test_resumed_prefix_matches_stored_records(self, tmp_path):
+        spec = _spec("random", 4, 9)
+        reference, archived = _full_run_with_checkpoints(spec, tmp_path)
+        trials_done, path = [entry for entry in archived if 0 < entry[0] < 9][-1]
+        resumed = Wayfinder.resume(path)
+        prefix = [_trial_tuple(r)
+                  for r in resumed.build_session().session.history]
+        assert prefix == reference[:trials_done]
+
+    def test_resume_from_finished_checkpoint_is_a_noop_run(self, tmp_path):
+        spec = _spec("random", 1, 6)
+        reference, archived = _full_run_with_checkpoints(spec, tmp_path)
+        final = archived[-1]
+        assert final[0] == 6
+        result = Wayfinder.resume(final[1]).specialize()
+        assert [_trial_tuple(r) for r in result.history] == reference
+
+    def test_resume_can_extend_the_budget(self, tmp_path):
+        spec = _spec("random", 1, 6)
+        reference, archived = _full_run_with_checkpoints(spec, tmp_path)
+        result = Wayfinder.resume(archived[-1][1]).specialize(iterations=10)
+        assert result.iterations == 10
+        assert [_trial_tuple(r) for r in result.history][:6] == reference
+
+
+class TestCheckpointStore:
+    def test_checkpoint_document_shape(self, tmp_path):
+        spec = _spec("random", 2, 5)
+        _, archived = _full_run_with_checkpoints(spec, tmp_path)
+        document = load_checkpoint_file(archived[-1][1])
+        assert document["kind"] == "checkpoint"
+        assert document["spec"] == spec.to_dict()
+        assert len(document["records"]) == 5
+        assert document["summary"]["trials"] == 5
+        assert isinstance(document["state"], str)
+
+    def test_store_lists_checkpoints_separately(self, tmp_path):
+        spec = _spec("random", 1, 4)
+        wayfinder = Wayfinder.from_spec(spec)
+        store = ResultsStore(str(tmp_path))
+        wayfinder.enable_checkpointing(store, name="run")
+        result = wayfinder.specialize()
+        store.save_history("run", result.history)
+        assert store.list_checkpoints() == ["run"]
+        assert store.list_histories() == ["run"]
+        assert store.load_checkpoint("run")["kind"] == "checkpoint"
+
+    def test_checkpoint_cadence_restored_on_resume(self, tmp_path):
+        spec = _spec("random", 1, 8)
+        wayfinder = Wayfinder.from_spec(spec)
+        store = ResultsStore(str(tmp_path))
+        wayfinder.enable_checkpointing(store, name="run", every=3)
+        wayfinder.specialize()
+        resumed = Wayfinder.resume(store.checkpoint_path("run"))
+        session = resumed.build_session().session
+        assert session.checkpoint_every == 3
+        # re-enabling without an explicit cadence keeps the original rhythm
+        resumed.enable_checkpointing(store, name="run")
+        assert session.checkpoint_every == 3
+        resumed.enable_checkpointing(store, name="run", every=5)
+        assert session.checkpoint_every == 5
+
+    def test_non_checkpoint_rejected(self, tmp_path, small_linux_model):
+        from repro.platform.metrics import ThroughputMetric
+        from repro.platform.history import ExplorationHistory
+
+        store = ResultsStore(str(tmp_path))
+        path = store.save_history("h", ExplorationHistory(ThroughputMetric()))
+        with pytest.raises(ValueError):
+            load_checkpoint_file(path)
+
+    def test_custom_hardware_refuses_checkpointing(self, tmp_path):
+        from repro.vm.machine import HardwareSpec
+
+        board = HardwareSpec(name="bespoke", cores=2, frequency_ghz=1.0, ram_gb=4)
+        wayfinder = Wayfinder.for_linux(application="nginx", algorithm="random",
+                                        hardware=board,
+                                        space_options=SMALL_SPACE_OPTIONS)
+        with pytest.raises(ValueError, match="custom hardware"):
+            wayfinder.enable_checkpointing(str(tmp_path))
+        # the spec's architecture field remains the supported path
+        riscv = Wayfinder.from_spec(_spec("random", 1, 4).with_overrides(
+            architecture="riscv64"))
+        riscv.enable_checkpointing(str(tmp_path), name="riscv")
+        riscv.specialize()
+        resumed = Wayfinder.resume(ResultsStore(str(tmp_path)).checkpoint_path("riscv"))
+        assert resumed.hardware.architecture == "riscv64"
+
+    def test_restore_requires_fresh_session(self, tmp_path):
+        spec = _spec("random", 1, 4)
+        _, archived = _full_run_with_checkpoints(spec, tmp_path)
+        resumed = Wayfinder.resume(archived[-1][1])
+        from repro.platform.results import restore_search_session
+
+        with pytest.raises(ValueError):
+            restore_search_session(load_checkpoint_file(archived[-1][1]),
+                                   resumed.build_session().session)
+
+
+class TestLifecycleObservers:
+    def _run(self, observer, iterations=6, **spec_kwargs):
+        spec = _spec("random", 1, iterations)
+        for key, value in spec_kwargs.items():
+            spec = spec.with_overrides(**{key: value})
+        wayfinder = Wayfinder.from_spec(spec)
+        wayfinder.add_observer(observer)
+        return wayfinder.specialize()
+
+    def test_callbacks_fire_in_order(self):
+        events = []
+        observer = CallbackObserver(
+            on_batch_start=lambda s, i, k: events.append(("batch", i, k)),
+            on_trial=lambda s, r: events.append(("trial", r.index)),
+            on_new_incumbent=lambda s, r: events.append(("incumbent", r.index)),
+        )
+        result = self._run(observer, iterations=6)
+        batches = [e for e in events if e[0] == "batch"]
+        trials = [e for e in events if e[0] == "trial"]
+        incumbents = [e for e in events if e[0] == "incumbent"]
+        assert batches[0] == ("batch", 0, 1)  # the default-configuration trial
+        assert [index for _, index in trials] == list(range(6))
+        # the incumbent trajectory matches the history's best-so-far series
+        assert incumbents[0][1] == 0  # default config is the first incumbent
+        assert incumbents[-1][1] == result.history.best_record().index
+
+    def test_observers_see_batched_sessions(self):
+        planned = []
+        observer = CallbackObserver(
+            on_batch_start=lambda s, i, k: planned.append(k))
+        spec = _spec("random", 4, 9)
+        wayfinder = Wayfinder.from_spec(spec)
+        wayfinder.add_observer(observer)
+        wayfinder.specialize()
+        assert planned == [1, 4, 4]  # default alone, then full batches
+
+
+class TestStopConditions:
+    def _wayfinder(self, **overrides):
+        spec = _spec("random", 1, 40)
+        spec = spec.with_overrides(**overrides)
+        return Wayfinder.from_spec(spec)
+
+    def test_iteration_budget_reports_stop_reason(self):
+        result = self._wayfinder(iterations=5).specialize()
+        assert result.iterations == 5
+        assert result.stop_reason == "iterations"
+
+    def test_time_budget_reports_stop_reason(self):
+        result = self._wayfinder(iterations=None,
+                                 time_budget_s=2000.0).specialize()
+        assert result.total_time_s >= 2000.0
+        assert result.stop_reason == "time-budget"
+        assert result.summary()["time_budget_s"] == 2000.0
+
+    def test_incumbent_plateau_stops_early(self):
+        result = self._wayfinder(iterations=40, plateau_trials=3).specialize()
+        best_index = result.history.best_record().index
+        assert result.stop_reason in ("incumbent-plateau", "iterations")
+        if result.stop_reason == "incumbent-plateau":
+            assert result.iterations - 1 - best_index >= 3
+            assert result.iterations < 40
+
+    def test_explicit_conditions_compose(self):
+        wayfinder = self._wayfinder(iterations=None)
+        result = wayfinder.specialize(
+            stop=[IterationBudget(4), TimeBudget(1e9), IncumbentPlateau(100)])
+        assert result.iterations == 4
+
+    def test_condition_validation(self):
+        with pytest.raises(ValueError):
+            IterationBudget(0)
+        with pytest.raises(ValueError):
+            TimeBudget(0.0)
+        with pytest.raises(ValueError):
+            IncumbentPlateau(0)
+
+    def test_describe(self):
+        assert IterationBudget(5).describe() == {"condition": "iterations",
+                                                 "iterations": 5}
+        assert TimeBudget(10.0).describe()["seconds"] == 10.0
+        assert IncumbentPlateau(3).describe()["patience"] == 3
+        assert isinstance(SessionObserver(), SessionObserver)

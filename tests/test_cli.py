@@ -16,8 +16,16 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
         assert args.application == "nginx"
-        assert args.algorithm == "deeptune"
-        assert args.iterations == 100
+        # algorithm/iterations parse as None so an explicit flag can be told
+        # apart from the default when a job file provides the setting; the
+        # effective defaults live in the spec builder.
+        assert args.algorithm is None
+        assert args.iterations is None
+        from repro.cli import _spec_from_args
+
+        spec = _spec_from_args(args)
+        assert spec.algorithm == "deeptune"
+        assert spec.iterations == 100
 
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
@@ -46,6 +54,20 @@ class TestParser:
             build_parser().parse_args(["run", "--workers", "0"])
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--batch-size", "0"])
+
+    def test_iterations_must_be_positive(self):
+        # zero/negative budgets used to slip through a plain type=int
+        for command in ("run", "compare"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--iterations", "0"])
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--iterations", "-5"])
+        assert build_parser().parse_args(["run", "--iterations", "1"]).iterations == 1
+
+    def test_plateau_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--plateau", "0"])
+        assert build_parser().parse_args(["run", "--plateau", "7"]).plateau == 7
 
     def test_favor_forwarded_per_os(self):
         from repro.cli import _build_wayfinder
@@ -129,6 +151,29 @@ class TestRun:
             document = json.load(handle)
         assert document["summary"]["trials"] == 8
 
+    def test_job_file_algorithm_and_budget_honoured(self, tmp_path, small_space):
+        from repro.cli import _spec_from_args, build_parser
+        from repro.config.jobfile import JobFile, dump_job_file
+
+        job_path = str(tmp_path / "job.yaml")
+        job = JobFile(name="job", os_name="linux", application="nginx",
+                      bench_tool="wrk", metric="throughput", space=small_space,
+                      iterations=6, favor_kinds=["runtime"], seed=1,
+                      algorithm="random", plateau_trials=4)
+        dump_job_file(job, job_path)
+        # without explicit flags the job file's settings win ...
+        spec = _spec_from_args(build_parser().parse_args(["run", "--job", job_path]))
+        assert spec.algorithm == "random"
+        assert spec.iterations == 6
+        assert spec.plateau_trials == 4
+        # ... and explicit flags override them
+        spec = _spec_from_args(build_parser().parse_args(
+            ["run", "--job", job_path, "--algorithm", "grid",
+             "--iterations", "9", "--plateau", "7"]))
+        assert spec.algorithm == "grid"
+        assert spec.iterations == 9
+        assert spec.plateau_trials == 7
+
     def test_job_file_workers_used_and_overridable(self, tmp_path, capsys, small_space):
         from repro.config.jobfile import JobFile, dump_job_file
 
@@ -143,6 +188,72 @@ class TestRun:
         assert main(["run", "--job", job_path, "--algorithm", "random",
                      "--workers", "3"]) == 0
         assert "3 workers" in capsys.readouterr().out
+
+
+class TestProgressOutput:
+    def test_run_prints_lifecycle_progress(self, capsys):
+        assert main(["run", "--application", "nginx", "--algorithm", "random",
+                     "--iterations", "5", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        # the progress lines come from the session observer API
+        assert "[batch" in output
+        assert "new incumbent" in output
+        assert "stopped by" in output
+
+
+class TestCheckpointResumeCli:
+    def test_run_checkpoint_then_resume(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "results")
+        assert main([
+            "run", "--application", "nginx", "--algorithm", "random",
+            "--iterations", "5", "--seed", "3", "--results", results_dir,
+            "--name", "ck", "--checkpoint-every", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "checkpoint saved to" in output
+        checkpoint = os.path.join(results_dir, "ck.checkpoint.json")
+        assert os.path.exists(checkpoint)
+
+        # resuming the finished run is a no-op that still reports the result
+        assert main(["run", "--resume", "ck", "--results", results_dir]) == 0
+        output = capsys.readouterr().out
+        assert "Resuming" in output
+        assert "Search result" in output
+
+        # a checkpoint file path works without --results
+        assert main(["run", "--resume", checkpoint]) == 0
+        assert "Resuming" in capsys.readouterr().out
+
+    def test_resume_extends_budget_and_guards_state_flags(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "results")
+        assert main([
+            "run", "--application", "nginx", "--algorithm", "random",
+            "--iterations", "4", "--seed", "3", "--results", results_dir,
+            "--name", "ck", "--checkpoint-every", "1",
+        ]) == 0
+        capsys.readouterr()
+        # explicit budget flags extend the resumed run past the stored budget
+        assert main(["run", "--resume", "ck", "--results", results_dir,
+                     "--iterations", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "iterations         7" in output
+        # flags the restored state depends on are rejected, not ignored
+        assert main(["run", "--resume", "ck", "--results", results_dir,
+                     "--workers", "2"]) == 2
+        assert "cannot be changed" in capsys.readouterr().err
+
+    def test_resume_requires_locatable_checkpoint(self, tmp_path, capsys):
+        assert main(["run", "--resume", "nope"]) == 2
+        assert "--resume" in capsys.readouterr().err
+        # a named checkpoint missing from the results directory exits
+        # cleanly too, instead of dying with a traceback
+        assert main(["run", "--resume", "nope",
+                     "--results", str(tmp_path)]) == 2
+        assert "no checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_requires_results(self, capsys):
+        assert main(["run", "--iterations", "2", "--checkpoint-every", "1"]) == 2
+        assert "--results" in capsys.readouterr().err
 
 
 class TestCompare:

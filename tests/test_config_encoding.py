@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.config.encoding import ConfigEncoder
-from repro.config.parameter import ParameterKind
 
 
 @pytest.fixture

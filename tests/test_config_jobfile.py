@@ -10,7 +10,6 @@ from repro.config.jobfile import (
     load_yaml,
     parameter_from_dict,
 )
-from repro.config.parameter import ParameterKind
 
 
 class TestYamlSubset:

@@ -16,10 +16,7 @@ from repro.deeptune.importance import (
 from repro.deeptune.model import DeepTuneModel
 from repro.deeptune.scoring import dissimilarity, exploration_score, score_candidates
 from repro.deeptune.transfer import load_model_state, save_model_state, transfer_model
-from repro.platform.history import ExplorationHistory
-from repro.platform.metrics import ThroughputMetric
 
-from tests.test_platform import make_record
 
 
 def make_synthetic_dataset(n=120, d=12, seed=0):

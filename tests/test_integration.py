@@ -15,7 +15,7 @@ from repro.config.parameter import ParameterKind
 from repro.cozart.debloat import CozartDebloater
 from repro.deeptune.algorithm import DeepTuneSearch
 from repro.deeptune.transfer import transfer_model
-from repro.platform.metrics import CompositeScoreMetric, MemoryFootprintMetric
+from repro.platform.metrics import CompositeScoreMetric
 from repro.platform.pipeline import BenchmarkingPipeline, VirtualClock
 from repro.platform.runner import SearchSession
 from repro.vm.simulator import SystemSimulator

@@ -1,7 +1,5 @@
 """Unit tests for the synthetic Kconfig models (Linux, Unikraft, history)."""
 
-import math
-
 import pytest
 
 from repro.config.parameter import ParameterKind

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
-import math
 import random
 
 import numpy as np

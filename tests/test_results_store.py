@@ -100,8 +100,44 @@ class TestResultsStore:
             store.load_history("run", small_linux_model.space)
 
 
+class TestSessionSummary:
+    """SessionResult.summary() must fully describe the run's budget shape."""
+
+    def _session(self, small_linux_model, favor=None):
+        from repro.search.random_search import RandomSearch
+        from repro.platform.runner import SearchSession
+
+        algorithm = RandomSearch(small_linux_model.space, seed=2,
+                                 favored_kinds=[ParameterKind.RUNTIME])
+        return SearchSession(make_pipeline(small_linux_model, "nginx"),
+                             algorithm, favor=favor)
+
+    def test_summary_records_time_budget_and_favor(self, small_linux_model):
+        result = self._session(small_linux_model, favor="runtime").run(
+            time_budget_s=1500.0)
+        summary = result.summary()
+        assert summary["time_budget_s"] == 1500.0
+        assert summary["favor"] == "runtime"
+        assert summary["stop_reason"] == "time-budget"
+
+    def test_summary_null_fields_for_iteration_runs(self, small_linux_model):
+        summary = self._session(small_linux_model).run(iterations=3).summary()
+        assert summary["time_budget_s"] is None
+        assert summary["favor"] is None
+        assert summary["stop_reason"] == "iterations"
+
+    def test_stored_metadata_describes_the_run(self, tmp_path, small_linux_model):
+        result = self._session(small_linux_model, favor="runtime").run(iterations=4)
+        store = ResultsStore(str(tmp_path))
+        store.save_history("run", result.history, metadata=result.summary())
+        metadata = store.load_metadata("run")["metadata"]
+        assert metadata["favor"] == "runtime"
+        assert metadata["time_budget_s"] is None
+        assert metadata["workers"] == 1
+
+
 class TestResumeSession:
-    def test_replay_into_algorithm(self, tmp_path, small_linux_model):
+    def test_replay_into_algorithm_is_deprecated(self, tmp_path, small_linux_model):
         store = ResultsStore(str(tmp_path))
         history = TestResultsStore().make_history(small_linux_model, iterations=10)
         store.save_history("run", history)
@@ -109,7 +145,8 @@ class TestResumeSession:
                                     metric=ThroughputMetric())
         algorithm = BayesianOptimizationSearch(small_linux_model.space, seed=4,
                                                initial_random=2)
-        resume_session(loaded, algorithm)
+        with pytest.warns(DeprecationWarning, match="Wayfinder.resume"):
+            resume_session(loaded, algorithm)
         assert len(algorithm._X) == 10
         proposal = algorithm.propose(loaded)
         assert proposal is not None
