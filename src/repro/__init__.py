@@ -19,6 +19,7 @@ The public entry point is :class:`repro.core.Wayfinder`:
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignSpec",
     "ExperimentSpec",
     "Wayfinder",
     "SpecializationSession",
@@ -26,8 +27,8 @@ __all__ = [
     "__version__",
 ]
 
-_LAZY_EXPORTS = {"ExperimentSpec", "Wayfinder", "SpecializationSession",
-                 "SearchResult"}
+_LAZY_EXPORTS = {"CampaignSpec", "ExperimentSpec", "Wayfinder",
+                 "SpecializationSession", "SearchResult"}
 
 
 def __getattr__(name):

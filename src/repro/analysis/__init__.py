@@ -1,4 +1,9 @@
-"""Analysis utilities shared by the benchmarks, tests and examples."""
+"""Analysis utilities shared by the benchmarks, tests and examples.
+
+The campaign aggregation layer (:mod:`repro.analysis.campaign_report`) is
+not re-exported here: it pulls in the platform stack, while this package
+root stays importable by the dependency-light config/analysis consumers.
+"""
 
 from repro.analysis.reporting import format_series, format_table
 from repro.analysis.similarity import cross_similarity_matrix

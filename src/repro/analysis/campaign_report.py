@@ -1,0 +1,203 @@
+"""Cross-experiment aggregation and reporting for campaign directories.
+
+The campaign runner leaves one history document per experiment plus a
+manifest in the campaign directory; this module folds them into the
+cross-experiment views the paper reports: a best-objective-per-application
+table (columns per algorithm, Table 3 style), a time-to-best table per
+algorithm (Figure 8's headline numbers), and a Figure 7-style
+per-iteration cost series per algorithm.  Everything renders through the
+plain-text :func:`~repro.analysis.reporting.format_table` /
+:func:`~repro.analysis.reporting.format_series` helpers, so a campaign
+report needs no plotting dependency — it is the text form of the figures.
+
+The aggregation works off the raw JSON documents (records carry objective,
+duration and timing fields) and therefore never needs to rebuild the
+configuration spaces, which keeps ``campaign report`` instant even for
+campaigns over experiment-scale spaces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from statistics import mean
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.reporting import format_series, format_table
+from repro.platform.campaign_runner import STATUS_COMPLETE, load_manifest
+
+
+class CampaignResults:
+    """A loaded view of a campaign directory: manifest plus result documents."""
+
+    def __init__(self, directory: str, manifest: Dict[str, Any]) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self._documents: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def name(self) -> str:
+        return self.manifest["campaign"]["name"]
+
+    @property
+    def experiments(self) -> List[Dict[str, Any]]:
+        return list(self.manifest["experiments"])
+
+    @property
+    def completed(self) -> List[Dict[str, Any]]:
+        return [entry for entry in self.manifest["experiments"]
+                if entry["status"] == STATUS_COMPLETE]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.manifest["experiments"]:
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        return counts
+
+    def axis_values(self, field: str) -> List[Any]:
+        """Distinct values of one spec *field* across the grid, in grid order."""
+        values: List[Any] = []
+        for entry in self.manifest["experiments"]:
+            value = entry["spec"].get(field)
+            if value not in values:
+                values.append(value)
+        return values
+
+    def document(self, name: str) -> Dict[str, Any]:
+        """The stored history document of experiment *name* (cached)."""
+        if name not in self._documents:
+            path = os.path.join(self.directory, name + ".json")
+            with open(path) as handle:
+                self._documents[name] = json.load(handle)
+        return self._documents[name]
+
+
+def load_campaign(directory: str) -> CampaignResults:
+    """Open a campaign directory written by the campaign runner."""
+    return CampaignResults(directory, load_manifest(directory))
+
+
+def _mean_or_none(values: List[float]) -> Optional[float]:
+    return mean(values) if values else None
+
+
+def _fmt(value: Optional[float], pattern: str = "{:.2f}") -> str:
+    return "-" if value is None else pattern.format(value)
+
+
+def _completed_matching(results: CampaignResults,
+                        **spec_fields: Any) -> List[Dict[str, Any]]:
+    matched = []
+    for entry in results.completed:
+        if all(entry["spec"].get(field) == value
+               for field, value in spec_fields.items()):
+            matched.append(entry)
+    return matched
+
+
+def best_objective_table(results: CampaignResults) -> str:
+    """Mean best objective per application x algorithm (Table 3 style).
+
+    Seeds (and, when swept, favor presets) of the same grid cell are
+    averaged; cells whose experiments have not completed render as ``-``.
+    """
+    algorithms = results.axis_values("algorithm")
+    rows = []
+    for application in results.axis_values("application"):
+        row: List[object] = [application]
+        for algorithm in algorithms:
+            entries = _completed_matching(results, application=application,
+                                          algorithm=algorithm)
+            values = [entry["summary"]["best_objective"] for entry in entries
+                      if entry["summary"].get("best_objective") is not None]
+            row.append(_fmt(_mean_or_none(values)))
+        rows.append(row)
+    return format_table(
+        ["application"] + list(algorithms), rows,
+        title="{}: mean best objective per application".format(results.name))
+
+
+def time_to_best_table(results: CampaignResults) -> str:
+    """Per-algorithm search efficiency: time-to-best and improvement."""
+    rows = []
+    for algorithm in results.axis_values("algorithm"):
+        entries = _completed_matching(results, algorithm=algorithm)
+        ttb = [entry["summary"]["time_to_best_s"] for entry in entries
+               if entry["summary"].get("time_to_best_s") is not None]
+        improvement = [entry["summary"]["improvement_factor"]
+                       for entry in entries
+                       if entry["summary"].get("improvement_factor") is not None]
+        crash = [entry["summary"]["crash_rate"] for entry in entries
+                 if entry["summary"].get("crash_rate") is not None]
+        rows.append((
+            algorithm,
+            len(entries),
+            _fmt(_mean_or_none([t / 3600.0 for t in ttb])),
+            _fmt(_mean_or_none(improvement), "{:.2f}x"),
+            _fmt(_mean_or_none(crash), "{:.0%}"),
+        ))
+    return format_table(
+        ("algorithm", "experiments", "time to best (h)", "improvement",
+         "crash rate"),
+        rows, title="{}: search efficiency per algorithm".format(results.name))
+
+
+def per_iteration_cost_series(results: CampaignResults,
+                              algorithm: str) -> List[Tuple[float, float]]:
+    """Figure 7-style series: mean per-trial benchmarking cost by iteration.
+
+    Each completed experiment of *algorithm* contributes its records'
+    ``duration_s`` keyed by trial index; the series is the per-index mean,
+    truncated to the shortest experiment so every point averages the same
+    population.
+    """
+    per_experiment: List[List[float]] = []
+    for entry in _completed_matching(results, algorithm=algorithm):
+        records = results.document(entry["name"]).get("records", [])
+        durations = [float(record.get("duration_s", 0.0))
+                     for record in sorted(records,
+                                          key=lambda r: int(r["index"]))]
+        if durations:
+            per_experiment.append(durations)
+    if not per_experiment:
+        return []
+    horizon = min(len(durations) for durations in per_experiment)
+    return [(float(index),
+             mean(durations[index] for durations in per_experiment))
+            for index in range(horizon)]
+
+
+def render_campaign_report(directory: str, max_points: int = 12) -> str:
+    """The full plain-text report of a campaign directory."""
+    results = load_campaign(directory)
+    counts = results.status_counts()
+    status = ", ".join("{} {}".format(count, status)
+                       for status, count in sorted(counts.items()))
+    sections = [
+        "Campaign {!r}: {} experiments ({})".format(
+            results.name, len(results.experiments), status),
+        "",
+        best_objective_table(results),
+        "",
+        time_to_best_table(results),
+    ]
+    for algorithm in results.axis_values("algorithm"):
+        series = per_iteration_cost_series(results, algorithm)
+        if series:
+            sections.append("")
+            sections.append(format_series(
+                series, "iteration", "mean trial cost (s)",
+                title="{}: per-iteration cost ({})".format(results.name,
+                                                           algorithm),
+                max_points=max_points))
+    failed = [entry for entry in results.experiments
+              if entry["status"] == "failed"]
+    if failed:
+        sections.append("")
+        sections.append(format_table(
+            ("experiment", "error"),
+            [(entry["name"],
+              (entry.get("error") or "").strip().splitlines()[-1])
+             for entry in failed],
+            title="Failed experiments"))
+    return "\n".join(sections)

@@ -19,6 +19,10 @@ the reproduction:
     $ python -m repro.cli compare --application nginx --iterations 60
     $ python -m repro.cli compare --application nginx --favor none \
           --time-budget-s 7200 --workers 4 --batch-size 4
+    $ python -m repro.cli campaign run --spec campaign.yaml \
+          --results campaign-out/ --procs 4
+    $ python -m repro.cli campaign run --results campaign-out/ --resume --procs 4
+    $ python -m repro.cli campaign report --results campaign-out/
 
 Every front-end — CLI flags, job files, the Python API — builds the same
 declarative :class:`~repro.core.spec.ExperimentSpec`, which the platform
@@ -28,6 +32,14 @@ per search round), which compresses the virtual time-to-best.  With
 ``--results`` and ``--checkpoint-every`` the run periodically persists a
 resumable checkpoint; ``--resume NAME`` continues an interrupted run from it,
 reproducing the uninterrupted run trial for trial.
+
+``campaign run`` scales the same machinery to paper-style grids: a YAML
+campaign spec expands into applications x algorithms x seeds (x favor)
+experiments executed across ``--procs`` OS processes, each checkpointing
+into the campaign directory; ``campaign run --resume`` continues a killed
+campaign (completed experiments skipped by manifest, in-flight ones resumed
+bit-exactly) and ``campaign report`` renders the cross-experiment tables
+and figure series.
 
 Every subcommand prints plain-text tables (no plotting dependencies) and can
 persist histories through :class:`repro.platform.results.ResultsStore`.
@@ -120,6 +132,46 @@ def _add_census_parser(subparsers) -> None:
     parser.add_argument("--version", default="v6.0", choices=("v6.0", "v4.19"))
 
 
+def _add_campaign_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "campaign",
+        help="run and report grids of experiments (paper-scale campaigns)")
+    campaign_subparsers = parser.add_subparsers(dest="campaign_command",
+                                                required=True)
+
+    run_parser = campaign_subparsers.add_parser(
+        "run", help="execute a campaign grid on a pool of OS processes")
+    run_parser.add_argument("--spec", help="campaign YAML/JSON file "
+                                           "(omit with --resume: the stored "
+                                           "manifest supplies it)")
+    run_parser.add_argument("--results", required=True,
+                            help="campaign directory (manifest, checkpoints, "
+                                 "per-experiment histories)")
+    run_parser.add_argument("--procs", type=_positive_int, default=1,
+                            help="worker processes running experiments "
+                                 "concurrently (default: 1)")
+    run_parser.add_argument("--checkpoint-every", type=_positive_int,
+                            default=None,
+                            help="per-experiment checkpoint cadence in "
+                                 "batches (default: 1, or the stored "
+                                 "campaign's cadence on resume)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="continue an interrupted campaign: completed "
+                                 "experiments are skipped by manifest, "
+                                 "checkpointed ones resume bit-exactly")
+    run_parser.add_argument("--max-experiments", type=_positive_int,
+                            default=None,
+                            help="run at most N experiments this invocation "
+                                 "(the manifest keeps the rest pending)")
+
+    report_parser = campaign_subparsers.add_parser(
+        "report", help="render the cross-experiment tables and figure series")
+    report_parser.add_argument("--results", required=True,
+                               help="campaign directory to aggregate")
+    report_parser.add_argument("--max-points", type=_positive_int, default=12,
+                               help="points per rendered figure series")
+
+
 def _add_compare_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "compare", help="compare search algorithms on one application")
@@ -150,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_probe_parser(subparsers)
     _add_census_parser(subparsers)
     _add_compare_parser(subparsers)
+    _add_campaign_parser(subparsers)
     return parser
 
 
@@ -349,6 +402,88 @@ def _command_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign_run(args: argparse.Namespace) -> int:
+    from repro.config.jobfile import load_campaign_file
+    from repro.platform.campaign_runner import MANIFEST_NAME, CampaignRunner
+
+    manifest_present = os.path.exists(os.path.join(args.results, MANIFEST_NAME))
+    if args.resume and manifest_present:
+        # the stored manifest owns the campaign and, unless overridden on
+        # the command line, the checkpoint cadence
+        runner = CampaignRunner.open(args.results, procs=args.procs,
+                                     checkpoint_every=args.checkpoint_every)
+        if args.spec and load_campaign_file(args.spec) != runner.campaign:
+            print("--spec does not match the campaign stored in {}; resume "
+                  "without --spec or use a fresh directory".format(
+                      args.results), file=sys.stderr)
+            return 2
+    elif args.spec:
+        campaign = load_campaign_file(args.spec)
+        runner = CampaignRunner(
+            campaign, args.results, procs=args.procs,
+            checkpoint_every=(1 if args.checkpoint_every is None
+                              else args.checkpoint_every))
+    else:
+        print("campaign run needs --spec (or --resume with an existing "
+              "campaign directory)", file=sys.stderr)
+        return 2
+
+    def progress(outcome, done, total):
+        if outcome["status"] == "complete":
+            summary = outcome["summary"]
+            print("[{}/{}] {}: best={} trials={} ({})".format(
+                done, total, outcome["name"],
+                "-" if summary["best_objective"] is None
+                else "{:.2f}".format(summary["best_objective"]),
+                summary["trials"], summary["stop_reason"] or "-"))
+        else:
+            print("[{}/{}] {}: FAILED".format(done, total, outcome["name"]))
+
+    print("Campaign {!r}: {} experiments on {} process{}{}...".format(
+        runner.campaign.name, len(runner.campaign), args.procs,
+        "" if args.procs == 1 else "es",
+        " (resuming)" if args.resume else ""))
+    try:
+        result = runner.run(resume=args.resume,
+                            max_experiments=args.max_experiments,
+                            progress=progress)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    print("Campaign state: {} complete, {} failed, {} pending (manifest in {})"
+          .format(len(result.completed), len(result.failed),
+                  len(result.pending), args.results))
+    for entry in result.failed:
+        error = (entry.get("error") or "").strip().splitlines()
+        print("  {} failed: {}".format(entry["name"],
+                                       error[-1] if error else "?"),
+              file=sys.stderr)
+    return 0 if not result.failed else 1
+
+
+def _command_campaign_report(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign_report import render_campaign_report
+
+    if not os.path.isdir(args.results):
+        print("no campaign directory at {}".format(args.results),
+              file=sys.stderr)
+        return 2
+    try:
+        print(render_campaign_report(args.results, max_points=args.max_points))
+    except (OSError, ValueError) as error:
+        print("cannot report on {}: {}".format(args.results, error),
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "run":
+        return _command_campaign_run(args)
+    return _command_campaign_report(args)
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     rows = []
     for algorithm in args.algorithms:
@@ -377,6 +512,7 @@ _COMMANDS = {
     "probe": _command_probe,
     "census": _command_census,
     "compare": _command_compare,
+    "campaign": _command_campaign,
 }
 
 

@@ -183,10 +183,19 @@ def _parse_block(lines: List[Tuple[int, str]], start: int, indent: int) -> Tuple
                 container.append(child)
                 continue
             if payload.endswith(":"):
-                # single-key mapping item spanning the following block
+                # mapping item whose first key holds a block value: further
+                # keys of the same item may follow at the item's own indent
+                # ("- match:\n    ...\n  set:\n    ..."), like real YAML.
                 key = payload[:-1].strip()
-                child, index = _parse_block(lines, index + 1, _next_indent(lines, index, indent))
-                container.append({key: child})
+                sibling_indent = indent + 2
+                next_indent = _next_indent(lines, index, indent)
+                if next_indent is not None and next_indent > sibling_indent:
+                    child, index = _parse_block(lines, index + 1, next_indent)
+                else:
+                    child, index = None, index + 1
+                item, index = _extend_list_item_mapping(
+                    lines, index, sibling_indent, {key: child})
+                container.append(item)
                 continue
             if ": " in payload:
                 # inline mapping item: subsequent deeper lines extend the mapping
@@ -221,11 +230,18 @@ def _parse_list_item_mapping(
     item: Dict[str, Any] = {}
     key, _, rest = payload.partition(":")
     item[key.strip()] = _parse_scalar(rest)
-    index += 1
-    child_indent = indent + 2
+    return _extend_list_item_mapping(lines, index + 1, indent + 2, item)
+
+
+def _extend_list_item_mapping(
+    lines: List[Tuple[int, str]], index: int, child_indent: int,
+    item: Dict[str, Any],
+) -> Tuple[Dict[str, Any], int]:
+    """Collect the remaining keys of a list-item mapping at *child_indent*."""
     while index < len(lines):
         line_indent, content = lines[index]
-        if line_indent < child_indent or content.startswith("- "):
+        if (line_indent < child_indent or content.startswith("- ")
+                or content == "-"):
             break
         key, _, rest = content.partition(":")
         rest = rest.strip()
@@ -491,3 +507,45 @@ def load_job_file(path: str) -> JobFile:
     else:
         data = load_yaml(text)
     return JobFile.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Campaign files
+# ---------------------------------------------------------------------------
+
+def dump_campaign_file(campaign, path: str) -> None:
+    """Write a :class:`~repro.core.campaign.CampaignSpec` to *path*.
+
+    The document nests the campaign under a top-level ``campaign:`` key
+    (mirroring the ``job:`` key of job files); the format is chosen by the
+    file extension, .json or .yaml/.yml.
+    """
+    data = {"campaign": campaign.to_dict()}
+    _, ext = os.path.splitext(path)
+    with open(path, "w") as handle:
+        if ext.lower() == ".json":
+            json.dump(data, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        else:
+            handle.write(dump_yaml(data))
+
+
+def load_campaign_file(path: str):
+    """Load a campaign spec from a YAML/JSON file written by hand or by
+    :func:`dump_campaign_file`."""
+    # Imported lazily: the config layer stays importable without the
+    # core/search stack (mirrors JobFile.to_spec).
+    from repro.core.campaign import CampaignSpec
+
+    _, ext = os.path.splitext(path)
+    with open(path) as handle:
+        text = handle.read()
+    if ext.lower() == ".json":
+        data = json.loads(text)
+    else:
+        data = load_yaml(text)
+    if not isinstance(data, dict) or "campaign" not in data:
+        raise ValueError(
+            "{} is not a campaign file (expected a top-level 'campaign:' "
+            "mapping)".format(path))
+    return CampaignSpec.from_dict(data["campaign"])

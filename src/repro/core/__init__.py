@@ -1,9 +1,11 @@
 """Public high-level API of the Wayfinder reproduction."""
 
+from repro.core.campaign import CampaignSpec
 from repro.core.spec import ExperimentSpec
 from repro.core.wayfinder import SearchResult, SpecializationSession, Wayfinder
 
 __all__ = [
+    "CampaignSpec",
     "ExperimentSpec",
     "Wayfinder",
     "SpecializationSession",

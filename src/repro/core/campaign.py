@@ -1,0 +1,249 @@
+"""Declarative experiment campaigns: grids of specs run as one unit.
+
+The paper's headline results are not single runs but *campaigns* — grids of
+OS x application x algorithm x seed experiments compared against each other
+(Figures 7/8, Table 3).  A :class:`CampaignSpec` describes such a grid
+declaratively: the axes to sweep (applications, algorithms, seeds, favor
+presets), a ``base`` block of :class:`~repro.core.spec.ExperimentSpec`
+fields shared by every grid point, and optional per-axis ``overrides``
+patching individual points (e.g. "redis experiments use the latency
+metric").  :meth:`CampaignSpec.expand` resolves the grid into a list of
+fully-validated experiment specs with deterministic, unique names — the
+unit the :class:`~repro.platform.campaign_runner.CampaignRunner` schedules
+onto OS processes.
+
+Like the experiment spec, a campaign spec is serializable
+(:meth:`to_dict`/:meth:`from_dict` round-trip through JSON) and has a YAML
+file form (:func:`repro.config.jobfile.load_campaign_file`), so the whole
+result matrix of a paper-style evaluation is one human-editable document.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.spec import FAVOR_PRESETS, UNSPECIFIED, ExperimentSpec
+
+#: spec fields a campaign sweeps as axes; they cannot appear in ``base``
+#: (``favor`` is special: it is only an axis when ``favors`` is given).
+_AXIS_FIELDS = ("application", "algorithm", "seed", "favor")
+
+#: spec fields the campaign itself owns.
+_RESERVED_BASE_FIELDS = ("name", "application", "algorithm", "seed")
+
+#: match keys an override rule may constrain.
+_MATCH_KEYS = _AXIS_FIELDS
+
+
+def _normalize_favor(value: Any) -> Any:
+    """Map the file/CLI spelling of a favor onto the spec's value.
+
+    The literal string ``"none"`` (and YAML ``null``) mean "explicitly
+    unfavored"; every other value must be a known preset name.
+    """
+    if value == "none" or value is None:
+        return None
+    if value not in FAVOR_PRESETS:
+        raise ValueError(
+            "unknown favor preset {!r}; expected one of {} or none".format(
+                value, ", ".join(sorted(k for k in FAVOR_PRESETS if k))))
+    return value
+
+
+def _unique(values: List[Any], axis: str) -> List[Any]:
+    if not values:
+        raise ValueError("campaign axis {!r} must not be empty".format(axis))
+    seen = set()
+    for value in values:
+        if value in seen:
+            raise ValueError("campaign axis {!r} repeats value {!r}".format(
+                axis, value))
+        seen.add(value)
+    return list(values)
+
+
+class CampaignSpec:
+    """A declarative grid of experiments sharing one base configuration."""
+
+    FIELDS = ("name", "applications", "algorithms", "seeds", "favors",
+              "base", "overrides")
+
+    def __init__(
+        self,
+        name: str,
+        applications: Optional[List[str]] = None,
+        algorithms: Optional[List[str]] = None,
+        seeds: Optional[List[int]] = None,
+        favors: Optional[List[Optional[str]]] = None,
+        base: Optional[Dict[str, Any]] = None,
+        overrides: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError("a campaign needs a non-empty name")
+        self.name = name
+        self.applications = _unique(
+            ["nginx"] if applications is None else list(applications),
+            "applications")
+        self.algorithms = _unique(
+            ["deeptune"] if algorithms is None else list(algorithms),
+            "algorithms")
+        self.seeds = [int(seed) for seed in _unique(
+            [0] if seeds is None else list(seeds), "seeds")]
+        #: ``None`` means "no favor axis": every experiment uses the base's
+        #: favor (or the per-OS default).  A list sweeps favor presets, with
+        #: ``None``/"none" meaning explicitly unfavored.
+        if favors is None:
+            self.favors = None
+        else:
+            self.favors = [_normalize_favor(value)
+                           for value in _unique(list(favors), "favors")]
+        self.base = dict(base or {})
+        bad = sorted(set(self.base) & set(_RESERVED_BASE_FIELDS))
+        if bad:
+            raise ValueError(
+                "base cannot set {}: these are campaign axes (or the "
+                "campaign's own name)".format(", ".join(bad)))
+        unknown = sorted(set(self.base) - set(ExperimentSpec.FIELDS))
+        if unknown:
+            raise ValueError("unknown base spec fields: {}".format(
+                ", ".join(unknown)))
+        if "favor" in self.base:
+            if self.favors is not None:
+                raise ValueError(
+                    "base cannot set favor when the campaign sweeps a "
+                    "favors axis")
+            self.base["favor"] = _normalize_favor(self.base["favor"])
+        self.overrides = [self._check_override(rule)
+                          for rule in list(overrides or [])]
+        # fail fast: an invalid grid point (bad metric, unknown algorithm,
+        # colliding names) should surface when the campaign is built, not
+        # halfway through a multi-hour run.
+        self._expanded = self._expand()
+
+    def _check_override(self, rule: Dict[str, Any]) -> Dict[str, Any]:
+        if not isinstance(rule, dict) or set(rule) - {"match", "set"} or "set" not in rule:
+            raise ValueError(
+                "override rules are {{match: {{axis: value}}, set: {{spec "
+                "field: value}}}} mappings (got {!r})".format(rule))
+        match = dict(rule.get("match") or {})
+        patch = dict(rule["set"])
+        unknown = sorted(set(match) - set(_MATCH_KEYS))
+        if unknown:
+            raise ValueError("override can only match on {} (got {})".format(
+                ", ".join(_MATCH_KEYS), ", ".join(unknown)))
+        if "favor" in match:
+            match["favor"] = _normalize_favor(match["favor"])
+        # a match value no grid point has would make the rule silently inert
+        # for a whole (possibly multi-hour) campaign; fail fast instead.
+        axis_values = {"application": self.applications,
+                       "algorithm": self.algorithms, "seed": self.seeds,
+                       "favor": (self.favors if self.favors is not None
+                                 else [self.base.get("favor")])}
+        for key, value in match.items():
+            if value not in axis_values[key]:
+                raise ValueError(
+                    "override matches {}={!r}, which no grid point "
+                    "has".format(key, value))
+        # the grid axes (and the derived name) are the campaign's identity:
+        # patching them would make experiment names lie about what ran.
+        reserved = {"name", "application", "algorithm", "seed"}
+        if self.favors is not None:
+            reserved.add("favor")
+        bad = sorted(set(patch) & reserved)
+        if bad:
+            raise ValueError("override cannot set {}".format(", ".join(bad)))
+        unknown = sorted(set(patch) - set(ExperimentSpec.FIELDS))
+        if unknown:
+            raise ValueError("unknown override spec fields: {}".format(
+                ", ".join(unknown)))
+        if "favor" in patch:
+            patch["favor"] = _normalize_favor(patch["favor"])
+        return {"match": match, "set": patch}
+
+    # -- expansion ---------------------------------------------------------------
+    def experiment_name(self, application: str, algorithm: str, seed: int,
+                        favor: Any = UNSPECIFIED) -> str:
+        """The deterministic name of one grid point's experiment."""
+        name = "{}-{}-{}-s{}".format(self.name, application, algorithm, seed)
+        if self.favors is not None:
+            name += "-f{}".format("none" if favor is None else favor)
+        return name
+
+    def _expand(self) -> List[ExperimentSpec]:
+        favor_axis: List[Any] = [UNSPECIFIED] if self.favors is None else list(self.favors)
+        specs: List[ExperimentSpec] = []
+        names = set()
+        for application in self.applications:
+            for algorithm in self.algorithms:
+                for seed in self.seeds:
+                    for favor in favor_axis:
+                        fields = dict(self.base)
+                        fields["application"] = application
+                        fields["algorithm"] = algorithm
+                        fields["seed"] = seed
+                        if favor is not UNSPECIFIED:
+                            fields["favor"] = favor
+                        point = {"application": application,
+                                 "algorithm": algorithm, "seed": seed,
+                                 "favor": (self.base.get("favor")
+                                           if favor is UNSPECIFIED else favor)}
+                        for rule in self.overrides:
+                            if all(point.get(key) == value
+                                   for key, value in rule["match"].items()):
+                                fields.update(rule["set"])
+                        name = self.experiment_name(application, algorithm,
+                                                    seed, favor)
+                        if name in names:  # unreachable: axes are unique
+                            raise ValueError(
+                                "duplicate experiment name {!r}".format(name))
+                        names.add(name)
+                        specs.append(ExperimentSpec(name=name, **fields))
+        return specs
+
+    def expand(self) -> List[ExperimentSpec]:
+        """The fully-resolved experiment specs of the grid, in axis order.
+
+        The order is deterministic — applications outermost, then algorithms,
+        seeds, and the favor axis — and experiment names are unique, which is
+        what makes campaign manifests and resume-by-name well defined.
+        """
+        return list(self._expanded)
+
+    def __len__(self) -> int:
+        return len(self._expanded)
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the campaign to a JSON-representable dictionary."""
+        return {
+            "name": self.name,
+            "applications": list(self.applications),
+            "algorithms": list(self.algorithms),
+            "seeds": list(self.seeds),
+            "favors": None if self.favors is None else list(self.favors),
+            "base": dict(self.base),
+            "overrides": [{"match": dict(rule["match"]),
+                           "set": dict(rule["set"])} for rule in self.overrides],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Rebuild a campaign from :meth:`to_dict` output (unknown keys rejected)."""
+        unknown = sorted(set(data) - set(cls.FIELDS))
+        if unknown:
+            raise ValueError("unknown campaign fields: {}".format(
+                ", ".join(unknown)))
+        if "name" not in data:
+            raise ValueError("a campaign needs a name")
+        return cls(**data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CampaignSpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return ("CampaignSpec(name={!r}, apps={}, algorithms={}, seeds={}, "
+                "experiments={})").format(
+                    self.name, self.applications, self.algorithms, self.seeds,
+                    len(self._expanded))

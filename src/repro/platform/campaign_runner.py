@@ -1,0 +1,293 @@
+"""Fault-tolerant multi-process execution of experiment campaigns.
+
+A :class:`CampaignRunner` takes a :class:`~repro.core.campaign.CampaignSpec`
+and drives its expanded experiments to completion on a pool of OS processes
+(``procs``), the way artifact-evaluation harnesses drive a paper's full
+result matrix.  Each worker process wires its experiment with
+:meth:`Wayfinder.from_spec`, checkpoints periodically through a shared
+:class:`~repro.platform.results.ResultsStore` in the campaign directory,
+and persists the finished exploration history there.
+
+The campaign directory is the unit of fault tolerance.  A *manifest*
+(``campaign.json``) records the campaign spec and the status of every
+experiment, rewritten atomically as experiments finish, so a killed
+campaign is resumable: :meth:`CampaignRunner.run` with ``resume=True``
+skips experiments whose results are already on disk, re-enters experiments
+that left a mid-run checkpoint through the bit-exact
+:meth:`Wayfinder.resume` path, and starts the rest fresh.  Because every
+experiment is a deterministic function of its spec, the per-experiment
+records and summaries are byte-identical whatever the process count and
+whether or not the campaign was interrupted — the property
+``tests/test_campaign.py`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import traceback
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.campaign import CampaignSpec
+from repro.core.spec import ExperimentSpec
+from repro.core.wayfinder import Wayfinder
+from repro.platform.results import ResultsStore
+
+MANIFEST_NAME = "campaign.json"
+MANIFEST_FORMAT_VERSION = 1
+
+#: terminal experiment status: results are on disk and will not be re-run.
+STATUS_COMPLETE = "complete"
+#: the experiment has not produced a stored history yet (it may have left a
+#: checkpoint to resume from).
+STATUS_PENDING = "pending"
+#: the experiment raised; resume retries it.
+STATUS_FAILED = "failed"
+
+
+def _manifest_path(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_NAME)
+
+
+def load_manifest(directory: str) -> Dict[str, Any]:
+    """Load and validate the campaign manifest stored in *directory*."""
+    path = _manifest_path(directory)
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("kind") != "campaign":
+        raise ValueError("{} is not a campaign manifest".format(path))
+    if document.get("format_version") != MANIFEST_FORMAT_VERSION:
+        raise ValueError("unsupported campaign manifest version: {!r}".format(
+            document.get("format_version")))
+    return document
+
+
+def _write_manifest(directory: str, document: Dict[str, Any]) -> str:
+    """Atomically rewrite the manifest (tmp file + rename, like checkpoints)."""
+    path = _manifest_path(directory)
+    staging = path + ".tmp"
+    with open(staging, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    os.replace(staging, path)
+    return path
+
+
+def _execute_experiment(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one experiment to completion inside a worker process.
+
+    Resumes from the experiment's checkpoint when one exists (the bit-exact
+    :meth:`Wayfinder.resume` path), otherwise starts fresh; either way the
+    run checkpoints every ``checkpoint_every`` batches and finishes by
+    persisting the exploration history.  Exceptions are captured and
+    returned as a ``failed`` outcome so one broken grid point cannot take
+    down the campaign.
+    """
+    spec_data = payload["spec"]
+    try:
+        spec = ExperimentSpec.from_dict(spec_data)
+        store = ResultsStore(payload["directory"])
+        checkpoint_path = store.checkpoint_path(spec.name)
+        if os.path.exists(checkpoint_path):
+            wayfinder = Wayfinder.resume(checkpoint_path)
+        else:
+            wayfinder = Wayfinder.from_spec(spec)
+        wayfinder.enable_checkpointing(store, name=spec.name,
+                                       every=payload["checkpoint_every"])
+        result = wayfinder.specialize()
+        summary = result.summary()
+        # wall-clock overhead is the one nondeterministic field; dropping it
+        # keeps stored results byte-identical across process counts/resumes.
+        summary.pop("search_overhead_s", None)
+        store.save_history(spec.name, result.history, metadata={
+            "campaign": payload["campaign"],
+            "experiment": spec.name,
+            "application": spec.application,
+            "algorithm": spec.algorithm,
+            "seed": spec.seed,
+            "favor": spec.favor,
+            "metric": summary.get("metric"),
+            "workers": spec.workers,
+            "batch_size": spec.batch_size,
+            "stop_reason": summary.get("stop_reason"),
+        })
+        return {"name": spec.name, "status": STATUS_COMPLETE,
+                "summary": summary, "error": None}
+    except Exception:
+        return {"name": spec_data.get("name", "<unnamed>"),
+                "status": STATUS_FAILED, "summary": None,
+                "error": traceback.format_exc()}
+
+
+class CampaignResult:
+    """Final state of one :meth:`CampaignRunner.run` invocation."""
+
+    def __init__(self, directory: str, manifest: Dict[str, Any]) -> None:
+        self.directory = directory
+        self.manifest = manifest
+
+    @property
+    def experiments(self) -> List[Dict[str, Any]]:
+        return list(self.manifest["experiments"])
+
+    def _by_status(self, status: str) -> List[Dict[str, Any]]:
+        return [entry for entry in self.manifest["experiments"]
+                if entry["status"] == status]
+
+    @property
+    def completed(self) -> List[Dict[str, Any]]:
+        return self._by_status(STATUS_COMPLETE)
+
+    @property
+    def failed(self) -> List[Dict[str, Any]]:
+        return self._by_status(STATUS_FAILED)
+
+    @property
+    def pending(self) -> List[Dict[str, Any]]:
+        return self._by_status(STATUS_PENDING)
+
+    @property
+    def ok(self) -> bool:
+        """True when every experiment of the grid completed."""
+        return len(self.completed) == len(self.manifest["experiments"])
+
+    def __repr__(self) -> str:
+        return "CampaignResult(dir={!r}, complete={}, failed={}, pending={})".format(
+            self.directory, len(self.completed), len(self.failed),
+            len(self.pending))
+
+
+class CampaignRunner:
+    """Executes a campaign's experiment grid on a multiprocessing pool."""
+
+    def __init__(self, campaign: CampaignSpec, directory: str, procs: int = 1,
+                 checkpoint_every: int = 1) -> None:
+        if procs < 1:
+            raise ValueError("procs must be at least 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint cadence must be at least 1 batch")
+        self.campaign = campaign
+        self.directory = directory
+        self.procs = procs
+        self.checkpoint_every = checkpoint_every
+
+    @classmethod
+    def open(cls, directory: str, procs: int = 1,
+             checkpoint_every: Optional[int] = None) -> "CampaignRunner":
+        """Reattach to an existing campaign directory (for ``--resume``).
+
+        The campaign spec and checkpoint cadence are read back from the
+        manifest, so resuming needs nothing but the directory.
+        """
+        manifest = load_manifest(directory)
+        campaign = CampaignSpec.from_dict(manifest["campaign"])
+        if checkpoint_every is None:
+            checkpoint_every = int(manifest.get("checkpoint_every", 1))
+        return cls(campaign, directory, procs=procs,
+                   checkpoint_every=checkpoint_every)
+
+    # -- manifest handling -------------------------------------------------------
+    def _fresh_manifest(self) -> Dict[str, Any]:
+        return {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "kind": "campaign",
+            "campaign": self.campaign.to_dict(),
+            "checkpoint_every": self.checkpoint_every,
+            "experiments": [
+                {"name": spec.name, "spec": spec.to_dict(),
+                 "status": STATUS_PENDING, "summary": None, "error": None}
+                for spec in self.campaign.expand()
+            ],
+        }
+
+    def _reconcile_manifest(self) -> Dict[str, Any]:
+        """Merge the stored manifest into a fresh one for a resumed run.
+
+        Completed experiments keep their status only while their stored
+        history is actually present — a half-written campaign directory
+        degrades to re-running, never to silently missing results.  Failed
+        experiments are retried.
+        """
+        stored = load_manifest(self.directory)
+        if stored["campaign"] != self.campaign.to_dict():
+            raise ValueError(
+                "campaign spec does not match the one stored in {}; resume "
+                "the original campaign or use a fresh directory".format(
+                    self.directory))
+        previous = {entry["name"]: entry for entry in stored["experiments"]}
+        store = ResultsStore(self.directory)
+        manifest = self._fresh_manifest()
+        for entry in manifest["experiments"]:
+            old = previous.get(entry["name"])
+            if old is None:
+                continue
+            if (old["status"] == STATUS_COMPLETE
+                    and os.path.exists(store.history_path(entry["name"]))):
+                entry.update(status=STATUS_COMPLETE,
+                             summary=old.get("summary"), error=None)
+        return manifest
+
+    # -- running -----------------------------------------------------------------
+    def run(self, resume: bool = False,
+            max_experiments: Optional[int] = None,
+            progress: Optional[Callable[[Dict[str, Any], int, int], None]] = None,
+            ) -> CampaignResult:
+        """Run (or continue) the campaign; returns its final state.
+
+        With ``resume=True`` the manifest in the campaign directory decides
+        what is left to do; without it the directory must not already hold a
+        campaign.  *max_experiments* caps how many experiments this
+        invocation executes (useful for smoke runs and for testing the
+        resume path); the manifest keeps the rest ``pending``.  *progress*
+        is called after each experiment with ``(outcome, done, total)``.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        if resume and os.path.exists(_manifest_path(self.directory)):
+            manifest = self._reconcile_manifest()
+        elif os.path.exists(_manifest_path(self.directory)):
+            raise ValueError(
+                "{} already holds a campaign; pass resume=True to continue "
+                "it or choose a fresh directory".format(self.directory))
+        else:
+            manifest = self._fresh_manifest()
+        _write_manifest(self.directory, manifest)
+
+        entries = {entry["name"]: entry for entry in manifest["experiments"]}
+        todo = [entry for entry in manifest["experiments"]
+                if entry["status"] != STATUS_COMPLETE]
+        if max_experiments is not None:
+            todo = todo[:max_experiments]
+        payloads = [
+            {"spec": entry["spec"], "directory": self.directory,
+             "checkpoint_every": self.checkpoint_every,
+             "campaign": self.campaign.name}
+            for entry in todo
+        ]
+
+        done = 0
+        total = len(payloads)
+
+        def ingest(outcome: Dict[str, Any]) -> None:
+            nonlocal done
+            entry = entries[outcome["name"]]
+            entry["status"] = outcome["status"]
+            entry["summary"] = outcome["summary"]
+            entry["error"] = outcome["error"]
+            _write_manifest(self.directory, manifest)
+            done += 1
+            if progress is not None:
+                progress(outcome, done, total)
+
+        if self.procs == 1 or total <= 1:
+            for payload in payloads:
+                ingest(_execute_experiment(payload))
+        else:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn")
+            with context.Pool(processes=min(self.procs, total)) as pool:
+                for outcome in pool.imap_unordered(_execute_experiment,
+                                                   payloads):
+                    ingest(outcome)
+        return CampaignResult(self.directory, manifest)

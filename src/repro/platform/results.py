@@ -22,7 +22,6 @@ import csv
 import json
 import os
 import pickle
-import warnings
 from typing import Dict, Iterable, List, Optional
 
 from repro.config.space import ConfigSpace
@@ -116,6 +115,10 @@ class ResultsStore:
 
     def _path(self, name: str) -> str:
         return os.path.join(self.directory, name + ".json")
+
+    def history_path(self, name: str) -> str:
+        """Filesystem path of the history stored under *name*."""
+        return self._path(name)
 
     # -- writing ---------------------------------------------------------------
     def save_history(self, name: str, history: ExplorationHistory,
@@ -302,21 +305,3 @@ def restore_search_session(document: Dict[str, object], session) -> None:
     # carry the original checkpoint cadence, so re-enabling checkpointing on
     # the resumed session defaults to the same rhythm.
     session.checkpoint_every = int(document.get("checkpoint_every", 1))
-
-
-def resume_session(history: ExplorationHistory, algorithm) -> None:
-    """Replay a stored history into a search algorithm's observation stream.
-
-    .. deprecated::
-        Replaying observations cannot restore RNG streams, worker clocks, or
-        skip-build state, so the continued run differs from an uninterrupted
-        one.  Use session checkpoints (:class:`SessionCheckpointer`,
-        :meth:`Wayfinder.resume`) for faithful resumption.
-    """
-    warnings.warn(
-        "resume_session() is deprecated: it replays observations but cannot "
-        "restore RNG/clock/worker state; use Wayfinder.resume() with a "
-        "session checkpoint instead",
-        DeprecationWarning, stacklevel=2)
-    for record in history:
-        algorithm.observe(record)

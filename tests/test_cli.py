@@ -256,6 +256,121 @@ class TestCheckpointResumeCli:
         assert "--results" in capsys.readouterr().err
 
 
+class TestCampaignCLI:
+    def _write_campaign(self, tmp_path, name="cli-grid"):
+        from repro.config.jobfile import dump_campaign_file
+        from repro.core.campaign import CampaignSpec
+
+        from tests.conftest import SMALL_SPACE_OPTIONS
+
+        campaign = CampaignSpec(
+            name=name, applications=["nginx"], algorithms=["random", "grid"],
+            seeds=[2], base={"metric": "auto", "iterations": 4,
+                             "space_options": SMALL_SPACE_OPTIONS})
+        path = str(tmp_path / (name + ".yaml"))
+        dump_campaign_file(campaign, path)
+        return campaign, path
+
+    def test_parser_accepts_run_and_report(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "--spec", "c.yaml", "--results", "out",
+             "--procs", "2", "--resume", "--max-experiments", "3"])
+        assert args.campaign_command == "run"
+        assert args.procs == 2 and args.resume and args.max_experiments == 3
+        args = build_parser().parse_args(
+            ["campaign", "report", "--results", "out", "--max-points", "5"])
+        assert args.campaign_command == "report"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "--procs", "0",
+                                       "--results", "out"])
+
+    def test_campaign_run_then_report(self, tmp_path, capsys):
+        campaign, spec_path = self._write_campaign(tmp_path)
+        results_dir = str(tmp_path / "out")
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir, "--procs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "2 experiments" in output
+        assert "2 complete, 0 failed, 0 pending" in output
+        for spec in campaign.expand():
+            assert os.path.exists(os.path.join(results_dir,
+                                               spec.name + ".json"))
+
+        assert main(["campaign", "report", "--results", results_dir]) == 0
+        report = capsys.readouterr().out
+        assert "mean best objective per application" in report
+        assert "per-iteration cost (random)" in report
+
+    def test_campaign_resume_via_cli(self, tmp_path, capsys):
+        _, spec_path = self._write_campaign(tmp_path)
+        results_dir = str(tmp_path / "out")
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir, "--max-experiments", "1"]) == 0
+        assert "1 complete, 0 failed, 1 pending" in capsys.readouterr().out
+        # the manifest supplies the campaign: no --spec needed on resume
+        assert main(["campaign", "run", "--results", results_dir,
+                     "--resume"]) == 0
+        assert "2 complete, 0 failed, 0 pending" in capsys.readouterr().out
+
+    def test_campaign_resume_keeps_or_overrides_stored_cadence(self, tmp_path,
+                                                               capsys):
+        from repro.platform.campaign_runner import load_manifest
+
+        _, spec_path = self._write_campaign(tmp_path)
+        results_dir = str(tmp_path / "out")
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir, "--checkpoint-every", "3",
+                     "--max-experiments", "1"]) == 0
+        # resuming without the flag keeps the stored cadence...
+        assert main(["campaign", "run", "--results", results_dir, "--resume",
+                     "--max-experiments", "1"]) == 0
+        assert load_manifest(results_dir)["checkpoint_every"] == 3
+        # ...and an explicit flag overrides it (even with --spec repeated)
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir, "--resume",
+                     "--checkpoint-every", "2"]) == 0
+        assert load_manifest(results_dir)["checkpoint_every"] == 2
+
+    def test_campaign_resume_rejects_mismatched_spec(self, tmp_path, capsys):
+        _, spec_path = self._write_campaign(tmp_path)
+        results_dir = str(tmp_path / "out")
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir, "--max-experiments", "1"]) == 0
+        _, other_path = self._write_campaign(tmp_path, name="other-grid")
+        capsys.readouterr()
+        assert main(["campaign", "run", "--spec", other_path,
+                     "--results", results_dir, "--resume"]) == 2
+        assert "does not match" in capsys.readouterr().err
+
+    def test_campaign_run_requires_spec_or_manifest(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "missing")
+        assert main(["campaign", "run", "--results", results_dir]) == 2
+        assert "--spec" in capsys.readouterr().err
+        assert main(["campaign", "run", "--results", results_dir,
+                     "--resume"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_campaign_run_refuses_to_clobber(self, tmp_path, capsys):
+        _, spec_path = self._write_campaign(tmp_path)
+        results_dir = str(tmp_path / "out")
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir, "--max-experiments", "1"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_campaign_report_needs_a_campaign_directory(self, tmp_path, capsys):
+        assert main(["campaign", "report", "--results",
+                     str(tmp_path / "nope")]) == 2
+        assert "no campaign directory" in capsys.readouterr().err
+        # a directory without a manifest is reported, not a traceback
+        assert main(["campaign", "report", "--results", str(tmp_path)]) == 2
+        assert "cannot report" in capsys.readouterr().err
+
+
 class TestCompare:
     def test_compare_two_algorithms(self, capsys):
         code = main(["compare", "--application", "nginx", "--algorithms", "random",

@@ -28,6 +28,25 @@ class TestYamlSubset:
         ]}
         assert load_yaml(dump_yaml(data)) == data
 
+    def test_list_item_with_block_valued_first_key(self):
+        # the hand-written campaign-file idiom: a list item opening with a
+        # block-valued key, with sibling keys at the item's own indent
+        text = """
+overrides:
+  - match:
+      application: redis
+    set:
+      metric: latency
+  - match:
+      algorithm: grid
+    set:
+      iterations: 3
+"""
+        assert load_yaml(text) == {"overrides": [
+            {"match": {"application": "redis"}, "set": {"metric": "latency"}},
+            {"match": {"algorithm": "grid"}, "set": {"iterations": 3}},
+        ]}
+
     def test_comments_and_blank_lines_ignored(self):
         text = """
 # a job file

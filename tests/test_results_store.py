@@ -5,11 +5,10 @@ import os
 import pytest
 
 from repro.config.parameter import ParameterKind
-from repro.platform.metrics import LatencyMetric, ThroughputMetric
-from repro.platform.results import ResultsStore, record_from_dict, record_to_dict, resume_session
-from repro.search.bayesian import BayesianOptimizationSearch
+from repro.platform.metrics import LatencyMetric
+from repro.platform.results import ResultsStore, record_from_dict, record_to_dict
 
-from tests.conftest import make_pipeline
+from tests.conftest import SMALL_SPACE_OPTIONS, make_pipeline
 from tests.test_platform import make_record
 
 
@@ -136,17 +135,55 @@ class TestSessionSummary:
         assert metadata["workers"] == 1
 
 
-class TestResumeSession:
-    def test_replay_into_algorithm_is_deprecated(self, tmp_path, small_linux_model):
+class TestCheckpointResumePath:
+    """The checkpoint path replaced the removed observation-replay helper.
+
+    ``resume_session`` (replay stored observations into a fresh algorithm)
+    could not restore RNG streams, worker clocks, or skip-build state; these
+    tests pin its checkpoint-based replacement: the stored checkpoint fully
+    restores the algorithm's observation state and the continued run stays
+    on the original trajectory.
+    """
+
+    def _spec(self):
+        from repro.core.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            application="nginx", metric="throughput", algorithm="bayesian",
+            seed=4, iterations=6, space_options=SMALL_SPACE_OPTIONS,
+            algorithm_options={"initial_random": 2, "candidate_pool_size": 8},
+            name="store-resume")
+
+    def test_resume_session_helper_is_gone(self):
+        import repro.platform.results as results
+
+        assert not hasattr(results, "resume_session")
+
+    def test_checkpoint_restores_algorithm_observations(self, tmp_path):
+        from repro.core.wayfinder import Wayfinder
+
+        wayfinder = Wayfinder.from_spec(self._spec())
         store = ResultsStore(str(tmp_path))
-        history = TestResultsStore().make_history(small_linux_model, iterations=10)
-        store.save_history("run", history)
-        loaded = store.load_history("run", small_linux_model.space,
-                                    metric=ThroughputMetric())
-        algorithm = BayesianOptimizationSearch(small_linux_model.space, seed=4,
-                                               initial_random=2)
-        with pytest.warns(DeprecationWarning, match="Wayfinder.resume"):
-            resume_session(loaded, algorithm)
-        assert len(algorithm._X) == 10
-        proposal = algorithm.propose(loaded)
-        assert proposal is not None
+        wayfinder.enable_checkpointing(store, name="store-resume")
+        wayfinder.specialize()
+        resumed = Wayfinder.resume(store.checkpoint_path("store-resume"))
+        # the restored algorithm carries every stored observation, where the
+        # replay helper only ever reached the non-crashed subset of records
+        assert len(resumed.algorithm._X) == 6
+        history = resumed.build_session().session.history
+        assert resumed.algorithm.propose(history) is not None
+
+    def test_extended_budget_continues_the_trajectory(self, tmp_path):
+        from repro.core.wayfinder import Wayfinder
+
+        wayfinder = Wayfinder.from_spec(self._spec())
+        store = ResultsStore(str(tmp_path))
+        wayfinder.enable_checkpointing(store, name="store-resume")
+        first = wayfinder.specialize()
+        prefix = [(r.index, r.configuration, r.objective)
+                  for r in first.history]
+        extended = Wayfinder.resume(
+            store.checkpoint_path("store-resume")).specialize(iterations=9)
+        assert extended.iterations == 9
+        assert [(r.index, r.configuration, r.objective)
+                for r in extended.history][:6] == prefix
