@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard for the nightly CI job.
+
+Compares the current ``BENCH_hotpaths.json`` against the artifact of the
+previous nightly run and fails (exit code 1) when a guarded metric regresses
+by more than the threshold (default 25%).  Guarded metrics:
+
+* ``deeptune_flat_iteration.ratio`` — the Figure 7 flat-cost invariant:
+  last-quartile / first-quartile per-iteration time (lower is better);
+* ``deeptune_flat_iteration.mean_iteration_ms`` — absolute flat-loop cost
+  (lower is better; the 25% margin absorbs shared-runner noise);
+* ``batch_encoding.speedup`` — columnar batch encoder vs reference path
+  (higher is better);
+* ``batched_execution.virtual_speedup`` — 4-worker batch fleet vs the
+  sequential loop on the virtual clock (higher is better, deterministic);
+* ``async_execution.virtual_speedup`` — async scheduling vs the batch
+  barrier on the virtual clock (higher is better, deterministic).
+
+Metrics missing from the previous artifact (e.g. sections introduced by a
+newer PR) are reported as "new" and skipped, so the guard never blocks the
+first nightly run after a benchmark is added.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+#: (section, key, direction) — direction "lower" means smaller values are
+#: better, "higher" the opposite.
+GUARDED_METRICS: List[Tuple[str, str, str]] = [
+    ("deeptune_flat_iteration", "ratio", "lower"),
+    ("deeptune_flat_iteration", "mean_iteration_ms", "lower"),
+    ("batch_encoding", "speedup", "higher"),
+    ("batched_execution", "virtual_speedup", "higher"),
+    ("async_execution", "virtual_speedup", "higher"),
+]
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _metric(document: dict, section: str, key: str) -> Optional[float]:
+    value = document.get(section, {}).get(key)
+    return None if value is None else float(value)
+
+
+def compare(previous: dict, current: dict, threshold: float) -> List[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    regressions: List[str] = []
+    for section, key, direction in GUARDED_METRICS:
+        name = "{}.{}".format(section, key)
+        old = _metric(previous, section, key)
+        new = _metric(current, section, key)
+        if new is None:
+            regressions.append("{}: missing from the current run".format(name))
+            continue
+        if old is None:
+            print("  {}: {:.3f} (new metric, no baseline)".format(name, new))
+            continue
+        if direction == "lower":
+            regressed = new > old * (1.0 + threshold)
+        else:
+            regressed = new < old / (1.0 + threshold)
+        change = (new - old) / old * 100.0 if old else float("inf")
+        status = "REGRESSED" if regressed else "ok"
+        print("  {}: {:.3f} -> {:.3f} ({:+.1f}%) [{}]".format(
+            name, old, new, change, status))
+        if regressed:
+            regressions.append(
+                "{}: {:.3f} -> {:.3f} ({:+.1f}%, allowed {:.0f}%)".format(
+                    name, old, new, change, threshold * 100.0))
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("previous", help="BENCH_hotpaths.json of the previous run")
+    parser.add_argument("current", help="BENCH_hotpaths.json of this run")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative regression (default: 0.25)")
+    args = parser.parse_args(argv)
+
+    previous = _load(args.previous)
+    current = _load(args.current)
+    if bool(previous.get("batch_encoding", {}).get("smoke")) != bool(
+            current.get("batch_encoding", {}).get("smoke")):
+        print("previous and current artifacts use different budgets "
+              "(smoke vs full); skipping the regression guard")
+        return 0
+    print("benchmark regression guard (threshold {:.0f}%):".format(
+        args.threshold * 100.0))
+    regressions = compare(previous, current, args.threshold)
+    if regressions:
+        print("\nbenchmark regressions detected:", file=sys.stderr)
+        for message in regressions:
+            print("  " + message, file=sys.stderr)
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

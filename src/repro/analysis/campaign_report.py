@@ -117,8 +117,16 @@ def best_objective_table(results: CampaignResults) -> str:
         title="{}: mean best objective per application".format(results.name))
 
 
+def _mean_utilization(entry: Dict[str, Any]) -> Optional[float]:
+    """Fleet-mean worker utilization of one completed experiment, if stored."""
+    per_worker = entry["summary"].get("worker_utilization")
+    if not per_worker:
+        return None
+    return mean(per_worker)
+
+
 def time_to_best_table(results: CampaignResults) -> str:
-    """Per-algorithm search efficiency: time-to-best and improvement."""
+    """Per-algorithm search efficiency: time-to-best, improvement, utilization."""
     rows = []
     for algorithm in results.axis_values("algorithm"):
         entries = _completed_matching(results, algorithm=algorithm)
@@ -129,16 +137,19 @@ def time_to_best_table(results: CampaignResults) -> str:
                        if entry["summary"].get("improvement_factor") is not None]
         crash = [entry["summary"]["crash_rate"] for entry in entries
                  if entry["summary"].get("crash_rate") is not None]
+        utilization = [value for value in map(_mean_utilization, entries)
+                       if value is not None]
         rows.append((
             algorithm,
             len(entries),
             _fmt(_mean_or_none([t / 3600.0 for t in ttb])),
             _fmt(_mean_or_none(improvement), "{:.2f}x"),
             _fmt(_mean_or_none(crash), "{:.0%}"),
+            _fmt(_mean_or_none(utilization), "{:.0%}"),
         ))
     return format_table(
         ("algorithm", "experiments", "time to best (h)", "improvement",
-         "crash rate"),
+         "crash rate", "worker util"),
         rows, title="{}: search efficiency per algorithm".format(results.name))
 
 

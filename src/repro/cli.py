@@ -58,6 +58,7 @@ from repro.config.space import ConfigSpace
 from repro.core.spec import UNSPECIFIED, ExperimentSpec
 from repro.core.wayfinder import Wayfinder
 from repro.kconfig.linux import linux_census
+from repro.platform.executor import EXECUTION_MODES
 from repro.platform.lifecycle import SessionObserver
 from repro.platform.results import ResultsStore
 from repro.search.registry import available_algorithms
@@ -69,6 +70,23 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("must be a number") from None
+    if not value > 0:  # rejects 0, negatives, and nan
+        raise argparse.ArgumentTypeError("must be positive")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must not be negative")
     return value
 
 
@@ -92,16 +110,23 @@ def _add_run_parser(subparsers) -> None:
                              "(default: runtime on linux, none on unikraft)")
     parser.add_argument("--iterations", type=_positive_int, default=None,
                         help="trial budget (default: 100, or the job file's value)")
-    parser.add_argument("--time-budget-s", type=float, default=None)
+    parser.add_argument("--time-budget-s", type=_positive_float, default=None,
+                        help="virtual-time budget in simulated seconds")
     parser.add_argument("--plateau", type=_positive_int, default=None,
                         help="stop after this many trials without a new incumbent")
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=_non_negative_int, default=0)
     parser.add_argument("--workers", type=_positive_int, default=None,
                         help="simulated SUT machines evaluating in parallel "
                              "(default: 1, or the job file's value)")
     parser.add_argument("--batch-size", type=_positive_int, default=None,
                         help="configurations proposed per search round "
                              "(default: 1, or the job file's value)")
+    parser.add_argument("--execution", default=None,
+                        choices=EXECUTION_MODES,
+                        help="scheduling policy: batch forms a barrier per "
+                             "search round, async hands each worker its next "
+                             "proposal the moment it finishes a trial "
+                             "(default: batch, or the job file's value)")
     parser.add_argument("--results", help="directory to store the exploration history")
     parser.add_argument("--name", help="name of the stored history (default: derived)")
     parser.add_argument("--checkpoint-every", type=_positive_int, default=None,
@@ -185,12 +210,15 @@ def _add_compare_parser(subparsers) -> None:
                         help="parameter kinds to concentrate the search on "
                              "(default: runtime on linux, none on unikraft)")
     parser.add_argument("--iterations", type=_positive_int, default=60)
-    parser.add_argument("--time-budget-s", type=float, default=None)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--time-budget-s", type=_positive_float, default=None)
+    parser.add_argument("--seed", type=_non_negative_int, default=0)
     parser.add_argument("--workers", type=_positive_int, default=1,
                         help="simulated SUT machines evaluating in parallel")
     parser.add_argument("--batch-size", type=_positive_int, default=1,
                         help="configurations proposed per search round")
+    parser.add_argument("--execution", default="batch",
+                        choices=EXECUTION_MODES,
+                        help="scheduling policy for every compared algorithm")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,11 +250,13 @@ def _spec_from_flags(os_name: str, application: str, metric: str, algorithm: str
                      favor: Optional[str], seed: int, workers: int = 1,
                      batch_size: int = 1, iterations: Optional[int] = None,
                      time_budget_s: Optional[float] = None,
-                     plateau_trials: Optional[int] = None) -> ExperimentSpec:
+                     plateau_trials: Optional[int] = None,
+                     execution: str = "batch") -> ExperimentSpec:
     return ExperimentSpec(os_name=os_name, application=application,
                           metric=metric, algorithm=algorithm,
                           favor=_cli_favor(favor), seed=seed, workers=workers,
-                          batch_size=batch_size, iterations=iterations,
+                          batch_size=batch_size, execution=execution,
+                          iterations=iterations,
                           time_budget_s=time_budget_s,
                           plateau_trials=plateau_trials)
 
@@ -249,6 +279,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         for field, value in (("algorithm", args.algorithm),
                              ("workers", args.workers),
                              ("batch_size", args.batch_size),
+                             ("execution", args.execution),
                              ("iterations", args.iterations),
                              ("time_budget_s", args.time_budget_s),
                              ("plateau_trials", args.plateau)):
@@ -261,6 +292,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         args.favor, args.seed,
         workers=args.workers if args.workers is not None else 1,
         batch_size=args.batch_size if args.batch_size is not None else 1,
+        execution=args.execution if args.execution is not None else "batch",
         iterations=args.iterations if args.iterations is not None else 100,
         time_budget_s=args.time_budget_s,
         plateau_trials=args.plateau)
@@ -277,6 +309,16 @@ class _ProgressObserver(SessionObserver):
                   batch_index, len(history),
                   "-" if best is None else "{:.2f}".format(best),
                   history.crash_rate(),
+                  session.backend.now_s / 3600.0))
+
+    def on_dispatch(self, session, configuration, worker):
+        history = session.history
+        best = history.best_objective()
+        print("[dispatch] worker {} trials={:<4d} best={} in-flight={} "
+              "virtual={:.2f}h".format(
+                  worker, len(history),
+                  "-" if best is None else "{:.2f}".format(best),
+                  session.backend.in_flight,
                   session.backend.now_s / 3600.0))
 
     def on_new_incumbent(self, session, record):
@@ -306,7 +348,8 @@ def _command_run(args: argparse.Namespace) -> int:
         # invalidate the restored state are rejected, budget flags extend it.
         for flag, value in (("--algorithm", args.algorithm),
                             ("--workers", args.workers),
-                            ("--batch-size", args.batch_size)):
+                            ("--batch-size", args.batch_size),
+                            ("--execution", args.execution)):
             if value is not None:
                 print("--resume: {} cannot be changed on a resumed run "
                       "(the checkpointed state depends on it)".format(flag),
@@ -346,9 +389,11 @@ def _command_run(args: argparse.Namespace) -> int:
         # stays interruptible.
         wayfinder.enable_checkpointing(store, name=name)
 
-    print("Searching {} parameters with {} for {} ({}, {} worker{})...".format(
-        len(wayfinder.space), spec.algorithm, spec.application,
-        wayfinder.metric.name, spec.workers, "" if spec.workers == 1 else "s"))
+    print("Searching {} parameters with {} for {} ({}, {} worker{}, {} "
+          "execution)...".format(
+              len(wayfinder.space), spec.algorithm, spec.application,
+              wayfinder.metric.name, spec.workers,
+              "" if spec.workers == 1 else "s", spec.execution))
     result = wayfinder.specialize()
 
     rows = [
@@ -368,6 +413,8 @@ def _command_run(args: argparse.Namespace) -> int:
             "application": spec.application, "metric": wayfinder.metric.name,
             "algorithm": spec.algorithm, "seed": spec.seed,
             "workers": spec.workers, "batch_size": spec.batch_size,
+            "execution": spec.execution,
+            "worker_utilization": summary["worker_utilization"],
             "favor": summary["favor"], "time_budget_s": summary["time_budget_s"],
             "stop_reason": summary["stop_reason"],
         })
@@ -491,6 +538,7 @@ def _command_compare(args: argparse.Namespace) -> int:
                                 algorithm, args.favor, args.seed,
                                 workers=args.workers,
                                 batch_size=args.batch_size,
+                                execution=args.execution,
                                 iterations=args.iterations,
                                 time_budget_s=args.time_budget_s)
         wayfinder = Wayfinder.from_spec(spec)

@@ -360,6 +360,7 @@ class JobFile:
         seed: int = 0,
         workers: int = 1,
         batch_size: int = 1,
+        execution: str = "batch",
         algorithm: str = "deeptune",
         plateau_trials: Optional[int] = None,
     ) -> None:
@@ -378,6 +379,9 @@ class JobFile:
         self.workers = workers
         #: configurations proposed per search round.
         self.batch_size = batch_size
+        #: execution mode: "batch" (barrier rounds) or "async"
+        #: (completion-driven dispatch, no barrier).
+        self.execution = execution
         #: search algorithm to drive the exploration with.
         self.algorithm = algorithm
         #: optional early stop: trials without a new incumbent before giving up.
@@ -398,6 +402,7 @@ class JobFile:
                 "seed": self.seed,
                 "workers": self.workers,
                 "batch_size": self.batch_size,
+                "execution": self.execution,
                 "algorithm": self.algorithm,
                 "plateau_trials": self.plateau_trials,
             },
@@ -427,6 +432,7 @@ class JobFile:
             seed=int(job.get("seed", 0)),
             workers=int(job.get("workers", 1)),
             batch_size=int(job.get("batch_size", 1)),
+            execution=job.get("execution") or "batch",
             algorithm=job.get("algorithm") or "deeptune",
             plateau_trials=job.get("plateau_trials"),
         )
@@ -474,6 +480,7 @@ class JobFile:
             "plateau_trials": self.plateau_trials,
             "workers": self.workers,
             "batch_size": self.batch_size,
+            "execution": self.execution,
             "frozen": dict(self.frozen),
         }
         fields.update(overrides)

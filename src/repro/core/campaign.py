@@ -25,14 +25,29 @@ from typing import Any, Dict, List, Optional
 from repro.core.spec import FAVOR_PRESETS, UNSPECIFIED, ExperimentSpec
 
 #: spec fields a campaign sweeps as axes; they cannot appear in ``base``
-#: (``favor`` is special: it is only an axis when ``favors`` is given).
-_AXIS_FIELDS = ("application", "algorithm", "seed", "favor")
+#: (``favor``/``execution`` are special: each is only an axis when the
+#: corresponding ``favors``/``executions`` list is given).
+_AXIS_FIELDS = ("application", "algorithm", "seed", "favor", "execution")
 
 #: spec fields the campaign itself owns.
 _RESERVED_BASE_FIELDS = ("name", "application", "algorithm", "seed")
 
 #: match keys an override rule may constrain.
 _MATCH_KEYS = _AXIS_FIELDS
+
+
+def _normalize_execution(value: Any) -> str:
+    """Validate one value of the ``executions`` axis."""
+    # Imported lazily (mirrors the spec's registry import) so the campaign
+    # layer stays importable without the platform stack; the executor owns
+    # the canonical mode list.
+    from repro.platform.executor import EXECUTION_MODES
+
+    if value not in EXECUTION_MODES:
+        raise ValueError(
+            "unknown execution mode {!r}; expected one of {}".format(
+                value, ", ".join(EXECUTION_MODES)))
+    return str(value)
 
 
 def _normalize_favor(value: Any) -> Any:
@@ -66,7 +81,7 @@ class CampaignSpec:
     """A declarative grid of experiments sharing one base configuration."""
 
     FIELDS = ("name", "applications", "algorithms", "seeds", "favors",
-              "base", "overrides")
+              "executions", "base", "overrides")
 
     def __init__(
         self,
@@ -75,6 +90,7 @@ class CampaignSpec:
         algorithms: Optional[List[str]] = None,
         seeds: Optional[List[int]] = None,
         favors: Optional[List[Optional[str]]] = None,
+        executions: Optional[List[str]] = None,
         base: Optional[Dict[str, Any]] = None,
         overrides: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
@@ -97,6 +113,14 @@ class CampaignSpec:
         else:
             self.favors = [_normalize_favor(value)
                            for value in _unique(list(favors), "favors")]
+        #: ``None`` means "no execution axis": every experiment uses the
+        #: base's execution mode (or the default, batch).  A list sweeps
+        #: execution modes — the async-vs-batch comparison as one campaign.
+        if executions is None:
+            self.executions = None
+        else:
+            self.executions = [_normalize_execution(value) for value
+                               in _unique(list(executions), "executions")]
         self.base = dict(base or {})
         bad = sorted(set(self.base) & set(_RESERVED_BASE_FIELDS))
         if bad:
@@ -113,6 +137,12 @@ class CampaignSpec:
                     "base cannot set favor when the campaign sweeps a "
                     "favors axis")
             self.base["favor"] = _normalize_favor(self.base["favor"])
+        if "execution" in self.base:
+            if self.executions is not None:
+                raise ValueError(
+                    "base cannot set execution when the campaign sweeps an "
+                    "executions axis")
+            self.base["execution"] = _normalize_execution(self.base["execution"])
         self.overrides = [self._check_override(rule)
                           for rule in list(overrides or [])]
         # fail fast: an invalid grid point (bad metric, unknown algorithm,
@@ -133,12 +163,17 @@ class CampaignSpec:
                 ", ".join(_MATCH_KEYS), ", ".join(unknown)))
         if "favor" in match:
             match["favor"] = _normalize_favor(match["favor"])
+        if "execution" in match:
+            match["execution"] = _normalize_execution(match["execution"])
         # a match value no grid point has would make the rule silently inert
         # for a whole (possibly multi-hour) campaign; fail fast instead.
         axis_values = {"application": self.applications,
                        "algorithm": self.algorithms, "seed": self.seeds,
                        "favor": (self.favors if self.favors is not None
-                                 else [self.base.get("favor")])}
+                                 else [self.base.get("favor")]),
+                       "execution": (self.executions
+                                     if self.executions is not None
+                                     else [self.base.get("execution", "batch")])}
         for key, value in match.items():
             if value not in axis_values[key]:
                 raise ValueError(
@@ -149,6 +184,8 @@ class CampaignSpec:
         reserved = {"name", "application", "algorithm", "seed"}
         if self.favors is not None:
             reserved.add("favor")
+        if self.executions is not None:
+            reserved.add("execution")
         bad = sorted(set(patch) & reserved)
         if bad:
             raise ValueError("override cannot set {}".format(", ".join(bad)))
@@ -162,50 +199,64 @@ class CampaignSpec:
 
     # -- expansion ---------------------------------------------------------------
     def experiment_name(self, application: str, algorithm: str, seed: int,
-                        favor: Any = UNSPECIFIED) -> str:
+                        favor: Any = UNSPECIFIED,
+                        execution: Any = UNSPECIFIED) -> str:
         """The deterministic name of one grid point's experiment."""
         name = "{}-{}-{}-s{}".format(self.name, application, algorithm, seed)
         if self.favors is not None:
             name += "-f{}".format("none" if favor is None else favor)
+        if self.executions is not None:
+            name += "-x{}".format(execution)
         return name
 
     def _expand(self) -> List[ExperimentSpec]:
         favor_axis: List[Any] = [UNSPECIFIED] if self.favors is None else list(self.favors)
+        execution_axis: List[Any] = ([UNSPECIFIED] if self.executions is None
+                                     else list(self.executions))
         specs: List[ExperimentSpec] = []
         names = set()
         for application in self.applications:
             for algorithm in self.algorithms:
                 for seed in self.seeds:
                     for favor in favor_axis:
-                        fields = dict(self.base)
-                        fields["application"] = application
-                        fields["algorithm"] = algorithm
-                        fields["seed"] = seed
-                        if favor is not UNSPECIFIED:
-                            fields["favor"] = favor
-                        point = {"application": application,
-                                 "algorithm": algorithm, "seed": seed,
-                                 "favor": (self.base.get("favor")
-                                           if favor is UNSPECIFIED else favor)}
-                        for rule in self.overrides:
-                            if all(point.get(key) == value
-                                   for key, value in rule["match"].items()):
-                                fields.update(rule["set"])
-                        name = self.experiment_name(application, algorithm,
-                                                    seed, favor)
-                        if name in names:  # unreachable: axes are unique
-                            raise ValueError(
-                                "duplicate experiment name {!r}".format(name))
-                        names.add(name)
-                        specs.append(ExperimentSpec(name=name, **fields))
+                        for execution in execution_axis:
+                            fields = dict(self.base)
+                            fields["application"] = application
+                            fields["algorithm"] = algorithm
+                            fields["seed"] = seed
+                            if favor is not UNSPECIFIED:
+                                fields["favor"] = favor
+                            if execution is not UNSPECIFIED:
+                                fields["execution"] = execution
+                            point = {"application": application,
+                                     "algorithm": algorithm, "seed": seed,
+                                     "favor": (self.base.get("favor")
+                                               if favor is UNSPECIFIED
+                                               else favor),
+                                     "execution": (self.base.get("execution",
+                                                                 "batch")
+                                                   if execution is UNSPECIFIED
+                                                   else execution)}
+                            for rule in self.overrides:
+                                if all(point.get(key) == value
+                                       for key, value in rule["match"].items()):
+                                    fields.update(rule["set"])
+                            name = self.experiment_name(application, algorithm,
+                                                        seed, favor, execution)
+                            if name in names:  # unreachable: axes are unique
+                                raise ValueError(
+                                    "duplicate experiment name {!r}".format(name))
+                            names.add(name)
+                            specs.append(ExperimentSpec(name=name, **fields))
         return specs
 
     def expand(self) -> List[ExperimentSpec]:
         """The fully-resolved experiment specs of the grid, in axis order.
 
         The order is deterministic — applications outermost, then algorithms,
-        seeds, and the favor axis — and experiment names are unique, which is
-        what makes campaign manifests and resume-by-name well defined.
+        seeds, the favor axis, and the execution axis — and experiment names
+        are unique, which is what makes campaign manifests and
+        resume-by-name well defined.
         """
         return list(self._expanded)
 
@@ -221,6 +272,8 @@ class CampaignSpec:
             "algorithms": list(self.algorithms),
             "seeds": list(self.seeds),
             "favors": None if self.favors is None else list(self.favors),
+            "executions": (None if self.executions is None
+                           else list(self.executions)),
             "base": dict(self.base),
             "overrides": [{"match": dict(rule["match"]),
                            "set": dict(rule["set"])} for rule in self.overrides],

@@ -66,8 +66,8 @@ class ExperimentSpec:
     FIELDS = (
         "name", "os_name", "application", "metric", "algorithm", "favor",
         "seed", "iterations", "time_budget_s", "plateau_trials", "workers",
-        "batch_size", "enable_skip_build", "frozen", "algorithm_options",
-        "os_version", "architecture", "space_options",
+        "batch_size", "execution", "enable_skip_build", "frozen",
+        "algorithm_options", "os_version", "architecture", "space_options",
     )
 
     def __init__(
@@ -83,6 +83,7 @@ class ExperimentSpec:
         plateau_trials: Optional[int] = None,
         workers: int = 1,
         batch_size: int = 1,
+        execution: str = "batch",
         enable_skip_build: bool = True,
         frozen: Optional[Dict[str, Any]] = None,
         algorithm_options: Optional[Dict[str, Any]] = None,
@@ -118,6 +119,14 @@ class ExperimentSpec:
             raise ValueError("workers must be at least 1")
         if int(batch_size) < 1:
             raise ValueError("batch_size must be at least 1")
+        # Imported here (like the registry above) so the config layer can
+        # build specs without the platform stack; the executor owns the
+        # canonical mode list.
+        from repro.platform.executor import EXECUTION_MODES
+
+        if execution not in EXECUTION_MODES:
+            raise ValueError("unknown execution mode {!r}; expected one of {}".format(
+                execution, ", ".join(EXECUTION_MODES)))
 
         self.os_name = os_name
         # The Unikraft experiment always targets the §4.4 Nginx image, exactly
@@ -136,6 +145,7 @@ class ExperimentSpec:
         self.plateau_trials = None if plateau_trials is None else int(plateau_trials)
         self.workers = int(workers)
         self.batch_size = int(batch_size)
+        self.execution = str(execution)
         self.enable_skip_build = bool(enable_skip_build)
         self.frozen = _jsonable(dict(frozen or {}))
         self.algorithm_options = _jsonable(dict(algorithm_options or {}))
@@ -200,6 +210,6 @@ class ExperimentSpec:
 
     def __repr__(self) -> str:
         return ("ExperimentSpec(os={!r}, app={!r}, metric={!r}, algorithm={!r}, "
-                "seed={}, workers={}, batch_size={})").format(
+                "seed={}, workers={}, batch_size={}, execution={!r})").format(
                     self.os_name, self.application, self.metric, self.algorithm,
-                    self.seed, self.workers, self.batch_size)
+                    self.seed, self.workers, self.batch_size, self.execution)

@@ -184,7 +184,8 @@ class SpecializationSession:
                                      evaluate_default_first=True,
                                      backend=self.backend,
                                      batch_size=spec.batch_size,
-                                     favor=spec.favor)
+                                     favor=spec.favor,
+                                     execution=spec.execution)
 
     def evaluate_default(self) -> Dict[str, Any]:
         """Evaluate the default configuration outside the search history."""
@@ -261,6 +262,10 @@ class Wayfinder:
     @property
     def batch_size(self) -> int:
         return self.spec.batch_size
+
+    @property
+    def execution(self) -> str:
+        return self.spec.execution
 
     @property
     def enable_skip_build(self) -> bool:

@@ -139,16 +139,28 @@ class DeepTuneSearch(SearchAlgorithm):
         )
         return candidates, scores
 
-    def propose(self, history: ExplorationHistory) -> Configuration:
+    def propose(self, history: ExplorationHistory,
+                pending: Sequence[Configuration] = ()) -> Configuration:
+        in_flight = set(pending)
         ready = self.model.observation_count >= self.warmup_iterations or self.transferred
         if not ready:
-            return self.sampler.sample_unique(history)
+            return self.sampler.sample_unique(history, exclude=in_flight)
 
         started = time.perf_counter()
         candidates, scores = self._score_pool(history)
-        best_index = int(np.argmax(scores))
+        # Stable descending order: with nothing in flight the first pick is
+        # exactly the historical argmax candidate; otherwise the best-ranked
+        # candidate not already running wins.
+        choice: Optional[Configuration] = None
+        for index in np.argsort(-scores, kind="stable"):
+            candidate = candidates[int(index)]
+            if candidate not in in_flight:
+                choice = candidate
+                break
+        if choice is None:
+            choice = self.sampler.sample_unique(history, exclude=in_flight)
         self.proposal_times_s.append(time.perf_counter() - started)
-        return candidates[best_index]
+        return choice
 
     def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:
         """Native batch proposal: the top-*k* distinct candidates of one pass.

@@ -110,6 +110,7 @@ def _execute_experiment(payload: Dict[str, Any]) -> Dict[str, Any]:
             "metric": summary.get("metric"),
             "workers": spec.workers,
             "batch_size": spec.batch_size,
+            "execution": spec.execution,
             "stop_reason": summary.get("stop_reason"),
         })
         return {"name": spec.name, "status": STATUS_COMPLETE,

@@ -1,7 +1,22 @@
-"""Execution backends: how a batch of proposed configurations is evaluated.
+"""Execution backends: how proposed configurations are evaluated.
 
-The search session hands every proposed batch to an :class:`ExecutionBackend`
-and gets completed :class:`~repro.platform.history.TrialRecord` objects back.
+The search session talks to an :class:`ExecutionBackend` through a
+*completion-event* interface — :meth:`ExecutionBackend.submit` dispatches one
+configuration to an idle system-under-test worker and
+:meth:`ExecutionBackend.next_completion` returns the earliest-finishing
+in-flight trial — and both execution modes are driven through it:
+
+* **batch** mode (:meth:`run_batch`) keeps the historical barrier semantics:
+  a whole batch is dispatched by greedy list scheduling, every worker clock
+  is advanced to the session clock at the batch start, and the batch's
+  records are returned together in submission order.  The implementation
+  sits on top of submit/next_completion but is bit-identical to the
+  pre-event-loop engine (same dispatch order, same RNG consumption, same
+  timestamps).
+* **async** mode never forms a barrier: the session submits one proposal per
+  idle worker and pops completions one at a time, so per-worker clocks
+  advance independently and a fast worker never idles behind a straggler.
+
 Two backends are provided:
 
 * :class:`SerialBackend` drives a single
@@ -23,16 +38,25 @@ Two backends are provided:
   build/boot failure masking of reused images can legitimately differ
   between worker counts.
 
+Because the system under test is simulated, a trial's outcome is computed
+eagerly at :meth:`submit` time (consuming the shared noise RNG in dispatch
+order and advancing the worker's clock past the trial); ``next_completion``
+only decides *when* the session learns the outcome and when the worker
+becomes free again.  In-flight trials are therefore first-class checkpoint
+state: :meth:`export_state` snapshots them so a checkpoint taken at any
+completion event resumes record-for-record identically.
+
 Clock-merge semantics: a trial's timestamps come from the clock of the worker
 it ran on, and the session-level clock is the maximum over all worker clocks.
-Because a batch is only proposed once every observation of the previous batch
-is in (the propose→evaluate→observe barrier), every worker clock is advanced
-to the session clock at the start of a batch — workers idle at the barrier.
+In batch mode every worker clock is advanced to the session clock at the
+start of a batch (workers idle at the barrier); per-worker busy virtual time
+is tracked so the idle share of every worker's timeline — and the
+``worker_utilization`` the session reports — is well-defined in both modes.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config.space import Configuration
 from repro.platform.history import TrialRecord
@@ -40,9 +64,14 @@ from repro.platform.metrics import Metric
 from repro.platform.pipeline import BenchmarkingPipeline, VirtualClock
 from repro.vm.simulator import SystemSimulator
 
+#: the scheduling policies the execution stack implements — the canonical
+#: list; the session, the experiment spec, the campaign axis, and the CLI
+#: all validate against this tuple.
+EXECUTION_MODES = ("batch", "async")
+
 
 class ExecutionBackend:
-    """Evaluates batches of configurations for a search session."""
+    """Evaluates configurations for a search session via completion events."""
 
     name = "backend"
 
@@ -71,8 +100,47 @@ class ExecutionBackend:
     def builds_skipped(self) -> int:
         raise NotImplementedError
 
+    # -- completion-event interface ---------------------------------------------
+    def idle_workers(self) -> List[int]:
+        """Indices of workers with no trial in flight, ascending."""
+        raise NotImplementedError
+
+    def has_idle_worker(self) -> bool:
+        return bool(self.idle_workers())
+
+    @property
+    def in_flight(self) -> int:
+        """Number of submitted trials whose completion has not been popped."""
+        raise NotImplementedError
+
+    def pending_configurations(self) -> List[Configuration]:
+        """Configurations of the in-flight trials, in submission order.
+
+        The session passes these to the algorithm's pending-aware
+        ``propose`` so async proposals dedupe against work already running.
+        """
+        raise NotImplementedError
+
+    def submit(self, configuration: Configuration) -> int:
+        """Dispatch *configuration* to the earliest-clock idle worker.
+
+        Returns the worker index.  Raises :class:`RuntimeError` when no
+        worker is idle — the session must pop a completion first.
+        """
+        raise NotImplementedError
+
+    def next_completion(self) -> TrialRecord:
+        """Pop and return the earliest-finishing in-flight trial.
+
+        Ties on the virtual finish time break toward the lower worker index,
+        matching the greedy list scheduler's tie-breaking so batch mode can
+        be driven through the same interface bit-identically.
+        """
+        raise NotImplementedError
+
+    # -- batch driver -------------------------------------------------------------
     def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
-        """Evaluate *configurations* and return their records in submission order.
+        """Evaluate *configurations* as one barrier batch; records in submission order.
 
         Submission order (not completion order) keeps the observation stream
         seen by the search algorithm independent of the worker count; the
@@ -81,13 +149,47 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    # -- accounting ---------------------------------------------------------------
+    @property
+    def worker_busy_s(self) -> List[float]:
+        """Virtual seconds each worker spent evaluating (idle time excluded)."""
+        raise NotImplementedError
+
+    @property
+    def worker_utilization(self) -> List[float]:
+        """Busy fraction of each worker's session timeline (virtual time).
+
+        Deterministic — it is derived entirely from virtual clocks — so it is
+        safe to store in byte-equality-pinned summaries.  An empty session
+        reports full utilization (no timeline to have idled on).
+        """
+        elapsed = self.now_s
+        if elapsed <= 0.0:
+            return [1.0] * self.workers
+        return [busy / elapsed for busy in self.worker_busy_s]
+
     def export_state(self) -> dict:
-        """Snapshot worker clocks, skip-build state, and the simulator RNG."""
+        """Snapshot worker clocks, skip-build state, in-flight trials, and the
+        simulator RNG."""
         raise NotImplementedError
 
     def import_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`export_state`."""
         raise NotImplementedError
+
+
+def _record_to_dict(record: TrialRecord) -> dict:
+    # Imported here to keep the module importable without the results layer
+    # (which imports nothing from this module, so no cycle either way).
+    from repro.platform.results import record_to_dict
+
+    return record_to_dict(record)
+
+
+def _record_from_dict(entry: dict, space) -> TrialRecord:
+    from repro.platform.results import record_from_dict
+
+    return record_from_dict(entry, space)
 
 
 class SerialBackend(ExecutionBackend):
@@ -98,6 +200,8 @@ class SerialBackend(ExecutionBackend):
 
     def __init__(self, pipeline: BenchmarkingPipeline) -> None:
         self.pipeline = pipeline
+        self._in_flight: List[TrialRecord] = []
+        self._busy_s = 0.0
 
     @property
     def space(self):
@@ -119,15 +223,49 @@ class SerialBackend(ExecutionBackend):
     def builds_skipped(self) -> int:
         return self.pipeline.builds_skipped
 
+    # -- completion events -------------------------------------------------------
+    def idle_workers(self) -> List[int]:
+        return [] if self._in_flight else [0]
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def pending_configurations(self) -> List[Configuration]:
+        return [record.configuration for record in self._in_flight]
+
+    def submit(self, configuration: Configuration) -> int:
+        if self._in_flight:
+            raise RuntimeError("the serial backend already has a trial in flight")
+        record = self.pipeline.evaluate(configuration)
+        self._busy_s += record.duration_s
+        self._in_flight.append(record)
+        return 0
+
+    def next_completion(self) -> TrialRecord:
+        if not self._in_flight:
+            raise RuntimeError("no trial in flight")
+        return self._in_flight.pop(0)
+
     def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
-        return [self.pipeline.evaluate(configuration)
-                for configuration in configurations]
+        records = []
+        for configuration in configurations:
+            self.submit(configuration)
+            records.append(self.next_completion())
+        return records
+
+    # -- accounting / checkpointing ----------------------------------------------
+    @property
+    def worker_busy_s(self) -> List[float]:
+        return [self._busy_s]
 
     def export_state(self) -> dict:
         return {
             "kind": self.name,
             "simulator": self.pipeline.simulator.export_state(),
             "pipelines": [self.pipeline.export_state()],
+            "busy_s": [self._busy_s],
+            "in_flight": [_record_to_dict(record) for record in self._in_flight],
         }
 
     def import_state(self, state: dict) -> None:
@@ -135,17 +273,22 @@ class SerialBackend(ExecutionBackend):
             raise ValueError("checkpoint backend state does not match a serial backend")
         self.pipeline.simulator.import_state(state["simulator"])
         self.pipeline.import_state(state["pipelines"][0])
+        self._busy_s = float(state.get("busy_s", [0.0])[0])
+        self._in_flight = [_record_from_dict(entry, self.space)
+                           for entry in state.get("in_flight", [])]
 
 
 class WorkerPoolBackend(ExecutionBackend):
     """A pool of N simulated system-under-test machines.
 
-    Dispatch is greedy list scheduling: each configuration of a batch (in
-    proposal order) goes to the worker whose clock is earliest, ties broken
-    by worker id.  Trial timestamps are the assigned worker's clock, so
-    trials of one batch overlap in virtual time — which is the entire point:
-    the fleet compresses wall-clock time-to-best without touching per-trial
-    durations.
+    Dispatch is greedy: a submitted configuration goes to the idle worker
+    whose clock is earliest, ties broken by worker id, and completions pop
+    in virtual-finish-time order with the same tie-breaking.  Driving a
+    whole batch through submit/next_completion (after the barrier clock
+    sync) therefore reproduces classical greedy list scheduling exactly,
+    while the async session skips the barrier and keeps every worker busy —
+    which is the entire point: the fleet compresses wall-clock time-to-best
+    without touching per-trial durations.
     """
 
     name = "worker-pool"
@@ -164,6 +307,16 @@ class WorkerPoolBackend(ExecutionBackend):
         ]
         #: worker index each trial ran on, parallel to dispatch order.
         self.assignments: List[int] = []
+        #: in-flight trial per busy worker, in submission order (dict order).
+        self._in_flight: Dict[int, TrialRecord] = {}
+        self._busy_s: List[float] = [0.0] * workers
+        #: virtual time of the latest popped completion event.  A proposal is
+        #: made in reaction to a completion, so a trial dispatched after that
+        #: event cannot start before it: submit advances the assigned
+        #: worker's clock to this horizon, preserving causality on the
+        #: virtual time axis without a fleet-wide barrier.  (Completion pops
+        #: are monotone in finish time, so the horizon never moves backward.)
+        self._horizon_s = 0.0
 
     @property
     def space(self):
@@ -197,12 +350,80 @@ class WorkerPoolBackend(ExecutionBackend):
             if behind > 0:
                 pipeline.clock.advance(behind)
 
+    # -- completion events -------------------------------------------------------
+    def idle_workers(self) -> List[int]:
+        return [index for index in range(self.workers)
+                if index not in self._in_flight]
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def pending_configurations(self) -> List[Configuration]:
+        return [record.configuration for record in self._in_flight.values()]
+
+    def submit(self, configuration: Configuration) -> int:
+        idle = self.idle_workers()
+        if not idle:
+            raise RuntimeError("all workers are busy; pop a completion first")
+
+        def start_time(index: int) -> float:
+            return max(self.pipelines[index].clock.now_s, self._horizon_s)
+
+        worker = min(idle, key=lambda index: (start_time(index), index))
+        behind = self._horizon_s - self.pipelines[worker].clock.now_s
+        if behind > 0:
+            self.pipelines[worker].clock.advance(behind)
+        record = self.pipelines[worker].evaluate(configuration)
+        record.worker = worker
+        self.assignments.append(worker)
+        self._busy_s[worker] += record.duration_s
+        self._in_flight[worker] = record
+        return worker
+
+    def next_completion(self) -> TrialRecord:
+        if not self._in_flight:
+            raise RuntimeError("no trial in flight")
+        worker = min(self._in_flight,
+                     key=lambda index: (self._in_flight[index].finished_at_s,
+                                        index))
+        record = self._in_flight.pop(worker)
+        self._horizon_s = max(self._horizon_s, record.finished_at_s)
+        return record
+
+    # -- batch driver -------------------------------------------------------------
+    def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
+        if self._in_flight:
+            raise RuntimeError("cannot form a barrier batch with trials in flight")
+        self._sync_to_barrier()
+        records: List[TrialRecord] = []
+        for configuration in configurations:
+            if not self.has_idle_worker():
+                # Free the earliest-finishing worker; its clock is the
+                # minimum over the pool, so submitting to it reproduces the
+                # historical greedy earliest-clock assignment.
+                self.next_completion()
+            worker = self.submit(configuration)
+            records.append(self._in_flight[worker])
+        while self._in_flight:
+            self.next_completion()
+        return records
+
+    # -- accounting / checkpointing ----------------------------------------------
+    @property
+    def worker_busy_s(self) -> List[float]:
+        return list(self._busy_s)
+
     def export_state(self) -> dict:
         return {
             "kind": self.name,
             "simulator": self.simulator.export_state(),
             "pipelines": [pipeline.export_state() for pipeline in self.pipelines],
             "assignments": list(self.assignments),
+            "busy_s": list(self._busy_s),
+            "horizon_s": self._horizon_s,
+            "in_flight": [_record_to_dict(record)
+                          for record in self._in_flight.values()],
         }
 
     def import_state(self, state: dict) -> None:
@@ -216,18 +437,15 @@ class WorkerPoolBackend(ExecutionBackend):
         for pipeline, pipeline_state in zip(self.pipelines, state["pipelines"]):
             pipeline.import_state(pipeline_state)
         self.assignments = [int(worker) for worker in state.get("assignments", [])]
-
-    def run_batch(self, configurations: Sequence[Configuration]) -> List[TrialRecord]:
-        self._sync_to_barrier()
-        records: List[TrialRecord] = []
-        for configuration in configurations:
-            worker = min(range(self.workers),
-                         key=lambda index: (self.pipelines[index].clock.now_s, index))
-            record = self.pipelines[worker].evaluate(configuration)
-            record.worker = worker
-            self.assignments.append(worker)
-            records.append(record)
-        return records
+        self._busy_s = [float(busy) for busy in
+                        state.get("busy_s", [0.0] * self.workers)]
+        self._horizon_s = float(state.get("horizon_s", self.now_s))
+        self._in_flight = {}
+        for entry in state.get("in_flight", []):
+            # record_to_dict carries the worker assignment, so the record's
+            # own field keys the busy-worker map on restore.
+            record = _record_from_dict(entry, self.space)
+            self._in_flight[record.worker] = record
 
 
 def make_backend(simulator: SystemSimulator, metric: Metric, workers: int = 1,

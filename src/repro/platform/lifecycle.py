@@ -112,7 +112,18 @@ class SessionObserver:
     """
 
     def on_batch_start(self, session, batch_index: int, planned: int) -> None:
-        """A new batch of *planned* proposals is about to be evaluated."""
+        """A new batch of *planned* proposals is about to be evaluated.
+
+        Batch-mode sessions fire this once per barrier round; async sessions
+        have no rounds and fire :meth:`on_dispatch` per proposal instead.
+        """
+
+    def on_dispatch(self, session, configuration, worker: int) -> None:
+        """*configuration* was dispatched to *worker* (async execution).
+
+        Fires at submission time, before the trial's outcome is known —
+        the async counterpart of ``on_batch_start`` at trial granularity.
+        """
 
     def on_trial(self, session, record) -> None:
         """One trial completed and entered the history (completion order)."""
@@ -131,15 +142,21 @@ class CallbackObserver(SessionObserver):
                  on_batch_start: Optional[Callable] = None,
                  on_trial: Optional[Callable] = None,
                  on_new_incumbent: Optional[Callable] = None,
-                 on_checkpoint: Optional[Callable] = None) -> None:
+                 on_checkpoint: Optional[Callable] = None,
+                 on_dispatch: Optional[Callable] = None) -> None:
         self._on_batch_start = on_batch_start
         self._on_trial = on_trial
         self._on_new_incumbent = on_new_incumbent
         self._on_checkpoint = on_checkpoint
+        self._on_dispatch = on_dispatch
 
     def on_batch_start(self, session, batch_index, planned):
         if self._on_batch_start:
             self._on_batch_start(session, batch_index, planned)
+
+    def on_dispatch(self, session, configuration, worker):
+        if self._on_dispatch:
+            self._on_dispatch(session, configuration, worker)
 
     def on_trial(self, session, record):
         if self._on_trial:

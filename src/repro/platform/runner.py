@@ -5,28 +5,40 @@ A session iterates "select configuration(s) → evaluate → record" until a
 configuration found, how long it took to find it, and the full exploration
 history used by the evaluation figures.
 
-The loop is batch-oriented: each round asks the algorithm for up to
-``batch_size`` configurations (:meth:`SearchAlgorithm.propose_batch`) and
-hands them to an :class:`~repro.platform.executor.ExecutionBackend`, which
-may spread them over several simulated system-under-test workers.  With
-``workers=1, batch_size=1`` the loop reproduces the strictly sequential
-propose→evaluate→observe loop trial for trial — same proposals, same RNG
-consumption, same timestamps — which is asserted by
-``tests/test_batch_execution.py``.
+The loop is event-driven on top of the backend's completion-event interface
+(:meth:`ExecutionBackend.submit` / :meth:`ExecutionBackend.next_completion`)
+and supports two execution modes:
+
+* ``batch`` (the default) keeps the historical barrier semantics: each round
+  asks the algorithm for up to ``batch_size`` configurations
+  (:meth:`SearchAlgorithm.propose_batch`), dispatches them as one barrier
+  batch, ingests the whole batch, and evaluates stop conditions at the batch
+  boundary.  With ``workers=1, batch_size=1`` this reproduces the strictly
+  sequential propose→evaluate→observe loop trial for trial — same proposals,
+  same RNG consumption, same timestamps — asserted by
+  ``tests/test_batch_execution.py``.
+* ``async`` never forms a barrier: every idle worker immediately receives the
+  next proposal (:meth:`SearchAlgorithm.propose` with the in-flight
+  configurations passed as ``pending``), completions are ingested one event
+  at a time, and stop conditions, observers, and checkpoints all operate at
+  trial granularity.  With ``workers=1`` the async loop also reproduces the
+  sequential loop exactly (there is never a pending trial at proposal time);
+  asserted by ``tests/test_async_execution.py``.
 
 Around that core the session exposes a lifecycle:
 
 * **stop conditions** — iteration budgets, virtual-time budgets, and
   incumbent plateaus are pluggable :class:`StopCondition` objects; budgets
   count the whole history, so resumed sessions continue toward the original
-  budget rather than restarting it;
+  budget;
 * **observers** — :class:`SessionObserver` callbacks (``on_batch_start``,
-  ``on_trial``, ``on_new_incumbent``, ``on_checkpoint``) fire as the run
-  progresses; the CLI renders its live progress from them;
+  ``on_dispatch``, ``on_trial``, ``on_new_incumbent``, ``on_checkpoint``)
+  fire as the run progresses; the CLI renders its live progress from them;
 * **checkpointing** — when a checkpointer is attached (see
-  :class:`repro.platform.results.SessionCheckpointer`), full session state is
-  persisted every ``checkpoint_every`` batches, making the run resumable via
-  :meth:`Wayfinder.resume`.
+  :class:`repro.platform.results.SessionCheckpointer`), full session state —
+  including any in-flight async trials — is persisted every
+  ``checkpoint_every`` batches (batch mode) or completion events (async
+  mode), making the run resumable via :meth:`Wayfinder.resume`.
 """
 
 from __future__ import annotations
@@ -35,7 +47,11 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.config.space import Configuration
-from repro.platform.executor import ExecutionBackend, SerialBackend
+from repro.platform.executor import (
+    EXECUTION_MODES,
+    ExecutionBackend,
+    SerialBackend,
+)
 from repro.platform.history import ExplorationHistory, TrialRecord
 from repro.platform.lifecycle import (
     IterationBudget,
@@ -56,7 +72,9 @@ class SessionResult:
                  workers: int = 1, batch_size: int = 1,
                  time_budget_s: Optional[float] = None,
                  favor: Optional[str] = None,
-                 stop_reason: Optional[str] = None) -> None:
+                 stop_reason: Optional[str] = None,
+                 execution: str = "batch",
+                 worker_utilization: Optional[List[float]] = None) -> None:
         self.history = history
         self.algorithm_name = algorithm_name
         self.search_overhead_s = search_overhead_s
@@ -66,6 +84,11 @@ class SessionResult:
         self.time_budget_s = time_budget_s
         self.favor = favor
         self.stop_reason = stop_reason
+        self.execution = execution
+        #: per-worker busy fraction of the session's virtual timeline;
+        #: deterministic (virtual-clock-derived), so it is stored in
+        #: byte-equality-pinned summaries.
+        self.worker_utilization = list(worker_utilization or [])
 
     @property
     def best_record(self) -> Optional[TrialRecord]:
@@ -103,6 +126,8 @@ class SessionResult:
             "time_budget_s": self.time_budget_s,
             "favor": self.favor,
             "stop_reason": self.stop_reason,
+            "execution": self.execution,
+            "worker_utilization": list(self.worker_utilization),
         })
         return data
 
@@ -122,7 +147,8 @@ class SearchSession:
                  backend: Optional[ExecutionBackend] = None,
                  batch_size: int = 1,
                  observers: Optional[Sequence[SessionObserver]] = None,
-                 favor: Optional[str] = None) -> None:
+                 favor: Optional[str] = None,
+                 execution: str = "batch") -> None:
         if backend is None:
             if pipeline is None:
                 raise ValueError("a session needs a pipeline or an execution backend")
@@ -131,18 +157,25 @@ class SearchSession:
             raise ValueError("a session needs a search algorithm")
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if execution not in EXECUTION_MODES:
+            raise ValueError("unknown execution mode {!r}; expected one of {}".format(
+                execution, ", ".join(EXECUTION_MODES)))
         self.backend = backend
         self.pipeline = pipeline if pipeline is not None else getattr(backend, "pipeline", None)
         self.algorithm = algorithm
         self.metric = metric or backend.metric
         self.batch_size = batch_size
+        #: scheduling policy the run loop drives: ``batch`` (barrier rounds)
+        #: or ``async`` (completion-driven, no barrier).
+        self.execution = execution
         self.history = ExplorationHistory(self.metric)
         #: when set, the very first trial benchmarks the default configuration
         #: so the incumbent baseline is always part of the explored set (and
         #: of the model's training data).  It always runs first *and alone*,
-        #: even in batched sessions: the baseline must not share a batch with
-        #: configurations proposed without any observation to learn from.
-        #: A resumed session skips it — the restored history already holds it.
+        #: even in batched/async sessions: the baseline must not share the
+        #: fleet with configurations proposed without any observation to
+        #: learn from.  A resumed session skips it — the restored history
+        #: already holds it.
         self.evaluate_default_first = evaluate_default_first
         self.observers: List[SessionObserver] = list(observers or [])
         #: favor preset recorded in the session result (purely descriptive;
@@ -150,15 +183,18 @@ class SearchSession:
         self.favor = favor
         #: optional :class:`repro.platform.results.SessionCheckpointer`; when
         #: set, full session state is persisted every ``checkpoint_every``
-        #: batches and observers are notified via ``on_checkpoint``.
+        #: batches (batch mode) / completion events (async mode) and
+        #: observers are notified via ``on_checkpoint``.
         self.checkpointer = None
         self.checkpoint_every = 1
         self._last_checkpoint_batch: Optional[int] = None
         #: cumulative wall-clock seconds spent proposing/observing, carried
         #: across checkpoint/resume so overhead accounting stays complete.
         self.search_overhead_s = 0.0
-        #: batches completed so far (the default-configuration trial is
-        #: batch 0); restored on resume so checkpoint cadence is stable.
+        #: checkpoint-cadence events completed so far: barrier batches in
+        #: batch mode (the default-configuration trial is batch 0),
+        #: completion events in async mode; restored on resume so checkpoint
+        #: cadence is stable.
         self.batches_run = 0
 
     # -- lifecycle plumbing ------------------------------------------------------
@@ -171,7 +207,7 @@ class SearchSession:
             getattr(observer, hook)(self, *args)
 
     def _ingest_batch(self, records: Sequence[TrialRecord]) -> None:
-        """History ingestion + observer notifications for one completed batch."""
+        """History ingestion + observer notifications for completed trials."""
         previous_best = self.history.best_record()
         ordered = self.history.add_batch(records)
         incumbent = previous_best
@@ -213,6 +249,28 @@ class SearchSession:
                 return condition
         return None
 
+    def _observe(self, records: Sequence[TrialRecord]) -> None:
+        """Feed completed trials to the algorithm, timing the overhead."""
+        observe_started = time.perf_counter()
+        for record in records:
+            self.algorithm.observe(record)
+        self.search_overhead_s += time.perf_counter() - observe_started
+
+    def _run_default_first(self, dispatch_event: bool) -> None:
+        """Benchmark the default configuration first and alone (fresh runs)."""
+        self._notify("on_batch_start", self.batches_run, 1)
+        default = self.backend.space.default_configuration()
+        if dispatch_event:
+            worker = self.backend.submit(default)
+            self._notify("on_dispatch", default, worker)
+            records = [self.backend.next_completion()]
+        else:
+            records = self.backend.run_batch([default])
+        self._ingest_batch(records)
+        self._observe(records)
+        self.batches_run += 1
+        self._checkpoint()
+
     # -- the run loop ------------------------------------------------------------
     def run(self, iterations: Optional[int] = None,
             time_budget_s: Optional[float] = None,
@@ -228,26 +286,48 @@ class SearchSession:
         measured on the platform's virtual clock, i.e. in simulated
         benchmarking time, matching how the paper expresses budgets.
 
-        *batch_size* overrides the session-level batch size for this run.
-        Each round proposes up to ``batch_size`` configurations; completed
-        trials enter the history in virtual-completion-time order while the
-        algorithm observes them in submission order, keeping its training
-        stream independent of how many workers evaluated the batch.
+        *batch_size* overrides the session-level batch size for this run
+        (batch mode only; async sessions dispatch one proposal per idle
+        worker).  In batch mode each round proposes up to ``batch_size``
+        configurations; completed trials enter the history in
+        virtual-completion-time order while the algorithm observes them in
+        submission order, keeping its training stream independent of how
+        many workers evaluated the batch.  In async mode trials are ingested
+        and observed one completion event at a time — observation order *is*
+        completion order — and stop conditions are evaluated per event.
         """
         conditions = self._build_conditions(iterations, time_budget_s, stop)
         batch_size = self.batch_size if batch_size is None else batch_size
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if self.execution == "async":
+            stopped_by = self._drive_async(conditions)
+        else:
+            stopped_by = self._drive_batch(conditions, batch_size)
+        # Always leave a final checkpoint at the finished state so a stored
+        # run can be extended later with a larger budget.
+        self._checkpoint(force=True)
+        time_budgets = [c.seconds for c in conditions if isinstance(c, TimeBudget)]
+        return SessionResult(
+            history=self.history,
+            algorithm_name=self.algorithm.name,
+            search_overhead_s=self.search_overhead_s,
+            builds_skipped=self.backend.builds_skipped,
+            workers=self.backend.workers,
+            batch_size=batch_size,
+            time_budget_s=time_budgets[0] if time_budgets else None,
+            favor=self.favor,
+            stop_reason=stopped_by.name if stopped_by is not None else None,
+            execution=self.execution,
+            worker_utilization=self.backend.worker_utilization,
+        )
+
+    def _drive_batch(self, conditions: Sequence[StopCondition],
+                     batch_size: int) -> Optional[StopCondition]:
+        """Barrier rounds: propose a batch, evaluate it, observe it, repeat."""
         stopped_by: Optional[StopCondition] = None
         if self.evaluate_default_first and not self.history:
-            self._notify("on_batch_start", self.batches_run, 1)
-            records = self.backend.run_batch(
-                [self.backend.space.default_configuration()])
-            self._ingest_batch(records)
-            for record in records:
-                self.algorithm.observe(record)
-            self.batches_run += 1
-            self._checkpoint()
+            self._run_default_first(dispatch_event=False)
         while True:
             stopped_by = self._stopped_by(conditions)
             if stopped_by is not None:
@@ -265,25 +345,67 @@ class SearchSession:
 
             records = self.backend.run_batch(batch)
             self._ingest_batch(records)
-
-            observe_started = time.perf_counter()
-            for record in records:
-                self.algorithm.observe(record)
-            self.search_overhead_s += time.perf_counter() - observe_started
+            self._observe(records)
             self.batches_run += 1
             self._checkpoint()
-        # Always leave a final checkpoint at the finished state so a stored
-        # run can be extended later with a larger budget.
-        self._checkpoint(force=True)
-        time_budgets = [c.seconds for c in conditions if isinstance(c, TimeBudget)]
-        return SessionResult(
-            history=self.history,
-            algorithm_name=self.algorithm.name,
-            search_overhead_s=self.search_overhead_s,
-            builds_skipped=self.backend.builds_skipped,
-            workers=self.backend.workers,
-            batch_size=batch_size,
-            time_budget_s=time_budgets[0] if time_budgets else None,
-            favor=self.favor,
-            stop_reason=stopped_by.name if stopped_by is not None else None,
-        )
+        return stopped_by
+
+    def _dispatch_async(self, conditions: Sequence[StopCondition]) -> None:
+        """Hand every idle worker its next proposal (budget permitting).
+
+        Trial-count budgets gate dispatch so in-flight work never exceeds
+        the remaining budget — an async session hits iteration budgets
+        exactly, with no dispatched-but-wasted trials.
+        """
+        while self.backend.has_idle_worker():
+            allowed: Optional[int] = None
+            for condition in conditions:
+                remaining = condition.remaining_trials(self)
+                if remaining is not None:
+                    headroom = remaining - self.backend.in_flight
+                    allowed = headroom if allowed is None else min(allowed, headroom)
+            if allowed is not None and allowed <= 0:
+                break
+            proposal_started = time.perf_counter()
+            configuration = self.algorithm.propose(
+                self.history, pending=self.backend.pending_configurations())
+            self.search_overhead_s += time.perf_counter() - proposal_started
+            worker = self.backend.submit(configuration)
+            self._notify("on_dispatch", configuration, worker)
+
+    def _drive_async(self, conditions: Sequence[StopCondition]) -> Optional[StopCondition]:
+        """Completion-driven loop: no barrier, no worker clock sync.
+
+        Each iteration tops up every idle worker with a pending-aware
+        proposal, then pops exactly one completion event: the record is
+        ingested, observed, and counted toward the checkpoint cadence, and
+        stop conditions are re-evaluated — all at trial granularity.  While
+        a condition fires, dispatching pauses and in-flight trials drain
+        into the history (they started before the budget expired, matching
+        the batch engine's at-most-one-batch overshoot).  Conditions are
+        judged against the whole history after every ingested trial, so a
+        non-monotone condition (e.g. an incumbent plateau reset by a drained
+        trial) can un-fire and resume dispatching — exactly as a new
+        incumbent inside a batch resets the plateau at the next barrier.
+        """
+        stopped_by: Optional[StopCondition] = None
+        if self.evaluate_default_first and not self.history:
+            self._run_default_first(dispatch_event=True)
+        while True:
+            stopped_by = self._stopped_by(conditions)
+            if stopped_by is not None:
+                if self.backend.in_flight == 0:
+                    break
+            else:
+                self._dispatch_async(conditions)
+                if self.backend.in_flight == 0:
+                    # Budgets gated dispatch to zero with nothing running:
+                    # the next condition check is definitive.
+                    stopped_by = self._stopped_by(conditions)
+                    break
+            record = self.backend.next_completion()
+            self._ingest_batch([record])
+            self._observe([record])
+            self.batches_run += 1
+            self._checkpoint()
+        return stopped_by

@@ -172,8 +172,18 @@ class SearchAlgorithm:
         self.seed = seed
         self.sampler = ConfigurationSampler(space, seed=seed, favored_kinds=favored_kinds)
 
-    def propose(self, history: ExplorationHistory) -> Configuration:
-        """Return the next configuration the platform should evaluate."""
+    def propose(self, history: ExplorationHistory,
+                pending: Sequence[Configuration] = ()) -> Configuration:
+        """Return the next configuration the platform should evaluate.
+
+        *pending* holds the configurations currently in flight on other
+        workers (async execution proposes without waiting for them): the
+        algorithm should avoid re-proposing them, exactly as it avoids
+        re-proposing the history.  Contract: with *pending* empty the
+        proposal — including every RNG draw — must be identical to the
+        historical single-argument call, so batch mode and ``workers=1``
+        async sessions reproduce the sequential loop bit for bit.
+        """
         raise NotImplementedError
 
     def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:

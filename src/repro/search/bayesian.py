@@ -167,15 +167,18 @@ class BayesianOptimizationSearch(SearchAlgorithm):
         scores = expected_improvement(mean, std, best)
         return candidates, np.argsort(-scores)
 
-    def propose(self, history: ExplorationHistory) -> Configuration:
+    def propose(self, history: ExplorationHistory,
+                pending: Sequence[Configuration] = ()) -> Configuration:
+        in_flight = set(pending)
         if len(self._X) < self.initial_random or not self._fit():
-            return self.sampler.sample_unique(history)
+            return self.sampler.sample_unique(history, exclude=in_flight)
         candidates, order = self._ranked_pool(history)
         for index in order:
             candidate = candidates[int(index)]
-            if not history.contains_configuration(candidate):
+            if (not history.contains_configuration(candidate)
+                    and candidate not in in_flight):
                 return candidate
-        return self.sampler.sample_unique(history)
+        return self.sampler.sample_unique(history, exclude=in_flight)
 
     def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:
         """Take the top-*k* distinct candidates from one EI scoring pass.

@@ -74,13 +74,18 @@ class GridSearch(SearchAlgorithm):
             yield candidate
 
     # -- search interface ------------------------------------------------------------
-    def propose(self, history: ExplorationHistory) -> Configuration:
+    def propose(self, history: ExplorationHistory,
+                pending: Sequence[Configuration] = ()) -> Configuration:
+        in_flight = set(pending)
         for candidate in self._plan_entries():
-            if not history.contains_configuration(candidate):
-                return candidate
+            if history.contains_configuration(candidate) or candidate in in_flight:
+                # An in-flight plan entry will be observed when it completes;
+                # skipping it consumes the cursor exactly like an explored one.
+                continue
+            return candidate
         # Plan exhausted: fall back to random sampling so long sessions can
         # keep running (matches how the platform treats exhausted strategies).
-        return self.sampler.sample_unique(history)
+        return self.sampler.sample_unique(history, exclude=in_flight)
 
     def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:
         """Take the next *k* unexplored plan entries (random once exhausted)."""

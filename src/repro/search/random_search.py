@@ -9,7 +9,7 @@ learns which regions fail.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.config.space import Configuration
 from repro.platform.history import ExplorationHistory
@@ -22,8 +22,9 @@ class RandomSearch(SearchAlgorithm):
     name = "random"
     batch_native = True
 
-    def propose(self, history: ExplorationHistory) -> Configuration:
-        return self.sampler.sample_unique(history)
+    def propose(self, history: ExplorationHistory,
+                pending: Sequence[Configuration] = ()) -> Configuration:
+        return self.sampler.sample_unique(history, exclude=set(pending))
 
     def propose_batch(self, history: ExplorationHistory, k: int) -> List[Configuration]:
         """Draw *k* fresh samples, avoiding intra-batch duplicates as well."""

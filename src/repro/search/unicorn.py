@@ -206,10 +206,15 @@ class UnicornSearch(SearchAlgorithm):
         })
         return graph
 
-    def propose(self, history: ExplorationHistory) -> Configuration:
+    def propose(self, history: ExplorationHistory,
+                pending: Sequence[Configuration] = ()) -> Configuration:
+        # The pending-aware dedupe below only filters the final ranked scan;
+        # the full causal-graph recomputation per proposal — the Figure 7
+        # cost profile — is untouched by async execution.
+        in_flight = set(pending)
         self._graph = self._relearn_graph()
         if self._graph is None:
-            return self.sampler.sample_unique(history)
+            return self.sampler.sample_unique(history, exclude=in_flight)
         important = set(self._graph.strongest_features(self.top_k))
         # dedup pool slots against already-evaluated configurations (O(1)
         # membership index); the ranked fallback scan below stays as the
@@ -220,7 +225,7 @@ class UnicornSearch(SearchAlgorithm):
 
         best_record = history.best_record()
         if best_record is None:
-            return self.sampler.sample_unique(history)
+            return self.sampler.sample_unique(history, exclude=in_flight)
         incumbent = self._encode(best_record.configuration)
 
         # Score candidates by how strongly they intervene on the causally
@@ -234,9 +239,10 @@ class UnicornSearch(SearchAlgorithm):
         order = np.argsort(-scores)
         for index in order:
             candidate = candidates[int(index)]
-            if not history.contains_configuration(candidate):
+            if (not history.contains_configuration(candidate)
+                    and candidate not in in_flight):
                 return candidate
-        return self.sampler.sample_unique(history)
+        return self.sampler.sample_unique(history, exclude=in_flight)
 
     # -- checkpointing ------------------------------------------------------------
     def export_state(self) -> dict:

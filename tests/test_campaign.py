@@ -83,6 +83,33 @@ class TestCampaignSpec:
         assert specs[0].favor == "runtime"
         assert specs[1].favor is None
 
+    def test_executions_axis(self):
+        campaign = make_campaign(executions=["batch", "async"])
+        specs = campaign.expand()
+        assert len(specs) == 8
+        assert specs[0].name.endswith("-xbatch")
+        assert specs[1].name.endswith("-xasync")
+        assert specs[0].execution == "batch"
+        assert specs[1].execution == "async"
+        # round-trips like every other axis
+        from repro.core.campaign import CampaignSpec
+
+        assert CampaignSpec.from_dict(campaign.to_dict()) == campaign
+        # and overrides can match a single execution slice
+        sliced = make_campaign(executions=["batch", "async"], overrides=[
+            {"match": {"execution": "async"}, "set": {"iterations": 9}}])
+        for spec in sliced.expand():
+            assert spec.iterations == (9 if spec.execution == "async" else 5)
+
+    def test_executions_axis_validation(self):
+        with pytest.raises(ValueError, match="unknown execution"):
+            make_campaign(executions=["batch", "eager"])
+        with pytest.raises(ValueError, match="repeats"):
+            make_campaign(executions=["async", "async"])
+        with pytest.raises(ValueError, match="cannot set execution"):
+            make_campaign(executions=["batch", "async"],
+                          base=dict(GRID_BASE, execution="async"))
+
     def test_per_axis_overrides(self):
         campaign = make_campaign(overrides=[
             {"match": {"application": "redis"}, "set": {"metric": "latency"}},

@@ -69,6 +69,41 @@ class TestParser:
             build_parser().parse_args(["run", "--plateau", "0"])
         assert build_parser().parse_args(["run", "--plateau", "7"]).plateau == 7
 
+    def test_time_budget_must_be_a_positive_float(self):
+        # zero/negative/non-numeric budgets used to slip through a plain
+        # type=float (and --time-budget-s -5 was accepted verbatim)
+        for command in ("run", "compare"):
+            for bad in ("0", "-5", "nan", "never"):
+                with pytest.raises(SystemExit):
+                    build_parser().parse_args([command, "--time-budget-s", bad])
+        args = build_parser().parse_args(["run", "--time-budget-s", "3600.5"])
+        assert args.time_budget_s == 3600.5
+
+    def test_seed_must_be_a_non_negative_int(self):
+        for command in ("run", "compare"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--seed", "-1"])
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--seed", "1.5"])
+        assert build_parser().parse_args(["run", "--seed", "0"]).seed == 0
+        assert build_parser().parse_args(["compare", "--seed", "11"]).seed == 11
+
+    def test_execution_mode_choices(self):
+        args = build_parser().parse_args(["run", "--execution", "async"])
+        assert args.execution == "async"
+        # run leaves the default unset so a job file's value can win
+        assert build_parser().parse_args(["run"]).execution is None
+        assert build_parser().parse_args(["compare"]).execution == "batch"
+        for command in ("run", "compare"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--execution", "eager"])
+        from repro.cli import _spec_from_args
+
+        spec = _spec_from_args(build_parser().parse_args(
+            ["run", "--execution", "async"]))
+        assert spec.execution == "async"
+        assert _spec_from_args(build_parser().parse_args(["run"])).execution == "batch"
+
     def test_favor_forwarded_per_os(self):
         from repro.cli import _build_wayfinder
         from repro.config.parameter import ParameterKind
@@ -150,6 +185,26 @@ class TestRun:
         with open(os.path.join(results_dir, "fleet.json")) as handle:
             document = json.load(handle)
         assert document["summary"]["trials"] == 8
+
+    def test_run_async_execution(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "results")
+        code = main([
+            "run", "--application", "nginx", "--algorithm", "random",
+            "--iterations", "8", "--seed", "3", "--workers", "4",
+            "--execution", "async", "--results", results_dir,
+            "--name", "async-fleet",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "async execution" in output
+        assert "[dispatch]" in output
+        with open(os.path.join(results_dir, "async-fleet.json")) as handle:
+            document = json.load(handle)
+        assert document["summary"]["trials"] == 8
+        assert document["metadata"]["execution"] == "async"
+        utilization = document["metadata"]["worker_utilization"]
+        assert len(utilization) == 4
+        assert all(0.0 < value <= 1.0 for value in utilization)
 
     def test_job_file_algorithm_and_budget_honoured(self, tmp_path, small_space):
         from repro.cli import _spec_from_args, build_parser
@@ -240,6 +295,9 @@ class TestCheckpointResumeCli:
         # flags the restored state depends on are rejected, not ignored
         assert main(["run", "--resume", "ck", "--results", results_dir,
                      "--workers", "2"]) == 2
+        assert "cannot be changed" in capsys.readouterr().err
+        assert main(["run", "--resume", "ck", "--results", results_dir,
+                     "--execution", "async"]) == 2
         assert "cannot be changed" in capsys.readouterr().err
 
     def test_resume_requires_locatable_checkpoint(self, tmp_path, capsys):

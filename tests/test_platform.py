@@ -227,3 +227,98 @@ class TestSearchSession:
         session = SearchSession(pipeline, algorithm)
         with pytest.raises(ValueError):
             session.run()
+
+
+class TestBackendStateRoundTrip:
+    """WorkerPoolBackend export/import round-trips, including in-flight and
+    degenerate states (zero trials, skip-build image on a subset of workers)."""
+
+    def _pool(self, os_model, workers=2, seed=7, enable_skip_build=True):
+        from repro.platform.executor import WorkerPoolBackend
+
+        simulator = make_simulator(os_model, "nginx", seed=seed)
+        metric = metric_for_application("nginx")
+        return WorkerPoolBackend(simulator, metric, workers=workers,
+                                 enable_skip_build=enable_skip_build)
+
+    def _variants(self, space, n):
+        default = space.default_configuration()
+        return [default.with_values({"net.core.somaxconn": 128 + index})
+                for index in range(n)]
+
+    def test_zero_trial_round_trip(self, small_linux_model):
+        backend = self._pool(small_linux_model)
+        state = backend.export_state()
+        assert state["in_flight"] == []
+        assert state["busy_s"] == [0.0, 0.0]
+        restored = self._pool(small_linux_model)
+        restored.import_state(state)
+        assert restored.export_state() == state
+        assert restored.trials_run == 0
+        assert restored.worker_utilization == [1.0, 1.0]
+
+    def test_in_flight_trials_round_trip(self, small_linux_model):
+        backend = self._pool(small_linux_model)
+        for configuration in self._variants(small_linux_model.space, 2):
+            backend.submit(configuration)
+        assert backend.in_flight == 2
+        state = backend.export_state()
+        assert len(state["in_flight"]) == 2
+
+        restored = self._pool(small_linux_model)
+        restored.import_state(state)
+        assert restored.export_state() == state
+        assert restored.pending_configurations() == backend.pending_configurations()
+        # popping completions from both yields identical records, and the
+        # freed workers continue from identical clocks
+        while backend.in_flight:
+            ours = backend.next_completion()
+            theirs = restored.next_completion()
+            assert (ours.configuration, ours.objective, ours.crashed,
+                    ours.duration_s, ours.started_at_s, ours.worker) == (
+                        theirs.configuration, theirs.objective, theirs.crashed,
+                        theirs.duration_s, theirs.started_at_s, theirs.worker)
+        assert restored.worker_clocks_s == backend.worker_clocks_s
+
+    def test_skip_build_image_on_subset_of_workers(self, small_linux_model):
+        backend = self._pool(small_linux_model)
+        # one completed trial: only worker 0 has booted (and can reuse) an image
+        records = backend.run_batch(self._variants(small_linux_model.space, 1))
+        state = backend.export_state()
+        images = [entry["last_running_configuration"]
+                  for entry in state["pipelines"]]
+        assert images[1] is None  # worker 1 never evaluated anything
+        if not records[0].crashed:
+            assert images[0] is not None
+
+        restored = self._pool(small_linux_model)
+        restored.import_state(state)
+        assert restored.export_state() == state
+        assert restored.builds_skipped == backend.builds_skipped
+        assert restored.worker_busy_s == backend.worker_busy_s
+
+    def test_import_rejects_mismatched_shape(self, small_linux_model):
+        backend = self._pool(small_linux_model, workers=2)
+        state = backend.export_state()
+        three = self._pool(small_linux_model, workers=3)
+        with pytest.raises(ValueError):
+            three.import_state(state)
+        from repro.platform.executor import SerialBackend
+
+        serial = SerialBackend(make_pipeline(small_linux_model, "nginx"))
+        with pytest.raises(ValueError):
+            serial.import_state(state)
+
+    def test_legacy_state_without_event_fields(self, small_linux_model):
+        """Pre-async checkpoints (no busy/in-flight/horizon keys) still load."""
+        backend = self._pool(small_linux_model)
+        backend.run_batch(self._variants(small_linux_model.space, 2))
+        state = backend.export_state()
+        for key in ("busy_s", "horizon_s", "in_flight"):
+            state.pop(key)
+        restored = self._pool(small_linux_model)
+        restored.import_state(state)
+        assert restored.in_flight == 0
+        assert restored.worker_clocks_s == backend.worker_clocks_s
+        # the horizon defaults to the restored session clock
+        assert restored.export_state()["horizon_s"] == backend.now_s
