@@ -24,7 +24,9 @@ from statistics import mean
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import format_series, format_table
-from repro.platform.campaign_runner import STATUS_COMPLETE, load_manifest
+from repro.platform.campaign_runner import (STATUS_COMPLETE, STATUS_FAILED,
+                                            STATUS_FAILED_PERMANENT,
+                                            load_manifest)
 
 
 class CampaignResults:
@@ -201,14 +203,17 @@ def render_campaign_report(directory: str, max_points: int = 12) -> str:
                 title="{}: per-iteration cost ({})".format(results.name,
                                                            algorithm),
                 max_points=max_points))
+    # rendered only when failures exist, so a chaos run whose experiments
+    # all ultimately completed reports byte-identically to a clean run
     failed = [entry for entry in results.experiments
-              if entry["status"] == "failed"]
+              if entry["status"] in (STATUS_FAILED, STATUS_FAILED_PERMANENT)]
     if failed:
         sections.append("")
         sections.append(format_table(
-            ("experiment", "error"),
-            [(entry["name"],
+            ("experiment", "status", "attempts", "error"),
+            [(entry["name"], entry["status"],
+              entry.get("attempts", 0),
               (entry.get("error") or "").strip().splitlines()[-1])
              for entry in failed],
-            title="Failed experiments"))
+            title="Failed experiments (failed-permanent = quarantined)"))
     return "\n".join(sections)

@@ -35,11 +35,14 @@ reproducing the uninterrupted run trial for trial.
 
 ``campaign run`` scales the same machinery to paper-style grids: a YAML
 campaign spec expands into applications x algorithms x seeds (x favor)
-experiments executed across ``--procs`` OS processes, each checkpointing
-into the campaign directory; ``campaign run --resume`` continues a killed
-campaign (completed experiments skipped by manifest, in-flight ones resumed
-bit-exactly) and ``campaign report`` renders the cross-experiment tables
-and figure series.
+experiments executed by ``--procs`` pull-based workers that claim work
+from the campaign manifest under leases (``--lease-s``) and retry failures
+with backoff (``--max-attempts``); ``campaign run --resume`` continues a
+killed campaign (completed experiments skipped by manifest, in-flight ones
+resumed bit-exactly, with a possibly different ``--procs``) and
+``campaign report`` renders the cross-experiment tables and figure series.
+The ``--chaos-*`` flags inject deterministic faults — worker kills, torn
+checkpoint writes, startup failures — to verify all of the above.
 
 Every subcommand prints plain-text tables (no plotting dependencies) and can
 persist histories through :class:`repro.platform.results.ResultsStore`.
@@ -87,6 +90,16 @@ def _non_negative_int(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError("must not be negative")
+    return value
+
+
+def _rate(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("must be a number") from None
+    if not 0.0 <= value <= 1.0:  # rejects nan too
+        raise argparse.ArgumentTypeError("must be in [0, 1]")
     return value
 
 
@@ -188,6 +201,30 @@ def _add_campaign_parser(subparsers) -> None:
                             default=None,
                             help="run at most N experiments this invocation "
                                  "(the manifest keeps the rest pending)")
+    run_parser.add_argument("--lease-s", type=_positive_float, default=None,
+                            help="experiment lease duration in seconds; a "
+                                 "worker that stops heartbeating for this "
+                                 "long is presumed dead and its experiment "
+                                 "is reclaimed (default: 30)")
+    run_parser.add_argument("--max-attempts", type=_positive_int, default=None,
+                            help="failed-experiment retries before "
+                                 "quarantine to failed-permanent (default: 3)")
+    run_parser.add_argument("--chaos-seed", type=_non_negative_int,
+                            default=None,
+                            help="seed for deterministic fault injection "
+                                 "(overrides the spec's chaos block)")
+    run_parser.add_argument("--chaos-kill-rate", type=_rate, default=None,
+                            help="probability of killing a worker at each "
+                                 "completion event (checkpoint saved or "
+                                 "experiment finished)")
+    run_parser.add_argument("--chaos-torn-write-rate", type=_rate,
+                            default=None,
+                            help="probability a checkpoint write is torn "
+                                 "(truncated on disk) before the worker dies")
+    run_parser.add_argument("--chaos-startup-failure-rate", type=_rate,
+                            default=None,
+                            help="probability an experiment start raises a "
+                                 "transient (retryable) failure")
 
     report_parser = campaign_subparsers.add_parser(
         "report", help="render the cross-experiment tables and figure series")
@@ -451,14 +488,28 @@ def _command_census(args: argparse.Namespace) -> int:
 
 def _command_campaign_run(args: argparse.Namespace) -> int:
     from repro.config.jobfile import load_campaign_file
-    from repro.platform.campaign_runner import MANIFEST_NAME, CampaignRunner
+    from repro.platform.campaign_runner import (DEFAULT_LEASE_S, MANIFEST_NAME,
+                                                CampaignRunner)
+    from repro.platform.faults import RetryPolicy
+
+    # --chaos-* flags patch over the spec's chaos block for this invocation
+    chaos_flags = {"seed": args.chaos_seed,
+                   "kill_rate": args.chaos_kill_rate,
+                   "torn_write_rate": args.chaos_torn_write_rate,
+                   "startup_failure_rate": args.chaos_startup_failure_rate}
+    chaos = {key: value for key, value in chaos_flags.items()
+             if value is not None} or None
+    retry = (None if args.max_attempts is None
+             else RetryPolicy(max_attempts=args.max_attempts))
+    lease_s = DEFAULT_LEASE_S if args.lease_s is None else args.lease_s
 
     manifest_present = os.path.exists(os.path.join(args.results, MANIFEST_NAME))
     if args.resume and manifest_present:
         # the stored manifest owns the campaign and, unless overridden on
         # the command line, the checkpoint cadence
         runner = CampaignRunner.open(args.results, procs=args.procs,
-                                     checkpoint_every=args.checkpoint_every)
+                                     checkpoint_every=args.checkpoint_every,
+                                     lease_s=lease_s, retry=retry, chaos=chaos)
         if args.spec and load_campaign_file(args.spec) != runner.campaign:
             print("--spec does not match the campaign stored in {}; resume "
                   "without --spec or use a fresh directory".format(
@@ -469,7 +520,8 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         runner = CampaignRunner(
             campaign, args.results, procs=args.procs,
             checkpoint_every=(1 if args.checkpoint_every is None
-                              else args.checkpoint_every))
+                              else args.checkpoint_every),
+            lease_s=lease_s, retry=retry, chaos=chaos)
     else:
         print("campaign run needs --spec (or --resume with an existing "
               "campaign directory)", file=sys.stderr)
@@ -483,8 +535,12 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
                 "-" if summary["best_objective"] is None
                 else "{:.2f}".format(summary["best_objective"]),
                 summary["trials"], summary["stop_reason"] or "-"))
+        elif outcome["status"] == "failed-permanent":
+            print("[{}/{}] {}: QUARANTINED".format(done, total,
+                                                   outcome["name"]))
         else:
-            print("[{}/{}] {}: FAILED".format(done, total, outcome["name"]))
+            print("[{}/{}] {}: FAILED (will retry)".format(
+                done, total, outcome["name"]))
 
     print("Campaign {!r}: {} experiments on {} process{}{}...".format(
         runner.campaign.name, len(runner.campaign), args.procs,
@@ -498,14 +554,18 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 2
 
-    print("Campaign state: {} complete, {} failed, {} pending (manifest in {})"
-          .format(len(result.completed), len(result.failed),
-                  len(result.pending), args.results))
+    quarantined = result.quarantined
+    print("Campaign state: {} complete, {} failed{}, {} pending "
+          "(manifest in {})".format(
+              len(result.completed), len(result.failed),
+              " ({} quarantined)".format(len(quarantined)) if quarantined
+              else "", len(result.pending), args.results))
     for entry in result.failed:
         error = (entry.get("error") or "").strip().splitlines()
-        print("  {} failed: {}".format(entry["name"],
-                                       error[-1] if error else "?"),
-              file=sys.stderr)
+        print("  {} {} after {} attempt{}: {}".format(
+            entry["name"], entry["status"], entry.get("attempts", 0),
+            "" if entry.get("attempts", 0) == 1 else "s",
+            error[-1] if error else "?"), file=sys.stderr)
     return 0 if not result.failed else 1
 
 

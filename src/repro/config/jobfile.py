@@ -539,7 +539,14 @@ def dump_campaign_file(campaign, path: str) -> None:
 
 def load_campaign_file(path: str):
     """Load a campaign spec from a YAML/JSON file written by hand or by
-    :func:`dump_campaign_file`."""
+    :func:`dump_campaign_file`.
+
+    Besides the grid axes and ``base``/``overrides`` blocks, the campaign
+    mapping may carry a ``chaos:`` block (``seed``, ``kill_rate``,
+    ``torn_write_rate``, ``startup_failure_rate``) enabling deterministic
+    fault injection for every worker that runs the campaign — see
+    :mod:`repro.platform.faults`.
+    """
     # Imported lazily: the config layer stays importable without the
     # core/search stack (mirrors JobFile.to_spec).
     from repro.core.campaign import CampaignSpec

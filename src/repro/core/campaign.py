@@ -81,7 +81,7 @@ class CampaignSpec:
     """A declarative grid of experiments sharing one base configuration."""
 
     FIELDS = ("name", "applications", "algorithms", "seeds", "favors",
-              "executions", "base", "overrides")
+              "executions", "base", "overrides", "chaos")
 
     def __init__(
         self,
@@ -93,6 +93,7 @@ class CampaignSpec:
         executions: Optional[List[str]] = None,
         base: Optional[Dict[str, Any]] = None,
         overrides: Optional[List[Dict[str, Any]]] = None,
+        chaos: Optional[Dict[str, Any]] = None,
     ) -> None:
         if not name or not isinstance(name, str):
             raise ValueError("a campaign needs a non-empty name")
@@ -145,6 +146,14 @@ class CampaignSpec:
             self.base["execution"] = _normalize_execution(self.base["execution"])
         self.overrides = [self._check_override(rule)
                           for rule in list(overrides or [])]
+        # Imported lazily like the executor registry above: the chaos
+        # vocabulary is owned by the platform's fault-injection module.
+        from repro.platform.faults import validate_chaos
+
+        #: optional fault-injection block (seed + kill/torn-write/startup
+        #: failure rates) applied to every worker running this campaign;
+        #: ``--chaos-*`` CLI flags override it per invocation.
+        self.chaos = validate_chaos(chaos)
         # fail fast: an invalid grid point (bad metric, unknown algorithm,
         # colliding names) should surface when the campaign is built, not
         # halfway through a multi-hour run.
@@ -277,6 +286,7 @@ class CampaignSpec:
             "base": dict(self.base),
             "overrides": [{"match": dict(rule["match"]),
                            "set": dict(rule["set"])} for rule in self.overrides],
+            "chaos": None if self.chaos is None else dict(self.chaos),
         }
 
     @classmethod

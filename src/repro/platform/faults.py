@@ -1,0 +1,240 @@
+"""Retry policies and deterministic fault injection for the campaign fabric.
+
+The campaign runner's fault-tolerance story has two halves.  The *defensive*
+half is :class:`RetryPolicy`: failed experiments are retried with capped
+exponential backoff (the jitter is a deterministic function of the
+experiment name and attempt number, so two workers never compute different
+delays for the same retry), and an experiment that keeps failing is
+quarantined to ``failed-permanent`` after ``max_attempts`` tries so one
+poisoned grid point degrades the final report gracefully instead of
+aborting the whole campaign.
+
+The *adversarial* half is :class:`FaultInjector`, a seeded chaos harness
+that exercises exactly the failure modes the fabric claims to survive:
+
+* **worker kills** at completion events (after a checkpoint has been
+  durably saved, mirroring a preemption or ``kill -9`` between units of
+  work) — with real worker processes the injector ``os._exit``\\ s, with an
+  in-process worker it raises :class:`WorkerKilled`, which the worker loop
+  treats exactly like a process death (the lease is left behind to expire);
+* **torn checkpoint writes** — the staged checkpoint bytes are truncated
+  and written over the final path, then the worker dies, simulating a crash
+  mid-write on a filesystem without atomic rename (the results store must
+  detect the damage and fall back to the last good checkpoint);
+* **transient experiment-startup failures** — :class:`TransientStartupError`
+  raised before the experiment has any side effects, exercising the
+  retry/backoff path.
+
+Because every experiment is a deterministic function of its spec and
+checkpoints restore bit-exactly, *any* schedule of injected faults must
+leave the final per-experiment records, summaries, and report tables
+byte-identical to the fault-free run — the invariant ``tests/test_chaos.py``
+pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+from typing import Any, Dict, Optional
+
+
+class TransientStartupError(RuntimeError):
+    """An injected (retryable) failure before an experiment started."""
+
+
+class WorkerKilled(BaseException):
+    """An injected worker death.
+
+    Derives from :class:`BaseException` so the ``except Exception`` guard
+    around experiment execution cannot swallow it: a killed worker must not
+    report a ``failed`` outcome — it must simply stop, leaving its lease to
+    expire, exactly like a real ``kill -9``.
+    """
+
+
+def stable_hash(*parts: object) -> int:
+    """A process-independent 64-bit hash of *parts*.
+
+    Python's builtin ``hash`` is salted per process, which would make
+    retry jitter differ between the workers computing it; campaign
+    coordination needs every process to agree.
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8],
+                          "big")
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter and quarantine.
+
+    ``delay_s(name, attempt)`` is the wait before retry number *attempt*
+    (1-based): ``base * 2**(attempt-1)`` capped at ``max_delay_s``, scaled
+    by a jitter factor in ``[1-jitter, 1+jitter]`` derived deterministically
+    from ``(seed, name, attempt)``.  ``exhausted(attempts)`` decides
+    quarantine: once an experiment has failed *max_attempts* times it is
+    marked ``failed-permanent`` and never retried by this campaign run.
+    """
+
+    FIELDS = ("max_attempts", "base_delay_s", "max_delay_s", "jitter", "seed")
+
+    def __init__(self, max_attempts: int = 3, base_delay_s: float = 0.05,
+                 max_delay_s: float = 2.0, jitter: float = 0.5,
+                 seed: int = 0) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if base_delay_s < 0 or max_delay_s < 0:
+            raise ValueError("backoff delays must not be negative")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_attempts = int(max_attempts)
+        self.base_delay_s = float(base_delay_s)
+        self.max_delay_s = float(max_delay_s)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+
+    def delay_s(self, name: str, attempt: int) -> float:
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        delay = min(self.base_delay_s * (2.0 ** (attempt - 1)),
+                    self.max_delay_s)
+        if self.jitter:
+            unit = random.Random(stable_hash(self.seed, name, attempt)).random()
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return delay
+
+    def exhausted(self, attempts: int) -> bool:
+        return attempts >= self.max_attempts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "RetryPolicy":
+        data = dict(data or {})
+        unknown = sorted(set(data) - set(cls.FIELDS))
+        if unknown:
+            raise ValueError("unknown retry fields: {}".format(
+                ", ".join(unknown)))
+        return cls(**data)
+
+    def __repr__(self) -> str:
+        return ("RetryPolicy(max_attempts={}, base_delay_s={}, "
+                "max_delay_s={}, jitter={}, seed={})").format(
+                    self.max_attempts, self.base_delay_s, self.max_delay_s,
+                    self.jitter, self.seed)
+
+
+#: keys a ``chaos:`` block (campaign spec or CLI) may set.
+CHAOS_FIELDS = ("seed", "kill_rate", "torn_write_rate",
+                "startup_failure_rate")
+
+
+def validate_chaos(data: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Validate and normalize a ``chaos:`` configuration block.
+
+    Returns ``None`` when the block is absent or entirely inert (all rates
+    zero are still kept: an explicit all-zero block means "chaos plumbing
+    on, no faults", which is useful for CI dry runs).
+    """
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise ValueError("chaos must be a mapping of {} (got {!r})".format(
+            ", ".join(CHAOS_FIELDS), data))
+    unknown = sorted(set(data) - set(CHAOS_FIELDS))
+    if unknown:
+        raise ValueError("unknown chaos fields: {}".format(", ".join(unknown)))
+    block: Dict[str, Any] = {"seed": int(data.get("seed", 0))}
+    if block["seed"] < 0:
+        raise ValueError("chaos seed must not be negative")
+    for field in CHAOS_FIELDS[1:]:
+        rate = float(data.get(field, 0.0))
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("chaos {} must be in [0, 1] (got {})".format(
+                field, rate))
+        block[field] = rate
+    return block
+
+
+class FaultInjector:
+    """Seeded chaos: kills, torn checkpoint writes, startup failures.
+
+    One injector drives one worker *incarnation*; its decision stream is
+    ``random.Random(stable_hash(seed, incarnation))``, so a respawned
+    replacement worker (next incarnation) rolls a fresh stream instead of
+    replaying its predecessor's death.  Kills only fire *after* a checkpoint
+    or a completed experiment has been durably recorded, so no injected
+    death ever loses work — and with rates below 1 every chaos schedule
+    terminates with the same results as the fault-free run.
+    """
+
+    def __init__(self, seed: int = 0, kill_rate: float = 0.0,
+                 torn_write_rate: float = 0.0,
+                 startup_failure_rate: float = 0.0,
+                 incarnation: int = 0) -> None:
+        for name, rate in (("kill_rate", kill_rate),
+                           ("torn_write_rate", torn_write_rate),
+                           ("startup_failure_rate", startup_failure_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("{} must be in [0, 1]".format(name))
+        self.seed = int(seed)
+        self.kill_rate = float(kill_rate)
+        self.torn_write_rate = float(torn_write_rate)
+        self.startup_failure_rate = float(startup_failure_rate)
+        self.incarnation = int(incarnation)
+        self._rng = random.Random(stable_hash(self.seed, self.incarnation))
+        #: True in subprocess workers: injected deaths really ``os._exit``.
+        self.hard_exit = False
+
+    @classmethod
+    def from_config(cls, config: Optional[Dict[str, Any]],
+                    incarnation: int = 0) -> Optional["FaultInjector"]:
+        """Build an injector from a validated ``chaos:`` block (or ``None``)."""
+        block = validate_chaos(config)
+        if block is None:
+            return None
+        return cls(incarnation=incarnation, **block)
+
+    # -- fault sites -----------------------------------------------------------
+    def die(self) -> None:
+        """Kill this worker, ``kill -9``-style.
+
+        Real worker processes exit with status 137 (the shell's
+        SIGKILL convention) so nothing up-stack can run cleanup that a
+        genuine kill would have skipped; in-process workers raise
+        :class:`WorkerKilled`, which the worker loop converts into the same
+        abandoned-lease state.
+        """
+        if self.hard_exit:
+            os._exit(137)
+        raise WorkerKilled("injected worker death (incarnation {})".format(
+            self.incarnation))
+
+    def maybe_kill(self) -> None:
+        """Kill the worker at a completion event, with ``kill_rate`` odds."""
+        if self.kill_rate and self._rng.random() < self.kill_rate:
+            self.die()
+
+    def maybe_fail_startup(self, name: str) -> None:
+        """Fail an experiment before it starts, with ``startup_failure_rate`` odds."""
+        if (self.startup_failure_rate
+                and self._rng.random() < self.startup_failure_rate):
+            raise TransientStartupError(
+                "injected startup failure for {} (incarnation {})".format(
+                    name, self.incarnation))
+
+    def tear(self, data: str) -> Optional[str]:
+        """Decide whether a checkpoint write is torn; return the torn bytes.
+
+        Returns ``None`` (write proceeds atomically) or a truncated prefix
+        of *data* — the caller writes the prefix over the final path and
+        must then :meth:`die`, because a torn write only ever exists
+        together with a crash.
+        """
+        if not self.torn_write_rate or self._rng.random() >= self.torn_write_rate:
+            return None
+        # cut somewhere inside the document so the result is invalid JSON
+        cut = 1 + int(self._rng.random() * max(1, len(data) - 2))
+        return data[:cut]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import base64
 import csv
+import errno
 import json
 import os
 import pickle
@@ -102,16 +103,95 @@ def decode_state(text: str) -> object:
     return pickle.loads(base64.b64decode(text.encode("ascii")))
 
 
+def _fsync_directory(path: str) -> None:
+    """Best-effort fsync of the directory holding *path* (durable renames)."""
+    try:
+        fd = os.open(os.path.dirname(os.path.abspath(path)) or ".",
+                     os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Crash-safely replace *path* with *text*.
+
+    The write goes to a per-process staging file (``<path>.<pid>.tmp``, so
+    concurrent writers never clobber each other's staging), is fsynced
+    before the ``os.replace``, and the directory entry is fsynced after it
+    — a crash at any instant leaves either the complete old file or the
+    complete new file, never a torn one.
+    """
+    staging = "{}.{}.tmp".format(path, os.getpid())
+    with open(staging, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, path)
+    _fsync_directory(path)
+    return path
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError as error:
+        # EPERM: the pid exists but belongs to another user — still alive.
+        return error.errno == errno.EPERM
+    return True
+
+
+def cleanup_stale_tmp_files(directory: str) -> List[str]:
+    """Remove orphaned ``*.tmp`` staging files left behind by crashed writers.
+
+    Staging names carry the writer's pid; a tmp file whose pid is no longer
+    running (or a legacy ``.tmp`` without one) is a crash leftover and is
+    deleted.  Live writers' staging files are never touched, so concurrent
+    campaign workers can open stores on the same directory safely.
+    """
+    removed = []
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".tmp"):
+            continue
+        stem = entry[:-len(".tmp")]
+        pid_text = stem.rsplit(".", 1)[-1] if "." in stem else ""
+        if pid_text.isdigit() and _pid_alive(int(pid_text)):
+            continue
+        try:
+            os.remove(os.path.join(directory, entry))
+            removed.append(entry)
+        except OSError:
+            pass
+    return removed
+
+
 class ResultsStore:
     """Save and load exploration histories and checkpoints as JSON documents."""
 
     FORMAT_VERSION = 1
     CHECKPOINT_FORMAT_VERSION = 1
     CHECKPOINT_SUFFIX = ".checkpoint.json"
+    #: rolling backup of the previous checkpoint: the fallback when the
+    #: current one turns out torn/corrupted.
+    CHECKPOINT_BACKUP_SUFFIX = CHECKPOINT_SUFFIX + ".prev"
+    #: corrupted checkpoints are set aside under this suffix (forensics),
+    #: never silently deleted.
+    CHECKPOINT_CORRUPT_SUFFIX = CHECKPOINT_SUFFIX + ".corrupt"
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, fault_injector=None) -> None:
         self.directory = directory
+        #: optional chaos hook (:class:`repro.platform.faults.FaultInjector`)
+        #: that can tear checkpoint writes; ``None`` outside chaos runs.
+        self.fault_injector = fault_injector
         os.makedirs(directory, exist_ok=True)
+        # crash leftovers from dead writers are swept on open so a campaign
+        # directory never accumulates orphaned staging files.
+        cleanup_stale_tmp_files(directory)
 
     def _path(self, name: str) -> str:
         return os.path.join(self.directory, name + ".json")
@@ -131,11 +211,8 @@ class ResultsStore:
             "summary": history.summary(),
             "records": [record_to_dict(record) for record in history],
         }
-        path = self._path(name)
-        with open(path, "w") as handle:
-            json.dump(document, handle, indent=2)
-            handle.write("\n")
-        return path
+        text = json.dumps(document, indent=2) + "\n"
+        return atomic_write_text(self._path(name), text)
 
     # -- reading -----------------------------------------------------------------
     def list_histories(self) -> List[str]:
@@ -184,24 +261,75 @@ class ResultsStore:
                 names.append(entry[:-len(self.CHECKPOINT_SUFFIX)])
         return sorted(names)
 
-    def save_checkpoint(self, name: str, document: Dict[str, object]) -> str:
-        """Atomically persist a checkpoint *document* under *name*.
+    def checkpoint_backup_path(self, name: str) -> str:
+        """Path of the rolling previous-checkpoint backup for *name*."""
+        return os.path.join(self.directory, name + self.CHECKPOINT_BACKUP_SUFFIX)
 
-        The write goes through a temporary file and an ``os.replace`` so an
+    def save_checkpoint(self, name: str, document: Dict[str, object]) -> str:
+        """Crash-safely persist a checkpoint *document* under *name*.
+
+        The write is staged, fsynced, and renamed into place so an
         interruption mid-write never corrupts the previous checkpoint — the
-        entire point of checkpointing long sweeps.
+        entire point of checkpointing long sweeps.  The superseded
+        checkpoint is kept as a rolling ``.prev`` backup: if the current
+        file is ever found torn (filesystem corruption, or the chaos
+        injector simulating it), :meth:`latest_valid_checkpoint` falls back
+        to it instead of losing the run.
         """
         path = self.checkpoint_path(name)
-        staging = path + ".tmp"
+        backup = self.checkpoint_backup_path(name)
+        text = json.dumps(document, indent=2) + "\n"
+        if self.fault_injector is not None:
+            torn = self.fault_injector.tear(text)
+            if torn is not None:
+                # simulate a crash mid-write on a non-atomic path: the final
+                # file holds a truncated document and the worker dies.  The
+                # previous checkpoint survives as the backup.
+                if os.path.exists(path):
+                    os.replace(path, backup)
+                with open(path, "w") as handle:
+                    handle.write(torn)
+                self.fault_injector.die()
+        staging = "{}.{}.tmp".format(path, os.getpid())
         with open(staging, "w") as handle:
-            json.dump(document, handle, indent=2)
-            handle.write("\n")
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if os.path.exists(path):
+            os.replace(path, backup)
         os.replace(staging, path)
+        _fsync_directory(path)
         return path
 
     def load_checkpoint(self, name: str) -> Dict[str, object]:
         """Load the checkpoint document stored under *name*."""
         return load_checkpoint_file(self.checkpoint_path(name))
+
+    def latest_valid_checkpoint(self, name: str) -> Optional[str]:
+        """Path of the newest loadable checkpoint for *name*, or ``None``.
+
+        A corrupted or truncated current checkpoint is set aside under
+        ``.corrupt`` and the rolling ``.prev`` backup is promoted in its
+        place, so the caller resumes from the last good state; with neither
+        file loadable the experiment simply starts fresh — corruption makes
+        it *retryable*, never an exception.
+        """
+        path = self.checkpoint_path(name)
+        backup = self.checkpoint_backup_path(name)
+        for candidate in (path, backup):
+            if not os.path.exists(candidate):
+                continue
+            try:
+                load_checkpoint_file(candidate)
+            except (ValueError, KeyError, OSError):
+                os.replace(candidate,
+                           os.path.join(self.directory,
+                                        name + self.CHECKPOINT_CORRUPT_SUFFIX))
+                continue
+            if candidate is not path:
+                os.replace(candidate, path)
+            return path
+        return None
 
     # -- exports ---------------------------------------------------------------------
     def export_csv(self, name: str, path: str,

@@ -1,0 +1,109 @@
+"""Tests for scripts/check_bench_regression.py (the nightly CI guard)."""
+
+import importlib.util
+import json
+import os
+
+_SCRIPT = os.path.join(os.path.dirname(__file__), os.pardir, "scripts",
+                       "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _SCRIPT)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def artifact(**overrides):
+    """A healthy BENCH_hotpaths.json document; overrides patch sections."""
+    document = {
+        "deeptune_flat_iteration": {"ratio": 1.0, "mean_iteration_ms": 10.0},
+        "batch_encoding": {"speedup": 4.0},
+        "batched_execution": {"virtual_speedup": 3.0},
+        "async_execution": {"virtual_speedup": 1.5},
+    }
+    for section, patch in overrides.items():
+        document.setdefault(section, {}).update(patch)
+    return document
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        assert bench.compare(artifact(), artifact(), 0.25) == []
+
+    def test_lower_is_better_regression_above_threshold(self):
+        # ratio grew 30% > the 25% allowance
+        current = artifact(deeptune_flat_iteration={"ratio": 1.3})
+        (message,) = bench.compare(artifact(), current, 0.25)
+        assert "deeptune_flat_iteration.ratio" in message
+
+    def test_lower_is_better_within_threshold_passes(self):
+        current = artifact(deeptune_flat_iteration={"ratio": 1.2})
+        assert bench.compare(artifact(), current, 0.25) == []
+
+    def test_higher_is_better_regression_above_threshold(self):
+        # speedup 4.0 -> 3.0 is below old/(1+0.25) = 3.2
+        current = artifact(batch_encoding={"speedup": 3.0})
+        (message,) = bench.compare(artifact(), current, 0.25)
+        assert "batch_encoding.speedup" in message
+
+    def test_higher_is_better_within_threshold_passes(self):
+        current = artifact(batch_encoding={"speedup": 3.3})
+        assert bench.compare(artifact(), current, 0.25) == []
+
+    def test_improvements_never_flag(self):
+        current = artifact(deeptune_flat_iteration={"ratio": 0.5},
+                           batch_encoding={"speedup": 8.0})
+        assert bench.compare(artifact(), current, 0.25) == []
+
+    def test_missing_baseline_metric_is_skipped(self, capsys):
+        # a metric introduced by a newer PR has no baseline: reported as
+        # new, never blocks the run
+        previous = artifact()
+        del previous["async_execution"]["virtual_speedup"]
+        assert bench.compare(previous, artifact(), 0.25) == []
+        assert "new metric, no baseline" in capsys.readouterr().out
+
+    def test_missing_current_metric_is_a_regression(self):
+        current = artifact()
+        del current["batched_execution"]["virtual_speedup"]
+        (message,) = bench.compare(artifact(), current, 0.25)
+        assert "missing from the current run" in message
+
+    def test_threshold_is_respected(self):
+        current = artifact(deeptune_flat_iteration={"ratio": 1.3})
+        assert bench.compare(artifact(), current, 0.5) == []
+        assert len(bench.compare(artifact(), current, 0.1)) == 1
+
+
+class TestMain:
+    def _write(self, path, document):
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        return str(path)
+
+    def test_exit_zero_on_pass_and_one_on_regression(self, tmp_path, capsys):
+        previous = self._write(tmp_path / "prev.json", artifact())
+        current = self._write(tmp_path / "cur.json", artifact())
+        assert bench.main([previous, current]) == 0
+        assert "no benchmark regressions" in capsys.readouterr().out
+
+        regressed = self._write(
+            tmp_path / "bad.json", artifact(batch_encoding={"speedup": 1.0}))
+        assert bench.main([previous, regressed]) == 1
+        assert "regressions detected" in capsys.readouterr().err
+
+    def test_custom_threshold_flag(self, tmp_path):
+        previous = self._write(tmp_path / "prev.json", artifact())
+        current = self._write(
+            tmp_path / "cur.json",
+            artifact(deeptune_flat_iteration={"ratio": 1.3}))
+        assert bench.main([previous, current]) == 1
+        assert bench.main([previous, current, "--threshold", "0.5"]) == 0
+
+    def test_smoke_vs_full_budgets_skip_the_guard(self, tmp_path, capsys):
+        previous = self._write(tmp_path / "prev.json",
+                               artifact(batch_encoding={"smoke": True,
+                                                        "speedup": 10.0}))
+        current = self._write(
+            tmp_path / "cur.json", artifact(batch_encoding={"speedup": 1.0}))
+        assert bench.main([previous, current]) == 0
+        assert "different budgets" in capsys.readouterr().out

@@ -300,19 +300,28 @@ class TestCampaignRunner:
     @pytest.mark.parametrize("procs", [1, 2])
     def test_failed_experiment_does_not_sink_the_campaign(self, procs,
                                                           tmp_path):
+        from repro.platform.faults import RetryPolicy
+
         campaign = CampaignSpec(
             name="flaky", applications=["nginx", "bogus-app"],
             algorithms=["random"], seeds=[0], base=GRID_BASE)
-        result = CampaignRunner(campaign, str(tmp_path), procs=procs).run()
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.001)
+        result = CampaignRunner(campaign, str(tmp_path), procs=procs,
+                                retry=retry).run()
         assert not result.ok
         assert [e["name"] for e in result.completed] == ["flaky-nginx-random-s0"]
         (failure,) = result.failed
         assert failure["name"] == "flaky-bogus-app-random-s0"
         assert "bogus-app" in failure["error"]
-        # the failure and its error survive in the on-disk manifest
+        # a deterministic failure is retried max_attempts times and then
+        # quarantined, with the attempts and error kept in the manifest
+        assert result.quarantined == result.failed
         stored = load_manifest(str(tmp_path))
         assert [e["status"] for e in stored["experiments"]] == \
-            ["complete", "failed"]
+            ["complete", "failed-permanent"]
+        assert stored["experiments"][1]["attempts"] == 2
+        # quarantine is terminal: the campaign has drained, nothing left to do
+        assert stored["state"] == "complete"
 
     def test_validation(self, tmp_path):
         with pytest.raises(ValueError, match="procs"):

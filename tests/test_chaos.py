@@ -1,0 +1,317 @@
+"""Chaos tests: injected faults never change what a campaign computes.
+
+The fabric's headline invariant: because every experiment is a
+deterministic function of its spec and checkpoints restore bit-exactly,
+*any* schedule of injected worker kills, torn checkpoint writes, and
+transient startup failures must leave the final per-experiment records,
+summaries, and ``campaign report`` tables byte-identical to the fault-free
+run — at any process count.  These tests pin that invariant over every
+registered algorithm and both execution modes, plus the individual fault
+paths: stale-lease reclaim after a ``kill -9``-style death, torn-checkpoint
+fallback, startup-failure retry, and quarantine after exhausted retries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.campaign import CampaignSpec
+from repro.platform.campaign_runner import (
+    STATUS_COMPLETE,
+    STATUS_FAILED_PERMANENT,
+    STATUS_LEASED,
+    CampaignRunner,
+    load_manifest,
+)
+from repro.platform.faults import (
+    FaultInjector,
+    RetryPolicy,
+    TransientStartupError,
+    WorkerKilled,
+    stable_hash,
+    validate_chaos,
+)
+from repro.search.registry import available_algorithms
+
+from tests.conftest import SMALL_SPACE_OPTIONS
+
+#: fast backoff so chaos tests spend their time computing, not sleeping;
+#: generous attempts so injected startup failures never quarantine.
+FAST_RETRY = RetryPolicy(max_attempts=10, base_delay_s=0.001,
+                         max_delay_s=0.01, seed=1)
+
+#: the fault mix of the headline invariant runs.
+CHAOS = {"seed": 7, "kill_rate": 0.25, "torn_write_rate": 0.1,
+         "startup_failure_rate": 0.1}
+
+
+def full_grid_campaign(chaos=None):
+    """Every registered algorithm x both execution modes, one seed."""
+    return CampaignSpec(
+        name="chaos", applications=["nginx"],
+        algorithms=sorted(available_algorithms()), seeds=[3],
+        executions=["batch", "async"],
+        base={"metric": "auto", "iterations": 4,
+              "space_options": SMALL_SPACE_OPTIONS},
+        overrides=[{"match": {"algorithm": "bayesian"},
+                    "set": {"algorithm_options": {"initial_random": 2,
+                                                  "candidate_pool_size": 8}}}],
+        chaos=chaos)
+
+
+def tiny_campaign(name, chaos=None, applications=("nginx",)):
+    return CampaignSpec(
+        name=name, applications=list(applications), algorithms=["random"],
+        seeds=[3], base={"metric": "auto", "iterations": 4,
+                         "space_options": SMALL_SPACE_OPTIONS},
+        chaos=chaos)
+
+
+def history_bytes(directory, campaign):
+    contents = {}
+    for spec in campaign.expand():
+        with open(os.path.join(directory, spec.name + ".json"), "rb") as handle:
+            contents[spec.name] = handle.read()
+    return contents
+
+
+def render_report(directory):
+    from repro.analysis.campaign_report import render_campaign_report
+
+    return render_campaign_report(directory)
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The fault-free full-grid run every chaos schedule must reproduce."""
+    directory = str(tmp_path_factory.mktemp("chaos-reference"))
+    campaign = full_grid_campaign()
+    result = CampaignRunner(campaign, directory, procs=1).run()
+    assert result.ok
+    return {"directory": directory, "campaign": campaign,
+            "histories": history_bytes(directory, campaign),
+            "report": render_report(directory)}
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, jitter=0.0)
+        delays = [policy.delay_s("x", attempt) for attempt in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_per_name_and_attempt(self):
+        policy = RetryPolicy(jitter=0.5, seed=3)
+        assert policy.delay_s("a", 1) == policy.delay_s("a", 1)
+        assert policy.delay_s("a", 1) != policy.delay_s("b", 1)
+        assert policy.delay_s("a", 1) != policy.delay_s("a", 2)
+        # a different seed reshuffles the jitter
+        assert policy.delay_s("a", 1) != RetryPolicy(jitter=0.5,
+                                                     seed=4).delay_s("a", 1)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=1.0, jitter=0.25)
+        for attempt in range(1, 20):
+            assert 0.75 <= policy.delay_s("x", attempt) <= 1.25
+
+    def test_exhausted_and_roundtrip(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert not policy.exhausted(1)
+        assert policy.exhausted(2)
+        assert RetryPolicy.from_dict(policy.to_dict()).to_dict() == \
+            policy.to_dict()
+        with pytest.raises(ValueError, match="unknown retry"):
+            RetryPolicy.from_dict({"bogus": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError, match="attempt numbers"):
+            RetryPolicy().delay_s("x", 0)
+
+
+class TestFaultInjector:
+    def test_decision_stream_is_seeded_per_incarnation(self):
+        first = FaultInjector(seed=5, kill_rate=0.5)
+        again = FaultInjector(seed=5, kill_rate=0.5)
+        assert [first._rng.random() for _ in range(8)] == \
+            [again._rng.random() for _ in range(8)]
+        respawn = FaultInjector(seed=5, kill_rate=0.5, incarnation=1)
+        assert [respawn._rng.random() for _ in range(8)] != \
+            [FaultInjector(seed=5, kill_rate=0.5)._rng.random()
+             for _ in range(8)]
+
+    def test_soft_kill_raises_base_exception(self):
+        injector = FaultInjector(kill_rate=1.0)
+        with pytest.raises(WorkerKilled):
+            injector.maybe_kill()
+        assert not isinstance(WorkerKilled("x"), Exception)
+
+    def test_startup_failure_is_retryable(self):
+        injector = FaultInjector(startup_failure_rate=1.0)
+        with pytest.raises(TransientStartupError):
+            injector.maybe_fail_startup("exp")
+
+    def test_tear_truncates(self):
+        injector = FaultInjector(torn_write_rate=1.0)
+        text = json.dumps({"kind": "checkpoint", "records": list(range(50))})
+        torn = injector.tear(text)
+        assert torn is not None and len(torn) < len(text)
+        assert text.startswith(torn)
+        assert FaultInjector(torn_write_rate=0.0).tear(text) is None
+
+    def test_from_config_and_validation(self):
+        assert FaultInjector.from_config(None) is None
+        injector = FaultInjector.from_config({"seed": 2, "kill_rate": 0.5},
+                                             incarnation=3)
+        assert injector.kill_rate == 0.5 and injector.incarnation == 3
+        with pytest.raises(ValueError, match="unknown chaos"):
+            validate_chaos({"kill_ratio": 0.5})
+        with pytest.raises(ValueError, match="kill_rate"):
+            validate_chaos({"kill_rate": 1.5})
+        assert validate_chaos(None) is None
+
+    def test_stable_hash_agrees_across_calls(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+
+
+class TestChaosInvariant:
+    """The headline: faults never change the bytes a campaign produces."""
+
+    @pytest.mark.parametrize("procs", [1, 2])
+    def test_faulty_run_matches_fault_free_run(self, procs, tmp_path,
+                                               reference):
+        campaign = full_grid_campaign(chaos=CHAOS)
+        result = CampaignRunner(campaign, str(tmp_path), procs=procs,
+                                lease_s=0.25, retry=FAST_RETRY).run()
+        assert result.ok
+        # the chaos schedule actually fired: experiments were claimed more
+        # than once (kills/tears) and the campaign still converged
+        manifest = load_manifest(str(tmp_path))
+        assert sum(e["claims"] for e in manifest["experiments"]) > \
+            len(manifest["experiments"])
+        assert history_bytes(str(tmp_path), campaign) == \
+            reference["histories"]
+        assert render_report(str(tmp_path)) == reference["report"]
+
+    def test_chaos_block_travels_through_spec_serialization(self):
+        campaign = full_grid_campaign(chaos=CHAOS)
+        rebuilt = CampaignSpec.from_dict(campaign.to_dict())
+        assert rebuilt.chaos == validate_chaos(CHAOS)
+        assert full_grid_campaign().to_dict()["chaos"] is None
+
+
+class TestLeaseReclaim:
+    def test_stale_lease_honored_until_deadline_then_reclaimed(self, tmp_path):
+        campaign = tiny_campaign("lease")
+        runner = CampaignRunner(campaign, str(tmp_path), lease_s=0.2)
+        # materialize the manifest without running anything, then forge the
+        # lease a kill -9'd worker would leave behind: no process will ever
+        # renew or complete it
+        runner.run(max_experiments=0)
+        manifest = load_manifest(str(tmp_path))
+        entry = manifest["experiments"][0]
+        deadline = time.time() + 0.4
+        entry.update(status=STATUS_LEASED, claims=1,
+                     lease={"worker": 99, "token": "99:1",
+                            "deadline_s": deadline})
+        with open(os.path.join(str(tmp_path), "campaign.json"), "w") as handle:
+            json.dump(manifest, handle)
+        result = CampaignRunner.open(str(tmp_path), lease_s=0.2).run(
+            resume=True)
+        # the survivor waited out the lease, reclaimed, and completed it —
+        # no manual intervention, and the dead worker's claim is recorded
+        assert time.time() >= deadline
+        assert result.ok
+        stored = load_manifest(str(tmp_path))
+        assert stored["experiments"][0]["claims"] == 2
+        assert stored["experiments"][0]["lease"] is None
+        assert stored["state"] == "complete"
+
+    def test_hard_killed_workers_are_respawned_until_done(self, tmp_path):
+        """Real subprocess workers die via os._exit(137) and are replaced."""
+        campaign = tiny_campaign("kill9", applications=["nginx", "redis"],
+                                 chaos={"seed": 11, "kill_rate": 0.6})
+        clean_dir = str(tmp_path / "clean")
+        chaos_dir = str(tmp_path / "chaos")
+        clean = tiny_campaign("kill9", applications=["nginx", "redis"])
+        assert CampaignRunner(clean, clean_dir).run().ok
+        result = CampaignRunner(campaign, chaos_dir, procs=2, lease_s=0.25,
+                                retry=FAST_RETRY).run()
+        assert result.ok
+        assert history_bytes(chaos_dir, clean) == \
+            history_bytes(clean_dir, clean)
+
+
+class TestTornWrites:
+    def test_torn_checkpoints_fall_back_and_results_match(self, tmp_path):
+        clean_dir = str(tmp_path / "clean")
+        chaos_dir = str(tmp_path / "chaos")
+        clean = tiny_campaign("torn")
+        assert CampaignRunner(clean, clean_dir).run().ok
+        campaign = tiny_campaign(
+            "torn", chaos={"seed": 3, "torn_write_rate": 0.6})
+        result = CampaignRunner(campaign, chaos_dir, lease_s=0.2,
+                                retry=FAST_RETRY).run()
+        assert result.ok
+        manifest = load_manifest(chaos_dir)
+        assert manifest["experiments"][0]["claims"] > 1  # tears killed workers
+        assert history_bytes(chaos_dir, clean) == \
+            history_bytes(clean_dir, clean)
+
+
+class TestStartupFailures:
+    def test_transient_startup_failures_are_retried(self, tmp_path):
+        clean_dir = str(tmp_path / "clean")
+        chaos_dir = str(tmp_path / "chaos")
+        clean = tiny_campaign("startup")
+        assert CampaignRunner(clean, clean_dir).run().ok
+        # seed 4's first incarnation-0 roll is < 0.7, so the very first
+        # claim deterministically hits an injected startup failure
+        campaign = tiny_campaign(
+            "startup", chaos={"seed": 4, "startup_failure_rate": 0.7})
+        result = CampaignRunner(campaign, chaos_dir, lease_s=0.2,
+                                retry=FAST_RETRY).run()
+        assert result.ok
+        manifest = load_manifest(chaos_dir)
+        assert manifest["experiments"][0]["attempts"] > 0
+        assert history_bytes(chaos_dir, clean) == \
+            history_bytes(clean_dir, clean)
+
+    def test_permanent_failure_is_quarantined(self, tmp_path):
+        campaign = tiny_campaign(
+            "doomed", chaos={"seed": 0, "startup_failure_rate": 1.0})
+        retry = RetryPolicy(max_attempts=3, base_delay_s=0.001,
+                            max_delay_s=0.01)
+        result = CampaignRunner(campaign, str(tmp_path), lease_s=0.2,
+                                retry=retry).run()
+        assert not result.ok
+        (entry,) = result.quarantined
+        assert entry["status"] == STATUS_FAILED_PERMANENT
+        assert entry["attempts"] == 3
+        assert "injected startup failure" in entry["error"]
+
+
+class TestElasticFleet:
+    def test_resume_with_different_procs_matches_reference(self, tmp_path,
+                                                           reference):
+        campaign = full_grid_campaign()
+        directory = str(tmp_path)
+        partial = CampaignRunner(campaign, directory, procs=1).run(
+            max_experiments=3)
+        assert len(partial.completed) == 3
+        result = CampaignRunner.open(directory, procs=3).run(resume=True)
+        assert result.ok
+        assert history_bytes(directory, campaign) == reference["histories"]
+        assert render_report(directory) == reference["report"]
+        # all experiments complete and the completion transition committed
+        manifest = load_manifest(directory)
+        assert manifest["state"] == "complete"
+        assert all(e["status"] == STATUS_COMPLETE
+                   for e in manifest["experiments"])

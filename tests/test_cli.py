@@ -344,6 +344,79 @@ class TestCampaignCLI:
             build_parser().parse_args(["campaign", "run", "--procs", "0",
                                        "--results", "out"])
 
+    def test_campaign_run_counts_must_be_positive_ints(self):
+        # zero/negative/fractional counts used to be rejected only for
+        # --procs; all three count flags share the _positive_int validator
+        for flag in ("--procs", "--checkpoint-every", "--max-experiments",
+                     "--max-attempts"):
+            for bad in ("0", "-2", "1.5", "many"):
+                with pytest.raises(SystemExit):
+                    build_parser().parse_args(
+                        ["campaign", "run", "--results", "out", flag, bad])
+        args = build_parser().parse_args(
+            ["campaign", "run", "--results", "out", "--procs", "3",
+             "--checkpoint-every", "2", "--max-experiments", "1"])
+        assert (args.procs, args.checkpoint_every, args.max_experiments) == \
+            (3, 2, 1)
+
+    def test_campaign_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "--results", "out", "--chaos-seed", "7",
+             "--chaos-kill-rate", "0.5", "--chaos-torn-write-rate", "0.25",
+             "--chaos-startup-failure-rate", "1.0", "--lease-s", "0.5"])
+        assert args.chaos_seed == 7
+        assert args.chaos_kill_rate == 0.5
+        assert args.chaos_torn_write_rate == 0.25
+        assert args.chaos_startup_failure_rate == 1.0
+        assert args.lease_s == 0.5
+        # rates are [0, 1] floats, the seed a non-negative int, the lease
+        # a positive float
+        for flag in ("--chaos-kill-rate", "--chaos-torn-write-rate",
+                     "--chaos-startup-failure-rate"):
+            for bad in ("-0.1", "1.5", "nan", "often"):
+                with pytest.raises(SystemExit):
+                    build_parser().parse_args(
+                        ["campaign", "run", "--results", "out", flag, bad])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "--results", "out",
+                                       "--chaos-seed", "-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "--results", "out",
+                                       "--lease-s", "0"])
+
+    def test_campaign_chaos_run_matches_clean_run(self, tmp_path, capsys):
+        """The headline invariant, driven through the CLI flags."""
+        _, spec_path = self._write_campaign(tmp_path)
+        clean_dir = str(tmp_path / "clean")
+        chaos_dir = str(tmp_path / "chaos")
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", clean_dir]) == 0
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", chaos_dir, "--chaos-seed", "9",
+                     "--chaos-kill-rate", "0.3", "--lease-s", "0.2"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--results", clean_dir]) == 0
+        clean_report = capsys.readouterr().out
+        assert main(["campaign", "report", "--results", chaos_dir]) == 0
+        assert capsys.readouterr().out == clean_report
+
+    def test_campaign_quarantine_surfaces_in_output(self, tmp_path, capsys):
+        _, spec_path = self._write_campaign(tmp_path)
+        results_dir = str(tmp_path / "out")
+        # every startup fails: both experiments exhaust their retries
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir, "--max-attempts", "2",
+                     "--chaos-seed", "0",
+                     "--chaos-startup-failure-rate", "1.0"]) == 1
+        captured = capsys.readouterr()
+        assert "0 complete, 2 failed (2 quarantined), 0 pending" in captured.out
+        assert "QUARANTINED" in captured.out
+        assert "failed-permanent after 2 attempts" in captured.err
+        assert main(["campaign", "report", "--results", results_dir]) == 0
+        report = capsys.readouterr().out
+        assert "Failed experiments (failed-permanent = quarantined)" in report
+        assert "failed-permanent" in report
+
     def test_campaign_run_then_report(self, tmp_path, capsys):
         campaign, spec_path = self._write_campaign(tmp_path)
         results_dir = str(tmp_path / "out")

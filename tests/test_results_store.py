@@ -6,7 +6,12 @@ import pytest
 
 from repro.config.parameter import ParameterKind
 from repro.platform.metrics import LatencyMetric
-from repro.platform.results import ResultsStore, record_from_dict, record_to_dict
+from repro.platform.results import (
+    ResultsStore,
+    cleanup_stale_tmp_files,
+    record_from_dict,
+    record_to_dict,
+)
 
 from tests.conftest import SMALL_SPACE_OPTIONS, make_pipeline
 from tests.test_platform import make_record
@@ -97,6 +102,107 @@ class TestResultsStore:
             handle.write(text.replace('"format_version": 1', '"format_version": 99'))
         with pytest.raises(ValueError):
             store.load_history("run", small_linux_model.space)
+
+
+class TestCrashSafety:
+    """Atomic writes, orphaned-staging cleanup, and corruption fallback."""
+
+    def _checkpointed_store(self, tmp_path, name="crash", iterations=4):
+        from repro.core.spec import ExperimentSpec
+        from repro.core.wayfinder import Wayfinder
+
+        spec = ExperimentSpec(
+            application="nginx", metric="throughput", algorithm="random",
+            seed=2, iterations=iterations, space_options=SMALL_SPACE_OPTIONS,
+            name=name)
+        store = ResultsStore(str(tmp_path))
+        wayfinder = Wayfinder.from_spec(spec)
+        wayfinder.enable_checkpointing(store, name=name, every=1)
+        wayfinder.specialize()
+        return store
+
+    def test_history_write_leaves_no_staging_file(self, tmp_path,
+                                                  small_linux_model):
+        store = ResultsStore(str(tmp_path))
+        history = TestResultsStore().make_history(small_linux_model,
+                                                  iterations=2)
+        store.save_history("run", history)
+        leftovers = [entry for entry in os.listdir(str(tmp_path))
+                     if entry.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_stale_tmp_files_cleaned_on_open(self, tmp_path):
+        # a crashed writer's staging file (dead pid) and a legacy .tmp
+        # without a pid are swept; a live writer's staging is left alone
+        dead = str(tmp_path / "run.json.999999.tmp")
+        legacy = str(tmp_path / "run.json.tmp")
+        live = str(tmp_path / "run.json.{}.tmp".format(os.getpid()))
+        for path in (dead, legacy, live):
+            with open(path, "w") as handle:
+                handle.write("{")
+        removed = cleanup_stale_tmp_files(str(tmp_path))
+        assert sorted(removed) == ["run.json.999999.tmp", "run.json.tmp"]
+        assert not os.path.exists(dead) and not os.path.exists(legacy)
+        assert os.path.exists(live)
+        os.remove(live)
+        # opening a store performs the same sweep
+        with open(dead, "w") as handle:
+            handle.write("{")
+        ResultsStore(str(tmp_path))
+        assert not os.path.exists(dead)
+
+    def test_checkpoint_keeps_rolling_backup(self, tmp_path):
+        store = self._checkpointed_store(tmp_path)
+        assert os.path.exists(store.checkpoint_path("crash"))
+        # several checkpoints were saved (every=1), so the previous one
+        # survives as the rolling backup — and is itself loadable
+        backup = store.checkpoint_backup_path("crash")
+        assert os.path.exists(backup)
+        from repro.platform.results import load_checkpoint_file
+
+        assert load_checkpoint_file(backup)["kind"] == "checkpoint"
+
+    def test_truncated_checkpoint_falls_back_to_backup(self, tmp_path):
+        store = self._checkpointed_store(tmp_path)
+        path = store.checkpoint_path("crash")
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[:len(text) // 2])  # torn write
+        recovered = store.latest_valid_checkpoint("crash")
+        assert recovered == path
+        # the backup was promoted in place of the torn file, which was set
+        # aside for forensics rather than silently deleted
+        from repro.platform.results import load_checkpoint_file
+
+        assert load_checkpoint_file(recovered)["kind"] == "checkpoint"
+        corrupt = os.path.join(str(tmp_path),
+                               "crash" + store.CHECKPOINT_CORRUPT_SUFFIX)
+        assert os.path.exists(corrupt)
+        assert not os.path.exists(store.checkpoint_backup_path("crash"))
+
+    def test_all_checkpoints_corrupt_means_fresh_start(self, tmp_path):
+        store = self._checkpointed_store(tmp_path)
+        for path in (store.checkpoint_path("crash"),
+                     store.checkpoint_backup_path("crash")):
+            with open(path, "w") as handle:
+                handle.write("{\"kind\": \"checkpo")
+        assert store.latest_valid_checkpoint("crash") is None
+
+    def test_no_checkpoint_is_not_an_error(self, tmp_path):
+        store = ResultsStore(str(tmp_path))
+        assert store.latest_valid_checkpoint("never-ran") is None
+
+    def test_backup_and_corrupt_files_hidden_from_listings(self, tmp_path):
+        store = self._checkpointed_store(tmp_path)
+        path = store.checkpoint_path("crash")
+        with open(path, "w") as handle:
+            handle.write("torn")
+        store.latest_valid_checkpoint("crash")  # creates the .corrupt file
+        assert store.list_checkpoints() == ["crash"]
+        # neither the rolling backup nor the set-aside corrupt file leaks
+        # into the history listing (no history was ever saved here)
+        assert store.list_histories() == []
 
 
 class TestSessionSummary:
