@@ -69,6 +69,21 @@ BATCH_TRIALS = 24 if SMOKE else 60
 #: system-under-test workers in the batched run.
 BATCH_WORKERS = 4
 
+#: trials ingested by the columnar-store benchmark (10^5 at full budget).
+STORE_TRIALS = 5_000 if SMOKE else 100_000
+#: ingest blocks — one checkpoint per block, so new-trials-per-checkpoint is
+#: constant and any growth in checkpoint time would expose O(history) work.
+STORE_BLOCKS = 50 if SMOKE else 100
+#: allowed last/first quartile ratio of checkpoint write time (must be O(new
+#: trials): constant per block).  Relaxed under smoke budgets where blocks
+#: are small enough for filesystem noise to dominate.
+CHECKPOINT_RATIO_BOUND = 3.0 if SMOKE else 1.5
+
+#: query rows for the forest batch-prediction benchmark.
+FOREST_QUERY_ROWS = 512 if SMOKE else 4096
+#: minimum speedup of vectorized forest prediction over the per-row oracle.
+FOREST_SPEEDUP_FLOOR = 2.0 if SMOKE else 5.0
+
 
 def _record_artifact(section: str, payload: Dict) -> None:
     """Merge one benchmark section into the BENCH_hotpaths.json artifact."""
@@ -417,3 +432,166 @@ def test_async_execution_compresses_time_to_best():
     assert (float(np.mean(async_utilization))
             > float(np.mean(batch_utilization))), (
         "async scheduling did not raise fleet utilization")
+
+
+# -- columnar million-trial store ------------------------------------------------------
+
+class _StoreSession:
+    """The minimal session surface ``SessionCheckpointer`` serializes."""
+
+    class _State:
+        def export_state(self):
+            return {"bench": True}
+
+    def __init__(self, history):
+        self.history = history
+        self.algorithm = self._State()
+        self.backend = self._State()
+        self.search_overhead_s = 0.0
+        self.batches_run = 0
+        self.checkpoint_every = 1
+
+
+def test_million_trial_store(tmp_path):
+    """Ingest + checkpoint cost stays flat across a 10^5-trial session.
+
+    Splits ``STORE_TRIALS`` into ``STORE_BLOCKS`` equal blocks; each block
+    adds its records to the history and writes a full resumable checkpoint.
+    Because new-trials-per-checkpoint is constant, both the per-block ingest
+    time and the checkpoint write time must stay flat — any O(history)
+    component (the old inline-JSON manifest rewrote every record on every
+    save) shows up as quartile growth.
+    """
+    from repro.core.spec import ExperimentSpec
+    from repro.platform.results import (
+        ResultsStore,
+        SessionCheckpointer,
+        load_checkpoint_file,
+    )
+
+    space = _flat_space()
+    import random
+
+    rng = random.Random(17)
+    # cycle a pre-sampled pool so record construction stays cheap + constant
+    pool = [space.sample_configuration(rng) for _ in range(64)]
+    history = ExplorationHistory(ThroughputMetric())
+    spec = ExperimentSpec(
+        application="nginx", metric="throughput", algorithm="random",
+        seed=17, iterations=STORE_TRIALS, name="bench-store")
+    store = ResultsStore(str(tmp_path))
+    checkpointer = SessionCheckpointer(store, "bench-store", spec,
+                                       _StoreSession(history))
+
+    block = STORE_TRIALS // STORE_BLOCKS
+    ingest_times: List[float] = []
+    checkpoint_times: List[float] = []
+    index = 0
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(STORE_BLOCKS):
+            started = time.perf_counter()
+            for _ in range(block):
+                crashed = index % 10 == 0
+                history.add(TrialRecord(
+                    index=index, configuration=pool[index % len(pool)],
+                    objective=None if crashed else 100.0 + index % 7,
+                    crashed=crashed,
+                    failure_stage=FailureStage.RUN if crashed
+                    else FailureStage.NONE,
+                    failure_reason="boom" if crashed else "",
+                    metric_value=None, memory_mb=None, duration_s=60.0,
+                    started_at_s=60.0 * index, worker=index % 4))
+                index += 1
+            checkpoint_started = time.perf_counter()
+            checkpointer.save()
+            now = time.perf_counter()
+            checkpoint_times.append(now - checkpoint_started)
+            ingest_times.append(now - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        checkpointer.close()
+
+    # the final checkpoint round-trips the full session
+    document = load_checkpoint_file(store.checkpoint_path("bench-store"))
+    assert document["trials"] == STORE_TRIALS
+    assert len(document["records"]) == STORE_TRIALS
+
+    first, last, flat_ratio = _quartile_ratio(ingest_times)
+    ckpt_first, ckpt_last, checkpoint_ratio = _quartile_ratio(checkpoint_times)
+    _record_artifact("million_trial_store", {
+        "trials": STORE_TRIALS,
+        "blocks": STORE_BLOCKS,
+        "trials_per_checkpoint": block,
+        "first_quartile_block_ms": first * 1e3,
+        "last_quartile_block_ms": last * 1e3,
+        "flat_ratio": flat_ratio,
+        "first_quartile_checkpoint_ms": ckpt_first * 1e3,
+        "last_quartile_checkpoint_ms": ckpt_last * 1e3,
+        "checkpoint_time_ratio": checkpoint_ratio,
+        "columns_bytes": os.path.getsize(
+            store.checkpoint_trial_paths("bench-store")[0]),
+        "payloads_bytes": os.path.getsize(
+            store.checkpoint_trial_paths("bench-store")[1]),
+    })
+    print("\nmillion-trial store: block {:.2f} -> {:.2f} ms (x{:.2f}), "
+          "checkpoint {:.2f} -> {:.2f} ms (x{:.2f})".format(
+              first * 1e3, last * 1e3, flat_ratio,
+              ckpt_first * 1e3, ckpt_last * 1e3, checkpoint_ratio))
+    assert flat_ratio <= FLAT_RATIO_BOUND, (
+        "per-block ingest time grew x{:.2f} over {} trials "
+        "(bound {:.2f})".format(flat_ratio, STORE_TRIALS, FLAT_RATIO_BOUND))
+    assert checkpoint_ratio <= CHECKPOINT_RATIO_BOUND, (
+        "checkpoint write time grew x{:.2f} with constant new-trial count — "
+        "an O(history) component crept back in (bound {:.2f})".format(
+            checkpoint_ratio, CHECKPOINT_RATIO_BOUND))
+
+
+# -- vectorized forest scoring ---------------------------------------------------------
+
+def test_forest_scoring():
+    """Flattened-tree batch prediction beats the per-row oracle >= 5x."""
+    from repro.deeptune.forest import RandomForestRegressor
+
+    rng = np.random.default_rng(23)
+    train = rng.uniform(size=(400, 16))
+    targets = (train[:, 0] * 3.0 - train[:, 1] ** 2
+               + np.sin(train[:, 2] * 6.0) + rng.normal(scale=0.05, size=400))
+    forest = RandomForestRegressor(n_trees=20, max_depth=7,
+                                   min_samples_leaf=2, seed=23)
+    forest.fit(train, targets)
+    queries = rng.uniform(size=(FOREST_QUERY_ROWS, 16))
+    repeats = 3 if SMOKE else 5
+
+    def best_of(fn) -> float:
+        timings = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - started)
+        return min(timings)
+
+    batch = forest.predict(queries)
+    reference = forest.predict_reference(queries)
+    assert np.array_equal(batch, reference)  # bit-identical, not just close
+
+    batch_s = best_of(lambda: forest.predict(queries))
+    reference_s = best_of(lambda: forest.predict_reference(queries))
+    speedup = reference_s / max(batch_s, 1e-12)
+    _record_artifact("forest_scoring", {
+        "trees": 20,
+        "max_depth": 7,
+        "train_rows": 400,
+        "query_rows": FOREST_QUERY_ROWS,
+        "reference_ms": reference_s * 1e3,
+        "batch_ms": batch_s * 1e3,
+        "speedup": speedup,
+    })
+    print("\nforest scoring: reference {:.1f} ms, batch {:.1f} ms, x{:.1f}".format(
+        reference_s * 1e3, batch_s * 1e3, speedup))
+    assert speedup >= FOREST_SPEEDUP_FLOOR, (
+        "forest batch prediction speedup x{:.1f} below the x{:.1f} floor".format(
+            speedup, FOREST_SPEEDUP_FLOOR))

@@ -14,7 +14,13 @@ by more than the threshold (default 25%).  Guarded metrics:
 * ``batched_execution.virtual_speedup`` — 4-worker batch fleet vs the
   sequential loop on the virtual clock (higher is better, deterministic);
 * ``async_execution.virtual_speedup`` — async scheduling vs the batch
-  barrier on the virtual clock (higher is better, deterministic).
+  barrier on the virtual clock (higher is better, deterministic);
+* ``million_trial_store.flat_ratio`` — columnar-store ingest+checkpoint
+  flatness over a 10^5-trial session (lower is better);
+* ``million_trial_store.checkpoint_time_ratio`` — checkpoint write must be
+  O(new trials), not O(history) (lower is better);
+* ``forest_scoring.speedup`` — flattened-tree batch prediction vs the
+  per-row oracle (higher is better).
 
 Metrics missing from the previous artifact (e.g. sections introduced by a
 newer PR) are reported as "new" and skipped, so the guard never blocks the
@@ -36,6 +42,9 @@ GUARDED_METRICS: List[Tuple[str, str, str]] = [
     ("batch_encoding", "speedup", "higher"),
     ("batched_execution", "virtual_speedup", "higher"),
     ("async_execution", "virtual_speedup", "higher"),
+    ("million_trial_store", "flat_ratio", "lower"),
+    ("million_trial_store", "checkpoint_time_ratio", "lower"),
+    ("forest_scoring", "speedup", "higher"),
 ]
 
 

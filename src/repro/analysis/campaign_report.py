@@ -18,7 +18,6 @@ campaigns over experiment-scale spaces.
 
 from __future__ import annotations
 
-import json
 import os
 from statistics import mean
 from typing import Any, Dict, List, Optional, Tuple
@@ -66,11 +65,17 @@ class CampaignResults:
         return values
 
     def document(self, name: str) -> Dict[str, Any]:
-        """The stored history document of experiment *name* (cached)."""
+        """The stored history document of experiment *name* (cached).
+
+        Records live in the columnar sidecars since results format 2;
+        :func:`load_history_document` reads the manifest-referenced prefix
+        and attaches it, so report code keeps the inline-records shape.
+        """
         if name not in self._documents:
+            from repro.platform.results import load_history_document
+
             path = os.path.join(self.directory, name + ".json")
-            with open(path) as handle:
-                self._documents[name] = json.load(handle)
+            self._documents[name] = load_history_document(path)
         return self._documents[name]
 
 

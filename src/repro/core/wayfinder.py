@@ -363,6 +363,9 @@ class Wayfinder:
             session.checkpoint_every = every
         checkpointer = SessionCheckpointer(store, name or self.spec.name,
                                            self.spec, session)
+        superseded = getattr(session, "checkpointer", None)
+        if superseded is not None and hasattr(superseded, "close"):
+            superseded.close()
         session.checkpointer = checkpointer
         return checkpointer
 

@@ -120,7 +120,16 @@ class DeepTuneSearch(SearchAlgorithm):
 
     # -- search interface ---------------------------------------------------------------
     def _score_pool(self, history: ExplorationHistory):
-        """One model pass over a fresh candidate pool: (candidates, scores)."""
+        """One model pass over a fresh candidate pool: (candidates, scores).
+
+        This is the audited single-batched-predict contract of the scoring
+        tier: :meth:`propose` and :meth:`propose_batch` each call this
+        exactly once per iteration, and the pool is scored with exactly one
+        batched :meth:`DeepTuneModel.predict` over the encoded candidate
+        matrix — performance, uncertainty, and crash probability all come
+        out of that single forward pass, never from per-candidate model
+        calls (``tests/test_deeptune.py`` pins the call count).
+        """
         candidates = self._generate_candidates(history)
         matrix = self.encoder.encode_batch(candidates)
         prediction = self.model.predict(matrix)

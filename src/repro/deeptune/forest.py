@@ -8,9 +8,15 @@ from scratch: CART-style regression trees grown on bootstrap samples with
 random feature subsets per split, mean-decrease-in-impurity importances, and
 out-of-bag error estimation.
 
-The implementation favours clarity over raw speed; the forests fitted by the
-benchmarks (a few hundred samples, a few hundred encoded columns, shallow
-trees) train in well under a second.
+Fitting and prediction both run on flat arrays: ``_best_split`` scores every
+candidate threshold of a column with one vectorized pass over the cumulative
+sums, and fitted trees are flattened to parallel node arrays so ``predict``
+traverses all rows at once (iterative masked descent) instead of recursing
+per row.  Both hot paths keep their original scalar implementations —
+``_best_split_reference`` and ``predict_reference`` — as bit-exact oracles:
+the vectorized forms compute the same IEEE-754 float64 operations in the
+same order per element, so results are identical to the last bit, and the
+test suite pins that equivalence on randomized fixtures.
 """
 
 from __future__ import annotations
@@ -52,6 +58,13 @@ class RegressionTree:
         self._root: Optional[_TreeNode] = None
         self._n_features = 0
         self.feature_importances_: Optional[Array] = None
+        # flattened node arrays for vectorized prediction (built by fit):
+        # feature is -1 at leaves, left/right hold child node indices.
+        self._feature: Optional[Array] = None
+        self._threshold: Optional[Array] = None
+        self._left: Optional[Array] = None
+        self._right: Optional[Array] = None
+        self._value: Optional[Array] = None
 
     # -- fitting ---------------------------------------------------------------
     def fit(self, features: Array, targets: Array) -> "RegressionTree":
@@ -65,11 +78,64 @@ class RegressionTree:
         total = self.feature_importances_.sum()
         if total > 0:
             self.feature_importances_ /= total
+        self._flatten()
         return self
 
     def _best_split(self, features: Array, targets: Array,
                     columns: Array) -> Tuple[Optional[int], float, float]:
-        """Return (feature, threshold, impurity decrease) of the best split."""
+        """Return (feature, threshold, impurity decrease) of the best split.
+
+        Vectorized form of :meth:`_best_split_reference`: all candidate
+        thresholds of a column are scored in one array pass over the
+        cumulative sums.  Every elementwise operation is the same float64
+        arithmetic the scalar loop performs, and ``np.argmax``'s
+        first-occurrence semantics reproduce its strictly-greater ascending
+        scan, so the chosen split is bit-identical.
+        """
+        n = targets.shape[0]
+        parent_sse = float(np.sum((targets - targets.mean()) ** 2))
+        best = (None, 0.0, 0.0)
+        lo = max(self.min_samples_leaf, 1)
+        hi = min(n - self.min_samples_leaf, n - 1)
+        if hi < lo:
+            return best
+        splits = np.arange(lo, hi + 1)
+        for column in columns:
+            values = features[:, column]
+            order = np.argsort(values, kind="mergesort")
+            sorted_values = values[order]
+            sorted_targets = targets[order]
+            # Cumulative sums let every candidate threshold be scored in O(1).
+            cumulative = np.cumsum(sorted_targets)
+            cumulative_sq = np.cumsum(sorted_targets ** 2)
+            total = cumulative[-1]
+            total_sq = cumulative_sq[-1]
+            left_sum = cumulative[splits - 1]
+            left_sq = cumulative_sq[splits - 1]
+            right_sum = total - left_sum
+            right_sq = total_sq - left_sq
+            left_sse = left_sq - left_sum ** 2 / splits
+            right_sse = right_sq - right_sum ** 2 / (n - splits)
+            decrease = parent_sse - (left_sse + right_sse)
+            # splits between equal values are skipped; NaN scores map to
+            # -inf so they are never selected (NaN > best is False in the
+            # scalar scan).
+            usable = sorted_values[splits - 1] != sorted_values[splits]
+            usable &= ~np.isnan(decrease)
+            if not usable.any():
+                continue
+            decrease = np.where(usable, decrease, -np.inf)
+            position = int(np.argmax(decrease))
+            column_best = float(decrease[position])
+            if column_best > best[2]:
+                split = int(splits[position])
+                threshold = 0.5 * (sorted_values[split - 1] + sorted_values[split])
+                best = (int(column), float(threshold), column_best)
+        return best
+
+    def _best_split_reference(self, features: Array, targets: Array,
+                              columns: Array) -> Tuple[Optional[int], float, float]:
+        """Scalar oracle for :meth:`_best_split` (kept for the equivalence tests)."""
         n = targets.shape[0]
         parent_sse = float(np.sum((targets - targets.mean()) ** 2))
         best = (None, 0.0, 0.0)
@@ -78,7 +144,6 @@ class RegressionTree:
             order = np.argsort(values, kind="mergesort")
             sorted_values = values[order]
             sorted_targets = targets[order]
-            # Cumulative sums let every candidate threshold be scored in O(1).
             cumulative = np.cumsum(sorted_targets)
             cumulative_sq = np.cumsum(sorted_targets ** 2)
             total = cumulative[-1]
@@ -119,8 +184,63 @@ class RegressionTree:
         node.right = self._grow(features[~mask], targets[~mask], depth + 1)
         return node
 
+    def _flatten(self) -> None:
+        """Lay the fitted tree out as parallel node arrays (preorder)."""
+        feature: List[int] = []
+        threshold: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        value: List[float] = []
+        stack = [(self._root, -1, False)]
+        while stack:
+            node, parent, is_right = stack.pop()
+            index = len(feature)
+            feature.append(-1 if node.feature is None else node.feature)
+            threshold.append(node.threshold)
+            left.append(-1)
+            right.append(-1)
+            value.append(node.value)
+            if parent >= 0:
+                (right if is_right else left)[parent] = index
+            if node.feature is not None:
+                stack.append((node.right, index, True))
+                stack.append((node.left, index, False))
+        self._feature = np.asarray(feature, dtype=np.int64)
+        self._threshold = np.asarray(threshold, dtype=np.float64)
+        self._left = np.asarray(left, dtype=np.int64)
+        self._right = np.asarray(right, dtype=np.int64)
+        self._value = np.asarray(value, dtype=np.float64)
+
     # -- prediction ----------------------------------------------------------------
     def predict(self, features: Array) -> Array:
+        """Batch prediction via iterative vectorized traversal.
+
+        All rows descend the flattened node arrays together; rows parked at
+        leaves drop out of the active set each level.  The comparison per
+        level is the identical ``row[feature] <= threshold`` float64 test
+        the per-row oracle performs, so outputs are bit-identical to
+        :meth:`predict_reference`.
+        """
+        if self._root is None:
+            raise RuntimeError("predict called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        node = np.zeros(features.shape[0], dtype=np.int64)
+        while True:
+            split_feature = self._feature[node]
+            active = np.nonzero(split_feature >= 0)[0]
+            if active.size == 0:
+                break
+            current = node[active]
+            go_left = (features[active, split_feature[active]]
+                       <= self._threshold[current])
+            node[active] = np.where(go_left, self._left[current],
+                                    self._right[current])
+        return self._value[node]
+
+    def predict_reference(self, features: Array) -> Array:
+        """Per-row oracle for :meth:`predict` (kept for the equivalence tests)."""
         if self._root is None:
             raise RuntimeError("predict called before fit")
         features = np.asarray(features, dtype=np.float64)
@@ -200,6 +320,16 @@ class RandomForestRegressor:
         predictions = np.zeros(features.shape[0] if features.ndim == 2 else 1)
         for tree in self.trees:
             predictions = predictions + tree.predict(features)
+        return predictions / len(self.trees)
+
+    def predict_reference(self, features: Array) -> Array:
+        """Per-row oracle for :meth:`predict` (kept for the equivalence tests)."""
+        if not self.trees:
+            raise RuntimeError("predict called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        predictions = np.zeros(features.shape[0] if features.ndim == 2 else 1)
+        for tree in self.trees:
+            predictions = predictions + tree.predict_reference(features)
         return predictions / len(self.trees)
 
 

@@ -134,6 +134,11 @@ class ExplorationHistory:
     def records(self) -> List[TrialRecord]:
         return list(self._records)
 
+    def records_since(self, count: int) -> List[TrialRecord]:
+        """Records appended after the first *count* — the incremental tail
+        consumed by O(new trials) checkpoint persistence."""
+        return self._records[count:]
+
     # -- bookkeeping ------------------------------------------------------------------
     def explored_configurations(self) -> List[Configuration]:
         return [record.configuration for record in self._records]
@@ -195,13 +200,21 @@ class ExplorationHistory:
                 for r in self._records]
 
     def crash_rate_series(self, window: int = 25) -> List[Tuple[float, float]]:
-        """(finished_at_s, windowed crash rate) pairs over the session."""
+        """(finished_at_s, windowed crash rate) pairs over the session.
+
+        A rolling crash count replaces per-record ``flags[-window:]``
+        re-slicing (which made the series O(n·window)): the flag leaving the
+        window is subtracted as each new one arrives, so the whole series
+        costs O(n) and produces the identical float divisions.
+        """
         series: List[Tuple[float, float]] = []
-        flags: List[bool] = []
-        for record in self._records:
-            flags.append(record.crashed)
-            recent = flags[-window:]
-            series.append((record.finished_at_s, sum(recent) / float(len(recent))))
+        rolling = 0
+        for position, record in enumerate(self._records):
+            rolling += record.crashed
+            if position >= window:
+                rolling -= self._records[position - window].crashed
+            occupied = min(position + 1, window)
+            series.append((record.finished_at_s, rolling / float(occupied)))
         return series
 
     # -- machine-learning views --------------------------------------------------------------
@@ -212,20 +225,31 @@ class ExplorationHistory:
         Crashed trials have no objective; their ``y`` entry is NaN so callers
         can mask them out of the regression loss while keeping them for the
         crash-classification loss.
+
+        ``y`` and ``crashed`` are **read-only zero-copy views** of the
+        history's internal column buffers — no per-call copy, so the cost of
+        assembling training targets stays flat as the history grows.  The
+        views are stable: appends write past position ``n`` and buffer
+        growth reallocates rather than mutating in place.  Callers needing a
+        mutable array must copy explicitly.
         """
         n = len(self._records)
         configurations = [record.configuration for record in self._records]
         matrix = encoder.encode_batch(configurations)
         if normalize:
             matrix = encoder.normalize(matrix)
-        return matrix, self._objective_buffer[:n].copy(), self._crash_buffer[:n].copy()
+        objective = self._objective_buffer[:n]
+        crashed = self._crash_buffer[:n]
+        objective.flags.writeable = False
+        crashed.flags.writeable = False
+        return matrix, objective, crashed
 
     def summary(self) -> dict:
         """Aggregate statistics used by reports and tests."""
         best = self.best_record()
         return {
             "trials": len(self._records),
-            "crashes": len(self.crashed_records()),
+            "crashes": self._crash_count,
             "crash_rate": self.crash_rate(),
             "best_objective": None if best is None else best.objective,
             "best_index": None if best is None else best.index,

@@ -26,6 +26,7 @@ import pickle
 from typing import Dict, Iterable, List, Optional
 
 from repro.config.space import ConfigSpace
+from repro.platform import trialstore
 from repro.platform.history import ExplorationHistory, TrialRecord
 from repro.platform.metrics import (
     CompositeScoreMetric,
@@ -137,6 +138,18 @@ def atomic_write_text(path: str, text: str) -> str:
     return path
 
 
+def atomic_write_bytes(path: str, data: bytes) -> str:
+    """Binary sibling of :func:`atomic_write_text` (same staging protocol)."""
+    staging = "{}.{}.tmp".format(path, os.getpid())
+    with open(staging, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, path)
+    _fsync_directory(path)
+    return path
+
+
 def _pid_alive(pid: int) -> bool:
     try:
         os.kill(pid, 0)
@@ -173,9 +186,17 @@ def cleanup_stale_tmp_files(directory: str) -> List[str]:
 class ResultsStore:
     """Save and load exploration histories and checkpoints as JSON documents."""
 
-    FORMAT_VERSION = 1
-    CHECKPOINT_FORMAT_VERSION = 1
+    FORMAT_VERSION = 2
+    CHECKPOINT_FORMAT_VERSION = 2
     CHECKPOINT_SUFFIX = ".checkpoint.json"
+    #: columnar sidecars holding the trial rows a manifest references (see
+    #: :mod:`repro.platform.trialstore`): fixed-width numeric columns in
+    #: ``.trials.bin``, variable-width configuration payloads in
+    #: ``.trials.jsonl``.  Format version 2 manifests carry only metadata,
+    #: summaries, and a ``trials`` row count; version-1 documents with inline
+    #: records are still loadable.
+    TRIAL_COLUMNS_SUFFIX = ".trials.bin"
+    TRIAL_PAYLOADS_SUFFIX = ".trials.jsonl"
     #: rolling backup of the previous checkpoint: the fallback when the
     #: current one turns out torn/corrupted.
     CHECKPOINT_BACKUP_SUFFIX = CHECKPOINT_SUFFIX + ".prev"
@@ -200,16 +221,41 @@ class ResultsStore:
         """Filesystem path of the history stored under *name*."""
         return self._path(name)
 
+    def history_trial_paths(self, name: str) -> tuple:
+        """(columns, payloads) sidecar paths of the history under *name*."""
+        return (os.path.join(self.directory, name + self.TRIAL_COLUMNS_SUFFIX),
+                os.path.join(self.directory, name + self.TRIAL_PAYLOADS_SUFFIX))
+
+    def checkpoint_trial_paths(self, name: str) -> tuple:
+        """(columns, payloads) sidecar paths of the checkpoint under *name*."""
+        return (os.path.join(self.directory,
+                             name + ".checkpoint" + self.TRIAL_COLUMNS_SUFFIX),
+                os.path.join(self.directory,
+                             name + ".checkpoint" + self.TRIAL_PAYLOADS_SUFFIX))
+
     # -- writing ---------------------------------------------------------------
     def save_history(self, name: str, history: ExplorationHistory,
                      metadata: Optional[Dict[str, object]] = None) -> str:
-        """Persist *history* under *name*; returns the file path."""
+        """Persist *history* under *name*; returns the manifest file path.
+
+        Trial rows go to the columnar sidecars first, then the JSON manifest
+        referencing them is renamed into place — the manifest is the
+        authority on the live row count, so a crash between the two writes
+        leaves the previous manifest pointing at a still-valid prefix.
+        """
+        columns_path, payloads_path = self.history_trial_paths(name)
+        records = history.records_since(0)
+        columns, payloads = trialstore.serialize_records(records)
+        atomic_write_bytes(columns_path, trialstore.make_header() + columns)
+        atomic_write_bytes(payloads_path, payloads)
         document = {
             "format_version": self.FORMAT_VERSION,
             "metric": history.metric.name,
             "metadata": dict(metadata or {}),
             "summary": history.summary(),
-            "records": [record_to_dict(record) for record in history],
+            "trials": len(records),
+            "trial_columns": os.path.basename(columns_path),
+            "trial_payloads": os.path.basename(payloads_path),
         }
         text = json.dumps(document, indent=2) + "\n"
         return atomic_write_text(self._path(name), text)
@@ -226,12 +272,7 @@ class ResultsStore:
     def load_history(self, name: str, space: ConfigSpace,
                      metric: Optional[Metric] = None) -> ExplorationHistory:
         """Load the history stored under *name*, bound to *space*."""
-        path = self._path(name)
-        with open(path) as handle:
-            document = json.load(handle)
-        if document.get("format_version") != self.FORMAT_VERSION:
-            raise ValueError("unsupported results format version: {!r}".format(
-                document.get("format_version")))
+        document = load_history_document(self._path(name))
         if metric is None:
             metric_cls = _METRIC_CLASSES.get(document.get("metric", "throughput"),
                                              ThroughputMetric)
@@ -340,8 +381,7 @@ class ResultsStore:
         default only the measurement columns are exported, which keeps the
         file small for spaces with hundreds of parameters.
         """
-        with open(self._path(name)) as handle:
-            document = json.load(handle)
+        document = load_history_document(self._path(name))
         parameter_names = list(parameters or [])
         fieldnames = ["index", "objective", "crashed", "failure_stage",
                       "metric_value", "memory_mb", "duration_s", "started_at_s",
@@ -358,6 +398,44 @@ class ResultsStore:
         return path
 
 
+def _sidecar_paths(manifest_path: str, document: Dict[str, object]) -> tuple:
+    """Resolve a manifest's sidecar references next to the manifest itself.
+
+    Manifests carry sidecar *basenames*, so a results directory (or an
+    archived copy of a manifest inside it) stays relocatable as a unit.
+    """
+    columns = document.get("trial_columns")
+    payloads = document.get("trial_payloads")
+    if not columns or not payloads:
+        raise ValueError(
+            "{} does not reference its trial sidecar files".format(manifest_path))
+    directory = os.path.dirname(os.path.abspath(manifest_path))
+    return os.path.join(directory, str(columns)), os.path.join(directory,
+                                                               str(payloads))
+
+
+def load_history_document(path: str) -> Dict[str, object]:
+    """Load a stored history manifest with its records attached.
+
+    Version-2 manifests hold no inline records; this reads the referenced
+    prefix of the columnar sidecars and attaches it under ``"records"`` —
+    shaped exactly like the version-1 inline documents — so analysis code
+    keeps a single document shape.  Corrupt or short sidecars raise
+    ``ValueError`` just like a corrupt manifest would.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    version = document.get("format_version")
+    if version == 1:
+        return document
+    if version != ResultsStore.FORMAT_VERSION:
+        raise ValueError("unsupported results format version: {!r}".format(version))
+    columns_path, payloads_path = _sidecar_paths(path, document)
+    document["records"] = trialstore.read_record_dicts(
+        columns_path, payloads_path, int(document.get("trials", 0)))
+    return document
+
+
 class SessionCheckpointer:
     """Serializes a search session's full state through a :class:`ResultsStore`.
 
@@ -367,6 +445,16 @@ class SessionCheckpointer:
     final state.  The checkpoint embeds the experiment spec, so
     :meth:`Wayfinder.resume` can rebuild the entire experiment from the file
     alone.
+
+    Trial rows live in the columnar sidecars and are persisted
+    *incrementally*: each save appends (and fsyncs) only the records added
+    since the previous save, then rewrites the small JSON manifest — so
+    checkpoint cost is O(new trials since the last checkpoint), not
+    O(history).  The checkpointer remembers how many rows the manifest it
+    inherited referenced and truncates any sidecar tail beyond it on first
+    use, which both sweeps stale leftovers on fresh runs and drops
+    now-unreferenced rows when resuming from a rolled-back ``.prev``
+    manifest.
     """
 
     def __init__(self, store: ResultsStore, name: str, spec, session) -> None:
@@ -374,9 +462,28 @@ class SessionCheckpointer:
         self.name = name
         self.spec = spec
         self.session = session
+        #: rows the current manifest (if any) references: the session history
+        #: is pre-populated by ``restore_search_session`` before
+        #: checkpointing is enabled, and empty on fresh runs.
+        self._persisted = len(session.history)
+        self._writer: Optional[trialstore.TrialStoreWriter] = None
+
+    def _trial_writer(self) -> trialstore.TrialStoreWriter:
+        if self._writer is None:
+            columns_path, payloads_path = self.store.checkpoint_trial_paths(
+                self.name)
+            writer = trialstore.TrialStoreWriter(columns_path, payloads_path)
+            writer.rewind(min(self._persisted, writer.count))
+            # with fewer durable rows than restored records (recovered from
+            # an older backup manifest), the gap is simply re-appended below:
+            # resume is bit-exact, so the rows are identical anyway.
+            self._persisted = writer.count
+            self._writer = writer
+        return self._writer
 
     def build_document(self) -> Dict[str, object]:
         session = self.session
+        columns_path, payloads_path = self.store.checkpoint_trial_paths(self.name)
         state = {
             "algorithm": session.algorithm.export_state(),
             "backend": session.backend.export_state(),
@@ -390,23 +497,46 @@ class SessionCheckpointer:
             "checkpoint_every": session.checkpoint_every,
             "metric": session.history.metric.name,
             "summary": session.history.summary(),
-            "records": [record_to_dict(record) for record in session.history],
+            "trials": len(session.history),
+            "trial_columns": os.path.basename(columns_path),
+            "trial_payloads": os.path.basename(payloads_path),
             "state": encode_state(state),
         }
 
     def save(self) -> str:
+        writer = self._trial_writer()
+        writer.extend(self.session.history.records_since(self._persisted))
+        self._persisted = writer.flush()
         return self.store.save_checkpoint(self.name, self.build_document())
+
+    def close(self) -> None:
+        """Release the sidecar file handles (superseded checkpointers)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
 
 def load_checkpoint_file(path: str) -> Dict[str, object]:
-    """Load and validate a checkpoint document from *path*."""
+    """Load and validate a checkpoint document from *path*.
+
+    For sidecar-backed checkpoints the referenced trial-row prefix is read
+    and attached under ``"records"`` (the version-1 inline shape), so
+    corruption anywhere — manifest *or* sidecars — surfaces as the
+    ``ValueError`` the store's ``.prev`` fallback machinery expects.
+    """
     with open(path) as handle:
         document = json.load(handle)
     if document.get("kind") != "checkpoint":
         raise ValueError("{} is not a session checkpoint".format(path))
-    if document.get("format_version") != ResultsStore.CHECKPOINT_FORMAT_VERSION:
+    version = document.get("format_version")
+    if version == 1:
+        return document
+    if version != ResultsStore.CHECKPOINT_FORMAT_VERSION:
         raise ValueError("unsupported checkpoint format version: {!r}".format(
-            document.get("format_version")))
+            version))
+    columns_path, payloads_path = _sidecar_paths(path, document)
+    document["records"] = trialstore.read_record_dicts(
+        columns_path, payloads_path, int(document.get("trials", 0)))
     return document
 
 

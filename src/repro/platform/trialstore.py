@@ -1,0 +1,346 @@
+"""Append-only columnar storage for trial records.
+
+JSON-per-record storage is fine at 10² trials and hopeless at the 10⁵–10⁶ a
+large campaign grid produces: every checkpoint re-serializes the whole
+history, so checkpoint cost grows O(history) and the Figure 7/8 flat-cost
+invariant dies in the results layer.  This module stores the fixed-width
+numeric measurements of every trial (objective, crash flags, timestamps,
+worker attribution) as rows of one packed numpy structured dtype in an
+append-only binary file, with a compact JSON-lines sidecar holding the
+variable-width payload (configuration values, failure reason).  Each row
+carries the byte offset and length of its sidecar line, so both files
+support random access and prefix truncation.
+
+Two properties carry the crash-safety story:
+
+* **Prefix validity** — both files are append-only, so every prefix written
+  by a completed flush stays valid forever.  The JSON manifest (checkpoint
+  or history document) is the authority on how many rows are live; a torn
+  append past the manifest's count is invisible, and the rolling ``.prev``
+  manifest fallback of :class:`~repro.platform.results.ResultsStore` keeps
+  working unchanged because an older manifest simply references a shorter
+  prefix of the same files.
+* **Deterministic bytes** — a trial's row and sidecar line are pure
+  functions of the record, and the platform's bit-exact resume invariant
+  means every worker (re)computes identical records.  A presumed-dead
+  writer waking up therefore re-writes the same bytes at the same offsets
+  it would have written anyway, never diverging content.
+
+Readers get zero-copy access: :func:`open_columns` maps the binary file
+read-only with :func:`numpy.memmap`, and field access on the returned
+structured array (``columns["objective"]``) is a view into the mapping, so
+training-scale reads never materialize per-record Python objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.space import ConfigSpace
+from repro.platform.history import TrialRecord
+from repro.vm.failures import FailureStage
+
+#: file magic + on-disk layout version of the columns file header.
+MAGIC = b"REPROTRL"
+LAYOUT_VERSION = 1
+HEADER_SIZE = 16  # magic (8) + version (u4) + itemsize (u4)
+
+#: failure stages by on-disk code (the enum's declaration order).
+FAILURE_STAGES = tuple(stage for stage in FailureStage)
+_STAGE_CODES = {stage: code for code, stage in enumerate(FAILURE_STAGES)}
+
+#: one trial = one packed row.  Optional floats (objective, metric value,
+#: memory) store NaN when absent, with an explicit presence flag so a
+#: genuine NaN measurement and "no measurement" stay distinguishable.
+TRIAL_DTYPE = np.dtype([
+    ("index", "<i8"),
+    ("objective", "<f8"),
+    ("metric_value", "<f8"),
+    ("memory_mb", "<f8"),
+    ("duration_s", "<f8"),
+    ("started_at_s", "<f8"),
+    ("payload_offset", "<i8"),
+    ("payload_length", "<i8"),
+    ("worker", "<i4"),
+    ("has_objective", "u1"),
+    ("has_metric_value", "u1"),
+    ("has_memory_mb", "u1"),
+    ("crashed", "u1"),
+    ("failure_stage", "u1"),
+    ("build_skipped", "u1"),
+])
+
+
+def make_header() -> bytes:
+    return MAGIC + struct.pack("<II", LAYOUT_VERSION, TRIAL_DTYPE.itemsize)
+
+
+def check_header(header: bytes, path: str) -> None:
+    """Validate a columns-file header; raises ``ValueError`` on mismatch."""
+    if len(header) < HEADER_SIZE or header[:8] != MAGIC:
+        raise ValueError("{} is not a columnar trial file".format(path))
+    version, itemsize = struct.unpack("<II", header[8:HEADER_SIZE])
+    if version != LAYOUT_VERSION or itemsize != TRIAL_DTYPE.itemsize:
+        raise ValueError(
+            "unsupported trial column layout in {} (version {}, itemsize {})".format(
+                path, version, itemsize))
+
+
+def encode_payload(record: TrialRecord) -> bytes:
+    """The sidecar line of one record: configuration values + failure reason."""
+    payload = {"configuration": record.configuration.as_dict(),
+               "failure_reason": record.failure_reason}
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def encode_row(record: TrialRecord, payload_offset: int,
+               payload_length: int) -> tuple:
+    """The fixed-width row of one record, as a ``TRIAL_DTYPE`` value tuple."""
+    return (
+        record.index,
+        float("nan") if record.objective is None else float(record.objective),
+        float("nan") if record.metric_value is None else float(record.metric_value),
+        float("nan") if record.memory_mb is None else float(record.memory_mb),
+        float(record.duration_s),
+        float(record.started_at_s),
+        payload_offset,
+        payload_length,
+        int(record.worker),
+        record.objective is not None,
+        record.metric_value is not None,
+        record.memory_mb is not None,
+        bool(record.crashed),
+        _STAGE_CODES[record.failure_stage],
+        bool(record.build_skipped),
+    )
+
+
+def serialize_records(records: Sequence[TrialRecord],
+                      payload_offset: int = 0) -> Tuple[bytes, bytes]:
+    """Encode *records* as (columns bytes, payload bytes), header excluded.
+
+    *payload_offset* is the sidecar position the first payload line will be
+    written at; stored offsets are absolute so rows stay valid however the
+    bytes are appended.
+    """
+    rows = np.empty(len(records), dtype=TRIAL_DTYPE)
+    payloads: List[bytes] = []
+    offset = payload_offset
+    for position, record in enumerate(records):
+        line = encode_payload(record)
+        rows[position] = encode_row(record, offset, len(line))
+        payloads.append(line)
+        offset += len(line)
+    return rows.tobytes(), b"".join(payloads)
+
+
+def row_to_dict(row, payload: Dict[str, object]) -> Dict[str, object]:
+    """One stored row as a plain dict, shaped exactly like ``record_to_dict``.
+
+    Values are native Python scalars (never numpy types), so the result is
+    JSON-clean and bit-identical to what the record originally serialized to.
+    """
+    return {
+        "index": int(row["index"]),
+        "configuration": payload["configuration"],
+        "objective": float(row["objective"]) if row["has_objective"] else None,
+        "crashed": bool(row["crashed"]),
+        "failure_stage": FAILURE_STAGES[int(row["failure_stage"])].value,
+        "failure_reason": str(payload.get("failure_reason", "")),
+        "metric_value": (float(row["metric_value"])
+                         if row["has_metric_value"] else None),
+        "memory_mb": float(row["memory_mb"]) if row["has_memory_mb"] else None,
+        "duration_s": float(row["duration_s"]),
+        "started_at_s": float(row["started_at_s"]),
+        "build_skipped": bool(row["build_skipped"]),
+        "worker": int(row["worker"]),
+    }
+
+
+def open_columns(path: str, count: int) -> np.ndarray:
+    """Map the first *count* rows of a columns file read-only (zero copy).
+
+    Raises ``ValueError`` when the header is invalid or the file is shorter
+    than *count* rows — i.e. corruption surfaces exactly where the results
+    store's fallback machinery expects it.
+    """
+    with open(path, "rb") as handle:
+        check_header(handle.read(HEADER_SIZE), path)
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+    if size < HEADER_SIZE + count * TRIAL_DTYPE.itemsize:
+        raise ValueError("{} holds fewer than {} trial rows".format(path, count))
+    if count == 0:
+        return np.empty(0, dtype=TRIAL_DTYPE)
+    columns = np.memmap(path, dtype=TRIAL_DTYPE, mode="r",
+                        offset=HEADER_SIZE, shape=(count,))
+    return columns
+
+
+def read_payloads(path: str, columns: np.ndarray) -> List[Dict[str, object]]:
+    """Decode the sidecar lines referenced by *columns* (one dict per row)."""
+    if len(columns) == 0:
+        return []
+    end = int(columns["payload_offset"][-1] + columns["payload_length"][-1])
+    with open(path, "rb") as handle:
+        blob = handle.read(end)
+    if len(blob) < end:
+        raise ValueError("{} is shorter than its trial rows reference".format(path))
+    payloads = []
+    for offset, length in zip(columns["payload_offset"], columns["payload_length"]):
+        payloads.append(json.loads(blob[int(offset):int(offset + length)]))
+    return payloads
+
+
+def read_record_dicts(columns_path: str, payloads_path: str,
+                      count: int) -> List[Dict[str, object]]:
+    """Load the first *count* trials as ``record_to_dict``-shaped dicts."""
+    columns = open_columns(columns_path, count)
+    payloads = read_payloads(payloads_path, columns)
+    return [row_to_dict(row, payload) for row, payload in zip(columns, payloads)]
+
+
+class TrialStoreWriter:
+    """Incremental append-only writer over one columns file + sidecar.
+
+    The writer is positioned by :meth:`rewind` — ``rewind(n)`` truncates
+    both files to exactly *n* durable rows (dropping any tail a superseded
+    checkpoint manifest no longer references) — after which :meth:`append`
+    buffers rows and :meth:`flush` writes and fsyncs them.  Call sequence
+    per checkpoint: ``append`` the records added since the last save, then
+    ``flush``, then write the manifest carrying the new row count; a crash
+    at any instant leaves the manifest pointing at a fully durable prefix.
+    """
+
+    def __init__(self, columns_path: str, payloads_path: str) -> None:
+        self.columns_path = columns_path
+        self.payloads_path = payloads_path
+        created = not os.path.exists(columns_path)
+        self._columns = open(columns_path, "a+b")
+        self._payloads = open(payloads_path, "a+b")
+        self._columns.seek(0, os.SEEK_END)
+        size = self._columns.tell()
+        if size < HEADER_SIZE:
+            self._columns.truncate(0)
+            self._columns.write(make_header())
+            self._columns.flush()
+            size = HEADER_SIZE
+        else:
+            self._columns.seek(0)
+            check_header(self._columns.read(HEADER_SIZE), columns_path)
+        if created:
+            _fsync_directory(columns_path)
+        # a torn append leaves complete rows then a partial one; the floor
+        # division drops the partial tail, and every complete row is durable
+        # because payloads flush before their columns do.
+        self.count = (size - HEADER_SIZE) // TRIAL_DTYPE.itemsize
+        self._payload_offset = self._payload_end(self.count)
+        self._pending: List[TrialRecord] = []
+        # drop torn tails now: the files are opened in append mode, so every
+        # write lands at EOF — EOF must therefore sit exactly after the last
+        # complete row / its last referenced payload byte.
+        self._columns.truncate(HEADER_SIZE + self.count * TRIAL_DTYPE.itemsize)
+        self._payloads.truncate(self._payload_offset)
+
+    def _payload_end(self, count: int) -> int:
+        if count == 0:
+            return 0
+        columns = open_columns(self.columns_path, count)
+        last = columns[count - 1]
+        return int(last["payload_offset"] + last["payload_length"])
+
+    def rewind(self, count: int) -> None:
+        """Truncate both files to exactly *count* rows and position after them."""
+        if self._pending:
+            raise RuntimeError("cannot rewind with unflushed rows pending")
+        if count > self.count:
+            raise ValueError(
+                "cannot rewind to {} rows: only {} are on disk".format(
+                    count, self.count))
+        payload_end = self._payload_end(count)
+        self._columns.truncate(HEADER_SIZE + count * TRIAL_DTYPE.itemsize)
+        self._payloads.truncate(payload_end)
+        self._columns.seek(0, os.SEEK_END)
+        self._payloads.seek(0, os.SEEK_END)
+        self.count = count
+        self._payload_offset = payload_end
+
+    def append(self, record: TrialRecord) -> None:
+        """Buffer one record for the next :meth:`flush`."""
+        self._pending.append(record)
+
+    def extend(self, records: Sequence[TrialRecord]) -> None:
+        self._pending.extend(records)
+
+    def flush(self) -> int:
+        """Write and fsync all buffered rows; returns the durable row count."""
+        if self._pending:
+            columns, payloads = serialize_records(self._pending,
+                                                  self._payload_offset)
+            self._payloads.write(payloads)
+            self._payloads.flush()
+            os.fsync(self._payloads.fileno())
+            self._columns.write(columns)
+            self._columns.flush()
+            os.fsync(self._columns.fileno())
+            self.count += len(self._pending)
+            self._payload_offset += len(payloads)
+            self._pending = []
+        return self.count
+
+    def close(self) -> None:
+        self._columns.close()
+        self._payloads.close()
+
+    def __enter__(self) -> "TrialStoreWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def record_dicts_to_records(entries: Sequence[Dict[str, object]],
+                            space: ConfigSpace) -> List[TrialRecord]:
+    """Rebuild :class:`TrialRecord` objects against *space* (values coerced)."""
+    # local import: results.py already imports this module's readers.
+    from repro.platform.results import record_from_dict
+
+    return [record_from_dict(entry, space) for entry in entries]
+
+
+def _fsync_directory(path: str) -> None:
+    try:
+        fd = os.open(os.path.dirname(os.path.abspath(path)) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def training_views(columns: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Zero-copy (objective, crashed) training views over mapped columns.
+
+    ``objective`` is float64 with NaN for trials that have none (crashes),
+    ``crashed`` a boolean view — the same contract as
+    :meth:`ExplorationHistory.training_arrays`, served straight from the
+    mapping without materializing records.
+    """
+    objective = columns["objective"]
+    crashed = columns["crashed"].view(np.bool_)
+    return objective, crashed
+
+
+def payload_files_for(columns_path: str) -> Optional[str]:
+    """The conventional sidecar path for *columns_path* (``.bin`` → ``.jsonl``)."""
+    if columns_path.endswith(".bin"):
+        return columns_path[:-len(".bin")] + ".jsonl"
+    return None

@@ -19,6 +19,9 @@ def artifact(**overrides):
         "batch_encoding": {"speedup": 4.0},
         "batched_execution": {"virtual_speedup": 3.0},
         "async_execution": {"virtual_speedup": 1.5},
+        "million_trial_store": {"flat_ratio": 1.1,
+                                "checkpoint_time_ratio": 1.1},
+        "forest_scoring": {"speedup": 6.0},
     }
     for section, patch in overrides.items():
         document.setdefault(section, {}).update(patch)

@@ -122,6 +122,9 @@ class TestResumeDeterminism:
 
 class TestCheckpointStore:
     def test_checkpoint_document_shape(self, tmp_path):
+        import json
+        import os
+
         spec = _spec("random", 2, 5)
         _, archived = _full_run_with_checkpoints(spec, tmp_path)
         document = load_checkpoint_file(archived[-1][1])
@@ -130,6 +133,14 @@ class TestCheckpointStore:
         assert len(document["records"]) == 5
         assert document["summary"]["trials"] == 5
         assert isinstance(document["state"], str)
+        # the on-disk manifest holds only metadata + a row count: records
+        # live in the columnar sidecars and are attached by the loader
+        with open(archived[-1][1]) as handle:
+            on_disk = json.load(handle)
+        assert "records" not in on_disk
+        assert on_disk["trials"] == 5
+        for sidecar in (on_disk["trial_columns"], on_disk["trial_payloads"]):
+            assert os.path.exists(os.path.join(str(tmp_path), sidecar))
 
     def test_store_lists_checkpoints_separately(self, tmp_path):
         spec = _spec("random", 1, 4)

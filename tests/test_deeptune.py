@@ -212,6 +212,44 @@ class TestDeepTuneSearch:
             small_linux_model.space.default_configuration())
         assert 0.0 <= probability <= 1.0
 
+    def test_single_batched_predict_per_proposal(self, small_linux_model):
+        """The scoring-tier audit: each model-guided proposal makes exactly
+        one batched ``DeepTuneModel.predict`` call over the candidate pool —
+        never per-candidate calls."""
+        from repro.platform.history import ExplorationHistory
+        from repro.platform.metrics import ThroughputMetric
+
+        search = DeepTuneSearch(
+            small_linux_model.space, seed=8,
+            favored_kinds=[ParameterKind.RUNTIME], warmup_iterations=1,
+            candidate_pool_size=32, training_steps_per_iteration=2)
+        history = ExplorationHistory(ThroughputMetric())
+        rng = __import__("random").Random(4)
+        for index in range(4):
+            configuration = small_linux_model.space.sample_configuration(rng)
+            from tests.test_platform import make_record
+
+            record = make_record(configuration, index,
+                                 objective=100.0 + index,
+                                 crashed=index == 2, started=index * 150.0)
+            history.add(record)
+            search.observe(record)
+
+        calls = []
+        original_predict = search.model.predict
+
+        def counting_predict(matrix):
+            calls.append(np.asarray(matrix).shape[0])
+            return original_predict(matrix)
+
+        search.model.predict = counting_predict
+        search.propose(history)
+        assert len(calls) == 1
+        assert calls[0] >= 32  # the whole pool in one batch
+        calls.clear()
+        search.propose_batch(history, 4)
+        assert len(calls) == 1
+
 
 class TestTransfer:
     def test_transfer_copies_weights_not_buffer(self):

@@ -86,6 +86,86 @@ class TestRandomForest:
             RandomForestRegressor().predict(np.ones((1, 2)))
 
 
+class TestVectorizedEquivalence:
+    """The vectorized hot paths must be bit-identical to their scalar oracles.
+
+    ``_best_split`` and ``predict`` were vectorized for the million-trial
+    scoring tier with the original implementations retained as references;
+    these fixtures sweep randomized shapes, constant targets, and
+    duplicate-value columns (the tie-breaking traps) and require exact
+    float64 equality — not approx — because a checkpoint-resumed run must
+    reproduce the uninterrupted one bit for bit.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_best_split_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 60))
+        d = int(rng.integers(2, 9))
+        X = rng.random((n, d))
+        # duplicate-heavy columns: quantized values force equal-value skips
+        X[:, 0] = np.round(X[:, 0] * 3) / 3.0
+        if d > 2:
+            X[:, 1] = X[:, 1] > 0.5
+        y = rng.normal(0, 1, n)
+        tree = RegressionTree(min_samples_leaf=int(rng.integers(1, 4)))
+        columns = np.arange(d)
+        assert (tree._best_split(X, y, columns)
+                == tree._best_split_reference(X, y, columns))
+
+    def test_best_split_constant_target_and_degenerate_shapes(self):
+        rng = np.random.default_rng(9)
+        X = rng.random((20, 3))
+        constant = np.full(20, 2.5)
+        tree = RegressionTree(min_samples_leaf=2)
+        columns = np.arange(3)
+        assert (tree._best_split(X, constant, columns)
+                == tree._best_split_reference(X, constant, columns))
+        # too few samples for any valid split point
+        tiny = rng.random((3, 3))
+        tiny_targets = rng.normal(0, 1, 3)
+        tree_big_leaf = RegressionTree(min_samples_leaf=5)
+        assert (tree_big_leaf._best_split(tiny, tiny_targets, columns)
+                == (None, 0.0, 0.0))
+        # a single-valued column can never split
+        flat = np.ones((10, 1))
+        flat_targets = rng.normal(0, 1, 10)
+        assert (tree._best_split(flat, flat_targets, np.array([0]))
+                == tree._best_split_reference(flat, flat_targets,
+                                              np.array([0])))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tree_predict_matches_reference(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(20, 120))
+        d = int(rng.integers(2, 7))
+        X = rng.random((n, d))
+        X[:, -1] = np.round(X[:, -1] * 4) / 4.0
+        y = 5.0 * X[:, 0] + rng.normal(0, 0.5, n)
+        tree = RegressionTree(max_depth=int(rng.integers(2, 7)),
+                              min_samples_leaf=int(rng.integers(1, 4)),
+                              rng=rng).fit(X, y)
+        queries = rng.random((64, d))
+        exact = tree.predict_reference(queries)
+        assert np.array_equal(tree.predict(queries), exact)
+        # single-row and 1-D query shapes agree too
+        assert np.array_equal(tree.predict(queries[0]),
+                              tree.predict_reference(queries[0]))
+
+    def test_tree_predict_constant_target(self):
+        X = np.random.default_rng(3).random((30, 4))
+        tree = RegressionTree().fit(X, np.full(30, 7.0))
+        assert np.array_equal(tree.predict(X), tree.predict_reference(X))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_forest_predict_matches_reference(self, seed):
+        X, y = make_dataset(n=150, seed=seed)
+        forest = RandomForestRegressor(n_trees=12, seed=seed).fit(X, y)
+        queries = np.random.default_rng(seed + 50).random((80, X.shape[1]))
+        assert np.array_equal(forest.predict(queries),
+                              forest.predict_reference(queries))
+
+
 class TestForestParameterImportance:
     def test_matches_known_sensitive_parameter(self, small_space, rng):
         encoder = ConfigEncoder(small_space)

@@ -108,11 +108,19 @@ class TestHistoryIncrementalIndexes:
             else:
                 assert objectives[row] == record.objective
                 assert not crashed[row]
-        # Returned buffers are copies: mutating them must not corrupt history.
-        objectives[:] = -1.0
-        crashed[:] = True
+        # Returned buffers are read-only zero-copy views: mutation raises
+        # instead of corrupting (or silently copying) history state.
+        with pytest.raises(ValueError):
+            objectives[:] = -1.0
+        with pytest.raises(ValueError):
+            crashed[:] = True
+        # the views stay valid and correct across later appends (growth
+        # reallocates the buffers rather than mutating them in place)
+        history.add(make_record(100, space.sample_configuration(rng),
+                                objective=1.0, crashed=False, clock=clock))
         _, objectives2, crashed2 = history.training_arrays(encoder)
-        assert not np.array_equal(objectives2, objectives)
+        assert len(objectives2) == len(objectives) + 1
+        assert np.array_equal(objectives2[:100], objectives, equal_nan=True)
         assert crashed2.sum() == sum(1 for r in history if r.crashed)
 
     def test_membership_honours_eq_across_value_representations(self):

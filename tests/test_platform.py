@@ -133,6 +133,32 @@ class TestExplorationHistory:
         best_series = history.best_so_far_series()
         assert best_series[-1][1] >= best_series[0][1]
 
+    def test_crash_rate_series_matches_quadratic_reference(self, small_space):
+        """The rolling-sum series is pinned float-for-float to the original
+        ``flags[-window:]`` re-slicing implementation it replaced."""
+        import random
+
+        def reference_series(history, window):
+            series, flags = [], []
+            for record in history:
+                flags.append(record.crashed)
+                recent = flags[-window:]
+                series.append((record.finished_at_s,
+                               sum(recent) / float(len(recent))))
+            return series
+
+        rng = random.Random(17)
+        history = ExplorationHistory(ThroughputMetric())
+        default = small_space.default_configuration()
+        for index in range(120):
+            history.add(make_record(
+                default.with_values({"vm.swappiness": index % 60}), index,
+                objective=float(index), crashed=rng.random() < 0.3,
+                started=index * 150.0))
+        for window in (1, 3, 25, 119, 120, 500):
+            assert history.crash_rate_series(window=window) \
+                == reference_series(history, window)
+
     def test_training_arrays(self, small_space):
         from repro.config.encoding import ConfigEncoder
         history = ExplorationHistory(ThroughputMetric())
@@ -144,6 +170,11 @@ class TestExplorationHistory:
         assert X.shape == (2, encoder.width)
         assert y[0] == 100.0
         assert crashed.tolist() == [False, True]
+        # the returned views are read-only (zero-copy contract)
+        with pytest.raises(ValueError):
+            y[0] = -1.0
+        with pytest.raises(ValueError):
+            crashed[0] = True
 
     def test_summary_and_contains(self, small_space):
         history = ExplorationHistory(ThroughputMetric())

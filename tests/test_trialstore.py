@@ -1,0 +1,277 @@
+"""Property-style tests for the append-only columnar trial store.
+
+The store is the durability layer under checkpoints and saved histories, so
+the bar is bit-exactness: every ``TrialRecord`` field — including NaN
+objectives on crashed trials, worker attribution, timestamps, and unicode
+failure reasons — must survive append → flush → reopen → mmap read
+unchanged, and torn writes must recover through the results store's
+``.prev``/``.corrupt`` manifest fallback with the sidecars' valid prefix.
+"""
+
+import json
+import math
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.config.space import Configuration
+from repro.platform import trialstore
+from repro.platform.history import TrialRecord
+from repro.platform.results import ResultsStore, record_to_dict
+from repro.platform.trialstore import (
+    HEADER_SIZE,
+    TRIAL_DTYPE,
+    TrialStoreWriter,
+    open_columns,
+    read_record_dicts,
+)
+from repro.vm.failures import FailureStage
+
+from tests.conftest import SMALL_SPACE_OPTIONS
+
+
+def random_record(space, rng, index):
+    """A randomized record exercising every field shape the store must hold."""
+    crashed = rng.random() < 0.3
+    stage = rng.choice([FailureStage.BUILD, FailureStage.BOOT, FailureStage.RUN]) \
+        if crashed else FailureStage.NONE
+    objective = None if crashed else rng.uniform(-1e6, 1e6)
+    # a genuine NaN measurement must stay distinguishable from "no value"
+    if not crashed and rng.random() < 0.1:
+        objective = float("nan")
+    return TrialRecord(
+        index=index,
+        configuration=space.sample_configuration(rng),
+        objective=objective,
+        crashed=crashed,
+        failure_stage=stage,
+        failure_reason="boom ☃ {}".format(index) if crashed else "",
+        metric_value=None if crashed else rng.uniform(0, 1e4),
+        memory_mb=None if rng.random() < 0.2 else rng.uniform(10, 4000),
+        duration_s=rng.uniform(0, 1e4),
+        started_at_s=rng.uniform(0, 1e7),
+        build_skipped=rng.random() < 0.5,
+        worker=rng.randrange(0, 16),
+    )
+
+
+class TestRoundTrip:
+    def test_records_survive_bit_exactly(self, tmp_path, small_space):
+        rng = random.Random(7)
+        records = [random_record(small_space, rng, i) for i in range(60)]
+        columns_path = str(tmp_path / "t.trials.bin")
+        payloads_path = str(tmp_path / "t.trials.jsonl")
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            writer.extend(records)
+            assert writer.flush() == 60
+        loaded = read_record_dicts(columns_path, payloads_path, 60)
+        # canonical JSON comparison: NaN objectives are equal as serialized
+        # bytes where float equality would reject NaN == NaN
+        assert json.dumps(loaded, sort_keys=True) \
+            == json.dumps([record_to_dict(r) for r in records], sort_keys=True)
+        # the dict shapes rebuild into records with identical field values
+        rebuilt = trialstore.record_dicts_to_records(loaded, small_space)
+        for original, copy in zip(records, rebuilt):
+            assert copy.configuration == original.configuration
+            assert copy.crashed == original.crashed
+            assert copy.worker == original.worker
+            assert copy.failure_stage is original.failure_stage
+            assert copy.started_at_s == original.started_at_s
+            if original.objective is None:
+                assert copy.objective is None
+            elif math.isnan(original.objective):
+                assert math.isnan(copy.objective)
+            else:
+                assert copy.objective == original.objective
+
+    def test_mmap_read_is_zero_copy(self, tmp_path, small_space):
+        rng = random.Random(3)
+        records = [random_record(small_space, rng, i) for i in range(20)]
+        columns_path = str(tmp_path / "z.trials.bin")
+        with TrialStoreWriter(columns_path, str(tmp_path / "z.trials.jsonl")) as w:
+            w.extend(records)
+            w.flush()
+        columns = open_columns(columns_path, 20)
+        assert isinstance(columns, np.memmap)
+        assert not columns.flags.writeable
+        objective, crashed = trialstore.training_views(columns)
+        assert objective.base is not None  # a view, not a copy
+        for i, record in enumerate(records):
+            if record.objective is not None and not math.isnan(record.objective):
+                assert objective[i] == record.objective
+            assert bool(crashed[i]) == record.crashed
+
+    def test_reopen_continues_appending(self, tmp_path, small_space):
+        rng = random.Random(11)
+        records = [random_record(small_space, rng, i) for i in range(30)]
+        columns_path = str(tmp_path / "c.trials.bin")
+        payloads_path = str(tmp_path / "c.trials.jsonl")
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            writer.extend(records[:12])
+            writer.flush()
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            assert writer.count == 12  # picked up from the files themselves
+            writer.extend(records[12:])
+            assert writer.flush() == 30
+        assert read_record_dicts(columns_path, payloads_path, 30) \
+            == [record_to_dict(r) for r in records]
+
+    def test_rewind_truncates_a_divergent_tail(self, tmp_path, small_space):
+        rng = random.Random(5)
+        records = [random_record(small_space, rng, i) for i in range(10)]
+        columns_path = str(tmp_path / "r.trials.bin")
+        payloads_path = str(tmp_path / "r.trials.jsonl")
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            writer.extend(records)
+            writer.flush()
+            writer.rewind(4)
+            assert writer.count == 4
+            replacement = [random_record(small_space, rng, i) for i in range(4, 8)]
+            writer.extend(replacement)
+            assert writer.flush() == 8
+        loaded = read_record_dicts(columns_path, payloads_path, 8)
+        assert loaded == [record_to_dict(r) for r in records[:4] + replacement]
+        with pytest.raises(ValueError):
+            read_record_dicts(columns_path, payloads_path, 9)
+
+    def test_rewind_refuses_unflushed_and_overlong(self, tmp_path, small_space):
+        writer = TrialStoreWriter(str(tmp_path / "x.trials.bin"),
+                                  str(tmp_path / "x.trials.jsonl"))
+        with pytest.raises(ValueError):
+            writer.rewind(3)  # nothing durable yet
+        writer.append(random_record(small_space, random.Random(0), 0))
+        with pytest.raises(RuntimeError):
+            writer.rewind(0)  # pending rows must be flushed or dropped first
+        writer.close()
+
+
+class TestCorruptionDetection:
+    def _write(self, tmp_path, small_space, n=8):
+        rng = random.Random(2)
+        records = [random_record(small_space, rng, i) for i in range(n)]
+        columns_path = str(tmp_path / "d.trials.bin")
+        payloads_path = str(tmp_path / "d.trials.jsonl")
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            writer.extend(records)
+            writer.flush()
+        return columns_path, payloads_path, records
+
+    def test_bad_magic_rejected(self, tmp_path, small_space):
+        columns_path, payloads_path, _ = self._write(tmp_path, small_space)
+        with open(columns_path, "r+b") as handle:
+            handle.write(b"GARBAGE!")
+        with pytest.raises(ValueError):
+            read_record_dicts(columns_path, payloads_path, 8)
+
+    def test_short_columns_rejected(self, tmp_path, small_space):
+        columns_path, payloads_path, _ = self._write(tmp_path, small_space)
+        size = os.path.getsize(columns_path)
+        with open(columns_path, "r+b") as handle:
+            handle.truncate(size - TRIAL_DTYPE.itemsize // 2)
+        with pytest.raises(ValueError):
+            read_record_dicts(columns_path, payloads_path, 8)
+        # ... but the surviving 7-row prefix stays readable
+        assert len(read_record_dicts(columns_path, payloads_path, 7)) == 7
+
+    def test_short_payloads_rejected(self, tmp_path, small_space):
+        columns_path, payloads_path, _ = self._write(tmp_path, small_space)
+        with open(payloads_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(payloads_path) - 3)
+        with pytest.raises(ValueError):
+            read_record_dicts(columns_path, payloads_path, 8)
+
+    def test_torn_column_tail_dropped_on_reopen(self, tmp_path, small_space):
+        columns_path, payloads_path, records = self._write(tmp_path, small_space)
+        with open(columns_path, "ab") as handle:
+            handle.write(b"\x01" * (TRIAL_DTYPE.itemsize - 5))  # partial row
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            assert writer.count == 8
+        assert os.path.getsize(columns_path) \
+            == HEADER_SIZE + 8 * TRIAL_DTYPE.itemsize
+
+
+class TestManifestFallback:
+    """Torn manifest writes recover through ``.prev`` with the sidecar prefix."""
+
+    def _checkpointed_store(self, tmp_path, iterations=6):
+        from repro.core.spec import ExperimentSpec
+        from repro.core.wayfinder import Wayfinder
+
+        spec = ExperimentSpec(
+            application="nginx", metric="throughput", algorithm="random",
+            seed=3, iterations=iterations, space_options=SMALL_SPACE_OPTIONS,
+            name="torn")
+        store = ResultsStore(str(tmp_path))
+        wayfinder = Wayfinder.from_spec(spec)
+        wayfinder.enable_checkpointing(store, name="torn", every=1)
+        result = wayfinder.specialize()
+        return store, result
+
+    def test_torn_manifest_resumes_older_sidecar_prefix(self, tmp_path):
+        store, result = self._checkpointed_store(tmp_path)
+        path = store.checkpoint_path("torn")
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[:len(text) // 3])  # torn write
+        recovered = store.latest_valid_checkpoint("torn")
+        assert recovered == path
+        from repro.platform.results import load_checkpoint_file
+
+        document = load_checkpoint_file(recovered)
+        # the promoted .prev manifest references one checkpoint earlier, a
+        # strict prefix of the (longer) sidecars
+        assert document["trials"] == len(result.history) - 1
+        assert len(document["records"]) == document["trials"]
+        expected = [record_to_dict(r)
+                    for r in list(result.history)[:document["trials"]]]
+        assert document["records"] == expected
+
+    def test_corrupt_sidecar_fails_over_like_a_corrupt_manifest(self, tmp_path):
+        store, _ = self._checkpointed_store(tmp_path)
+        columns_path, _ = store.checkpoint_trial_paths("torn")
+        with open(columns_path, "r+b") as handle:
+            handle.write(b"NOTMAGIC")
+        # both manifests now reference unreadable sidecars → fresh start
+        assert store.latest_valid_checkpoint("torn") is None
+
+    def test_resume_after_torn_manifest_truncates_and_rewrites(self, tmp_path):
+        from repro.core.wayfinder import Wayfinder
+
+        store, result = self._checkpointed_store(tmp_path)
+        reference = [(r.index, r.configuration, r.objective)
+                     for r in result.history]
+        path = store.checkpoint_path("torn")
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) // 3])
+        recovered = store.latest_valid_checkpoint("torn")
+        resumed = Wayfinder.resume(recovered)
+        resumed.enable_checkpointing(store, name="torn", every=1)
+        rerun = resumed.specialize()
+        # the re-run continues from the surviving prefix and lands on the
+        # exact same trajectory (deterministic-bytes invariant)
+        assert [(r.index, r.configuration, r.objective)
+                for r in rerun.history] == reference
+        document = store.load_checkpoint("torn")
+        assert document["trials"] == len(reference)
+
+
+def test_configuration_payloads_roundtrip_unicode(tmp_path, small_space):
+    record = random_record(small_space, random.Random(1), 0)
+    record.failure_reason = "φάσμα — 🙂 \"quoted\"\nline"
+    record.crashed = True
+    record.objective = None
+    record.failure_stage = FailureStage.RUN
+    columns_path = str(tmp_path / "u.trials.bin")
+    payloads_path = str(tmp_path / "u.trials.jsonl")
+    with TrialStoreWriter(columns_path, payloads_path) as writer:
+        writer.append(record)
+        writer.flush()
+    (loaded,) = read_record_dicts(columns_path, payloads_path, 1)
+    assert loaded == record_to_dict(record)
+    assert isinstance(loaded["configuration"], dict)
+    assert Configuration(small_space, loaded["configuration"]) == record.configuration
