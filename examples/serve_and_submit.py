@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Tuning service client: submit a campaign over HTTP and watch it live.
+
+The tuning service (``repro serve``) turns the search engine into a
+long-running multi-tenant system: spec payloads go in over JSON, progress
+streams out as NDJSON, and reports are served from the same campaign
+directories the CLI writes.  This script is a complete stdlib-only client
+for it — and doubles as the submission step of the CI service smoke.
+
+With ``--server URL`` it talks to an already-running server.  Without it,
+it starts an in-process service on a temporary directory, runs the same
+flow against it, and shuts it down — so the example works standalone:
+
+    python examples/serve_and_submit.py
+    python examples/serve_and_submit.py --server http://127.0.0.1:8080 \
+        --spec examples/campaign_smoke.yaml
+    python examples/serve_and_submit.py --server ... --job acme-000000
+
+Runs in well under a minute.
+"""
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+
+
+def request_json(url, payload=None):
+    """One JSON request; exits with the server's error message on failure."""
+    data = None if payload is None else json.dumps(payload).encode()
+    try:
+        with urllib.request.urlopen(
+                urllib.request.Request(url, data=data), timeout=60) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        body = error.read().decode()
+        try:
+            message = json.loads(body).get("error", body)
+        except json.JSONDecodeError:
+            message = body
+        sys.exit("{} -> HTTP {}: {}".format(url, error.code, message))
+
+
+def demo_campaign_payload():
+    return {
+        "name": "serve-demo",
+        "applications": ["nginx"],
+        "algorithms": ["random", "grid"],
+        "seeds": [0],
+        "base": {
+            "metric": "auto",
+            "iterations": 6,
+            # reduced space so the demo finishes fast
+            "space_options": {"extra_compile": 20, "extra_runtime": 12,
+                              "extra_boot": 4},
+        },
+    }
+
+
+def load_campaign_payload(path):
+    from repro.config.jobfile import load_campaign_file
+
+    return load_campaign_file(path).to_dict()
+
+
+def follow_job(base, job, quiet=False):
+    """Stream the job's NDJSON events until it reaches a terminal state."""
+    url = "{}/v1/jobs/{}/events".format(base, job)
+    trials = 0
+    with urllib.request.urlopen(url, timeout=600) as stream:
+        for line in stream:
+            event = json.loads(line)
+            kind = event["event"]
+            if kind == "trial":
+                trials += 1
+                if not quiet:
+                    print("  trial #{} of {}: objective={} ({})".format(
+                        event["trial"], event["experiment"],
+                        "crash" if event["crashed"]
+                        else "{:.2f}".format(event["objective"]),
+                        "worker {}".format(event["worker"])))
+            elif kind == "new-incumbent" and not quiet:
+                print("  new incumbent for {}: {:.2f}".format(
+                    event["experiment"], event["objective"]))
+            elif kind in ("experiment-finished", "job-finished", "job-error"):
+                print("  {}: {}".format(kind, {
+                    key: value for key, value in event.items()
+                    if key not in ("event", "seq")}))
+    return trials
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--server",
+                        help="base URL of a running `repro serve` (default: "
+                             "start an in-process demo server)")
+    parser.add_argument("--spec",
+                        help="campaign YAML/JSON to submit (default: a "
+                             "built-in two-algorithm demo grid)")
+    parser.add_argument("--tenant", default="demo")
+    parser.add_argument("--job",
+                        help="attach to an existing job id instead of "
+                             "submitting (for watching a recovered job)")
+    parser.add_argument("--no-wait", action="store_true",
+                        help="submit and print the job id, don't stream")
+    parser.add_argument("--report-json", action="store_true",
+                        help="print the /report document instead of a "
+                             "summary line")
+    args = parser.parse_args()
+
+    server = None
+    base = args.server
+    if base is None:
+        import tempfile
+
+        from repro.service.server import TuningServer, TuningService
+
+        tempdir = tempfile.mkdtemp(prefix="serve-demo-")
+        service = TuningService(tempdir, workers=2)
+        server = TuningServer(service, port=0)
+        server.serve_in_thread()
+        base = server.url
+        print("demo server on {} (results in {})".format(base, tempdir))
+    base = base.rstrip("/")
+
+    try:
+        if args.job:
+            job = args.job
+        else:
+            payload = (load_campaign_payload(args.spec) if args.spec
+                       else demo_campaign_payload())
+            submitted = request_json(base + "/v1/campaigns",
+                                     {"tenant": args.tenant,
+                                      "campaign": payload})
+            job = submitted["job"]
+            print("submitted job {} ({} experiments)".format(
+                job, len(submitted["experiments"])))
+            if args.no_wait:
+                print(json.dumps(submitted, indent=2, sort_keys=True))
+                return
+
+        print("streaming events for {}:".format(job))
+        trials = follow_job(base, job, quiet=args.report_json)
+        print("observed {} trial events".format(trials))
+
+        status = request_json("{}/v1/jobs/{}".format(base, job))
+        print("final phase: {} (state: {})".format(status["phase"],
+                                                   status["state"]))
+        report = request_json("{}/v1/jobs/{}/report".format(base, job))
+        if args.report_json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            for row in report["time_to_best"]["rows"]:
+                algorithm, experiments, _, improvement = row[:4]
+                print("  {}: {} experiment(s), improvement {}".format(
+                    algorithm, experiments,
+                    "-" if improvement is None
+                    else "{:.2f}x".format(improvement)))
+    finally:
+        if server is not None:
+            server.shutdown()
+
+
+if __name__ == "__main__":
+    main()

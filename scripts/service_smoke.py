@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI smoke for the tuning service: submit over HTTP, kill, recover, diff.
+
+Choreography (the ISSUE-8 acceptance flow, runnable locally too):
+
+1. start ``repro serve`` in the background on a fresh results root;
+2. submit the given campaign YAML over ``POST /v1/campaigns`` and follow
+   the NDJSON event stream until the search is demonstrably mid-flight;
+3. ``kill -9`` the server, start a fresh one on the same results root —
+   recovery must come from the on-disk campaign manifest alone;
+4. poll ``GET /v1/jobs/{id}`` until the job completes;
+5. diff the ``/report`` JSON byte-for-byte against
+   ``repro campaign report --json`` on the same campaign directory.
+
+Usage:
+    PYTHONPATH=src python scripts/service_smoke.py \
+        examples/campaign_smoke.yaml service-smoke-results
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+TENANT = "ci"
+
+
+def spawn_server(results_root):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--results",
+         results_root, "--port", "0", "--workers", "1", "--lease-s", "0.5"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        print("[serve] " + line, end="")
+        if line.startswith("listening on "):
+            return process, line.split("listening on ", 1)[1].strip()
+    process.kill()
+    sys.exit("server never announced its address")
+
+
+def request_json(url, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    with urllib.request.urlopen(urllib.request.Request(url, data=data),
+                                timeout=60) as response:
+        return json.loads(response.read())
+
+
+def main():
+    spec_path, results_root = sys.argv[1], sys.argv[2]
+    from repro.config.jobfile import load_campaign_file
+
+    payload = load_campaign_file(spec_path).to_dict()
+
+    process, base = spawn_server(results_root)
+    try:
+        submitted = request_json(base + "/v1/campaigns",
+                                 {"tenant": TENANT, "campaign": payload})
+        job = submitted["job"]
+        print("submitted {} ({} experiments)".format(
+            job, len(submitted["experiments"])))
+        # follow the live stream until two trials committed: mid-campaign
+        trials = 0
+        with urllib.request.urlopen(
+                "{}/v1/jobs/{}/events".format(base, job), timeout=120) as stream:
+            for line in stream:
+                if json.loads(line)["event"] == "trial":
+                    trials += 1
+                    if trials >= 2:
+                        break
+        print("{} trials observed; killing the server mid-campaign".format(
+            trials))
+    finally:
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+
+    process, base = spawn_server(results_root)
+    try:
+        deadline = time.time() + 600
+        while time.time() < deadline:
+            status = request_json("{}/v1/jobs/{}".format(base, job))
+            if status["phase"] == "complete":
+                break
+            time.sleep(0.5)
+        else:
+            sys.exit("job {} never completed after restart".format(job))
+        statuses = [e["status"] for e in status["experiments"]]
+        if statuses != ["complete"] * len(statuses):
+            sys.exit("unexpected experiment statuses: {}".format(statuses))
+        print("job completed after restart: {} experiments".format(
+            len(statuses)))
+
+        with urllib.request.urlopen(
+                "{}/v1/jobs/{}/report".format(base, job),
+                timeout=60) as response:
+            http_report = response.read()
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+
+    directory = os.path.join(results_root, TENANT, "000000")
+    cli_report = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "campaign", "report",
+         "--results", directory, "--json"],
+        check=True, stdout=subprocess.PIPE).stdout
+    if cli_report != http_report:
+        sys.exit("/report JSON differs from `campaign report --json`")
+    print("/report JSON byte-identical to the CLI report ({} bytes); OK".format(
+        len(http_report)))
+
+
+if __name__ == "__main__":
+    main()

@@ -102,26 +102,42 @@ def _completed_matching(results: CampaignResults,
     return matched
 
 
-def best_objective_table(results: CampaignResults) -> str:
-    """Mean best objective per application x algorithm (Table 3 style).
+def best_objective_document(results: CampaignResults) -> Dict[str, Any]:
+    """Raw (unformatted) Table 3-style data: application x algorithm means.
 
-    Seeds (and, when swept, favor presets) of the same grid cell are
-    averaged; cells whose experiments have not completed render as ``-``.
+    The machine-readable twin of :func:`best_objective_table` — same rows,
+    raw floats (``None`` for cells whose experiments have not completed).
     """
     algorithms = results.axis_values("algorithm")
-    rows = []
+    rows: List[List[Any]] = []
     for application in results.axis_values("application"):
-        row: List[object] = [application]
+        row: List[Any] = [application]
         for algorithm in algorithms:
             entries = _completed_matching(results, application=application,
                                           algorithm=algorithm)
             values = [entry["summary"]["best_objective"] for entry in entries
                       if entry["summary"].get("best_objective") is not None]
-            row.append(_fmt(_mean_or_none(values)))
+            row.append(_mean_or_none(values))
         rows.append(row)
-    return format_table(
-        ["application"] + list(algorithms), rows,
-        title="{}: mean best objective per application".format(results.name))
+    return {
+        "title": "{}: mean best objective per application".format(results.name),
+        "columns": ["application"] + list(algorithms),
+        "rows": rows,
+    }
+
+
+def best_objective_table(results: CampaignResults) -> str:
+    """Mean best objective per application x algorithm (Table 3 style).
+
+    Seeds (and, when swept, favor presets) of the same grid cell are
+    averaged; cells whose experiments have not completed render as ``-``.
+    Renders :func:`best_objective_document`, so the text and JSON forms
+    cannot drift apart.
+    """
+    document = best_objective_document(results)
+    rows = [[row[0]] + [_fmt(value) for value in row[1:]]
+            for row in document["rows"]]
+    return format_table(document["columns"], rows, title=document["title"])
 
 
 def _mean_utilization(entry: Dict[str, Any]) -> Optional[float]:
@@ -132,9 +148,9 @@ def _mean_utilization(entry: Dict[str, Any]) -> Optional[float]:
     return mean(per_worker)
 
 
-def time_to_best_table(results: CampaignResults) -> str:
-    """Per-algorithm search efficiency: time-to-best, improvement, utilization."""
-    rows = []
+def time_to_best_document(results: CampaignResults) -> Dict[str, Any]:
+    """Raw per-algorithm efficiency data behind :func:`time_to_best_table`."""
+    rows: List[List[Any]] = []
     for algorithm in results.axis_values("algorithm"):
         entries = _completed_matching(results, algorithm=algorithm)
         ttb = [entry["summary"]["time_to_best_s"] for entry in entries
@@ -146,18 +162,32 @@ def time_to_best_table(results: CampaignResults) -> str:
                  if entry["summary"].get("crash_rate") is not None]
         utilization = [value for value in map(_mean_utilization, entries)
                        if value is not None]
-        rows.append((
+        rows.append([
             algorithm,
             len(entries),
-            _fmt(_mean_or_none([t / 3600.0 for t in ttb])),
-            _fmt(_mean_or_none(improvement), "{:.2f}x"),
-            _fmt(_mean_or_none(crash), "{:.0%}"),
-            _fmt(_mean_or_none(utilization), "{:.0%}"),
-        ))
-    return format_table(
-        ("algorithm", "experiments", "time to best (h)", "improvement",
-         "crash rate", "worker util"),
-        rows, title="{}: search efficiency per algorithm".format(results.name))
+            _mean_or_none([t / 3600.0 for t in ttb]),
+            _mean_or_none(improvement),
+            _mean_or_none(crash),
+            _mean_or_none(utilization),
+        ])
+    return {
+        "title": "{}: search efficiency per algorithm".format(results.name),
+        "columns": ["algorithm", "experiments", "time to best (h)",
+                    "improvement", "crash rate", "worker util"],
+        "rows": rows,
+    }
+
+
+def time_to_best_table(results: CampaignResults) -> str:
+    """Per-algorithm search efficiency: time-to-best, improvement, utilization."""
+    document = time_to_best_document(results)
+    rows = [(algorithm, experiments, _fmt(ttb_h),
+             _fmt(improvement, "{:.2f}x"), _fmt(crash, "{:.0%}"),
+             _fmt(utilization, "{:.0%}"))
+            for algorithm, experiments, ttb_h, improvement, crash, utilization
+            in document["rows"]]
+    return format_table(tuple(document["columns"]), rows,
+                        title=document["title"])
 
 
 def per_iteration_cost_series(results: CampaignResults,
@@ -185,6 +215,49 @@ def per_iteration_cost_series(results: CampaignResults,
             for index in range(horizon)]
 
 
+def failed_experiments_document(results: CampaignResults) -> Dict[str, Any]:
+    """Failed/quarantined experiments as raw table data (rows may be empty)."""
+    failed = [entry for entry in results.experiments
+              if entry["status"] in (STATUS_FAILED, STATUS_FAILED_PERMANENT)]
+    return {
+        "title": "Failed experiments (failed-permanent = quarantined)",
+        "columns": ["experiment", "status", "attempts", "error"],
+        "rows": [[entry["name"], entry["status"],
+                  int(entry.get("attempts", 0)),
+                  (entry.get("error") or "").strip().splitlines()[-1]
+                  if (entry.get("error") or "").strip() else ""]
+                 for entry in failed],
+    }
+
+
+def campaign_report_document(directory: str) -> Dict[str, Any]:
+    """The whole campaign report as one JSON-representable document.
+
+    This is the machine-readable form served by the tuning service's
+    ``/v1/jobs/{id}/report`` endpoint and by ``campaign report --json``;
+    :func:`render_campaign_report` formats the same per-table documents, so
+    the two views agree cell for cell.  Series carry their full point
+    lists (downsampling to ``max_points`` is a text-rendering concern).
+    """
+    results = load_campaign(directory)
+    series = []
+    for algorithm in results.axis_values("algorithm"):
+        points = per_iteration_cost_series(results, algorithm)
+        if points:
+            series.append({"algorithm": algorithm,
+                           "points": [[index, cost]
+                                      for index, cost in points]})
+    return {
+        "campaign": results.name,
+        "experiments": len(results.experiments),
+        "status": results.status_counts(),
+        "best_objective": best_objective_document(results),
+        "time_to_best": time_to_best_document(results),
+        "per_iteration_cost": series,
+        "failed": failed_experiments_document(results),
+    }
+
+
 def render_campaign_report(directory: str, max_points: int = 12) -> str:
     """The full plain-text report of a campaign directory."""
     results = load_campaign(directory)
@@ -210,15 +283,11 @@ def render_campaign_report(directory: str, max_points: int = 12) -> str:
                 max_points=max_points))
     # rendered only when failures exist, so a chaos run whose experiments
     # all ultimately completed reports byte-identically to a clean run
-    failed = [entry for entry in results.experiments
-              if entry["status"] in (STATUS_FAILED, STATUS_FAILED_PERMANENT)]
-    if failed:
+    failed = failed_experiments_document(results)
+    if failed["rows"]:
         sections.append("")
         sections.append(format_table(
-            ("experiment", "status", "attempts", "error"),
-            [(entry["name"], entry["status"],
-              entry.get("attempts", 0),
-              (entry.get("error") or "").strip().splitlines()[-1])
-             for entry in failed],
-            title="Failed experiments (failed-permanent = quarantined)"))
+            tuple(failed["columns"]),
+            [tuple(row) for row in failed["rows"]],
+            title=failed["title"]))
     return "\n".join(sections)

@@ -51,6 +51,7 @@ persist histories through :class:`repro.platform.results.ResultsStore`.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -159,8 +160,8 @@ def _add_probe_parser(subparsers) -> None:
     parser.add_argument("--output", default="probed-job.yaml",
                         help="job file to write (YAML or JSON)")
     parser.add_argument("--application", default="nginx")
-    parser.add_argument("--scale-factor", type=int, default=10)
-    parser.add_argument("--extra-generic", type=int, default=40,
+    parser.add_argument("--scale-factor", type=_positive_int, default=10)
+    parser.add_argument("--extra-generic", type=_non_negative_int, default=40,
                         help="number of synthetic long-tail sysctls in the probe VM")
 
 
@@ -232,6 +233,38 @@ def _add_campaign_parser(subparsers) -> None:
                                help="campaign directory to aggregate")
     report_parser.add_argument("--max-points", type=_positive_int, default=12,
                                help="points per rendered figure series")
+    report_parser.add_argument("--json", action="store_true",
+                               help="emit the machine-readable report "
+                                    "document (identical bytes to the "
+                                    "tuning service's /report endpoint)")
+
+
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the tuning service: an HTTP/JSON API over the "
+                      "campaign fabric")
+    parser.add_argument("--results", required=True,
+                        help="results root; every job is a campaign "
+                             "directory <root>/<tenant>/<seq> and restart "
+                             "recovery rescans it")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="address to bind (default: 127.0.0.1)")
+    parser.add_argument("--port", type=_non_negative_int, default=8080,
+                        help="port to bind; 0 picks a free port "
+                             "(default: 8080)")
+    parser.add_argument("--workers", type=_positive_int, default=2,
+                        help="job worker pool size — jobs running "
+                             "concurrently, not per-job parallelism "
+                             "(default: 2)")
+    parser.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                        help="per-experiment checkpoint cadence in batches "
+                             "for submitted jobs (default: 1)")
+    parser.add_argument("--lease-s", type=_positive_float, default=None,
+                        help="experiment lease duration in seconds "
+                             "(default: 30)")
+    parser.add_argument("--max-attempts", type=_positive_int, default=None,
+                        help="failed-experiment retries before quarantine "
+                             "(default: 3)")
 
 
 def _add_compare_parser(subparsers) -> None:
@@ -268,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_census_parser(subparsers)
     _add_compare_parser(subparsers)
     _add_campaign_parser(subparsers)
+    _add_serve_parser(subparsers)
     return parser
 
 
@@ -570,18 +604,55 @@ def _command_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _command_campaign_report(args: argparse.Namespace) -> int:
-    from repro.analysis.campaign_report import render_campaign_report
+    from repro.analysis.campaign_report import (campaign_report_document,
+                                                render_campaign_report)
 
     if not os.path.isdir(args.results):
         print("no campaign directory at {}".format(args.results),
               file=sys.stderr)
         return 2
     try:
-        print(render_campaign_report(args.results, max_points=args.max_points))
+        if args.json:
+            # serialized exactly like the service's /report endpoint so the
+            # two outputs byte-diff clean (CI pins this)
+            document = campaign_report_document(args.results)
+            sys.stdout.write(
+                json.dumps(document, indent=2, sort_keys=True) + "\n")
+        else:
+            print(render_campaign_report(args.results,
+                                         max_points=args.max_points))
     except (OSError, ValueError) as error:
         print("cannot report on {}: {}".format(args.results, error),
               file=sys.stderr)
         return 2
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.platform.faults import RetryPolicy
+    from repro.service.server import TuningServer, TuningService
+
+    retry = (None if args.max_attempts is None
+             else RetryPolicy(max_attempts=args.max_attempts))
+    service = TuningService(
+        args.results, workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        lease_s=30.0 if args.lease_s is None else args.lease_s,
+        retry=retry)
+    server = TuningServer(service, host=args.host, port=args.port)
+    if service._recovered:
+        print("recovered {} unfinished job{}: {}".format(
+            len(service._recovered),
+            "" if len(service._recovered) == 1 else "s",
+            ", ".join(service._recovered)), flush=True)
+    # the exact line clients (and the CI smoke) wait for before connecting
+    print("listening on {}".format(server.url), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -621,6 +692,7 @@ _COMMANDS = {
     "census": _command_census,
     "compare": _command_compare,
     "campaign": _command_campaign,
+    "serve": _command_serve,
 }
 
 

@@ -65,6 +65,16 @@ def _normalize_favor(value: Any) -> Any:
     return value
 
 
+def _check_axis_list(value: Any, axis: str) -> List[Any]:
+    """An axis must be a real list — a bare string would silently become
+    its letters (``applications: "nginx"`` → n, g, i, n, x)."""
+    if isinstance(value, str) or not isinstance(value, (list, tuple)):
+        raise ValueError(
+            "campaign field {!r} must be a list (got {} {!r})".format(
+                axis, type(value).__name__, value))
+    return list(value)
+
+
 def _unique(values: List[Any], axis: str) -> List[Any]:
     if not values:
         raise ValueError("campaign axis {!r} must not be empty".format(axis))
@@ -96,32 +106,46 @@ class CampaignSpec:
         chaos: Optional[Dict[str, Any]] = None,
     ) -> None:
         if not name or not isinstance(name, str):
-            raise ValueError("a campaign needs a non-empty name")
+            raise ValueError(
+                "campaign field 'name' must be a non-empty string "
+                "(got {} {!r})".format(type(name).__name__, name))
         self.name = name
         self.applications = _unique(
-            ["nginx"] if applications is None else list(applications),
+            ["nginx"] if applications is None
+            else _check_axis_list(applications, "applications"),
             "applications")
         self.algorithms = _unique(
-            ["deeptune"] if algorithms is None else list(algorithms),
+            ["deeptune"] if algorithms is None
+            else _check_axis_list(algorithms, "algorithms"),
             "algorithms")
-        self.seeds = [int(seed) for seed in _unique(
-            [0] if seeds is None else list(seeds), "seeds")]
+        seeds = ([0] if seeds is None
+                 else _check_axis_list(seeds, "seeds"))
+        for seed in seeds:
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise ValueError(
+                    "campaign field 'seeds' must be a list of integers "
+                    "(got {} {!r})".format(type(seed).__name__, seed))
+        self.seeds = [int(seed) for seed in _unique(seeds, "seeds")]
         #: ``None`` means "no favor axis": every experiment uses the base's
         #: favor (or the per-OS default).  A list sweeps favor presets, with
         #: ``None``/"none" meaning explicitly unfavored.
         if favors is None:
             self.favors = None
         else:
-            self.favors = [_normalize_favor(value)
-                           for value in _unique(list(favors), "favors")]
+            self.favors = [_normalize_favor(value) for value in _unique(
+                _check_axis_list(favors, "favors"), "favors")]
         #: ``None`` means "no execution axis": every experiment uses the
         #: base's execution mode (or the default, batch).  A list sweeps
         #: execution modes — the async-vs-batch comparison as one campaign.
         if executions is None:
             self.executions = None
         else:
-            self.executions = [_normalize_execution(value) for value
-                               in _unique(list(executions), "executions")]
+            self.executions = [_normalize_execution(value) for value in _unique(
+                _check_axis_list(executions, "executions"), "executions")]
+        if base is not None and not isinstance(base, dict):
+            raise ValueError(
+                "campaign field 'base' must be an object of spec fields "
+                "(got {} {!r})".format(type(base).__name__, base))
         self.base = dict(base or {})
         bad = sorted(set(self.base) & set(_RESERVED_BASE_FIELDS))
         if bad:
@@ -132,6 +156,8 @@ class CampaignSpec:
         if unknown:
             raise ValueError("unknown base spec fields: {}".format(
                 ", ".join(unknown)))
+        for field, value in self.base.items():
+            ExperimentSpec.check_field(field, value)
         if "favor" in self.base:
             if self.favors is not None:
                 raise ValueError(
@@ -144,6 +170,11 @@ class CampaignSpec:
                     "base cannot set execution when the campaign sweeps an "
                     "executions axis")
             self.base["execution"] = _normalize_execution(self.base["execution"])
+        if overrides is not None and not isinstance(overrides, (list, tuple)):
+            raise ValueError(
+                "campaign field 'overrides' must be a list of override "
+                "rules (got {} {!r})".format(type(overrides).__name__,
+                                             overrides))
         self.overrides = [self._check_override(rule)
                           for rule in list(overrides or [])]
         # Imported lazily like the executor registry above: the chaos
@@ -292,6 +323,10 @@ class CampaignSpec:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
         """Rebuild a campaign from :meth:`to_dict` output (unknown keys rejected)."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                "campaign payload must be a JSON object (got {})".format(
+                    type(data).__name__))
         unknown = sorted(set(data) - set(cls.FIELDS))
         if unknown:
             raise ValueError("unknown campaign fields: {}".format(

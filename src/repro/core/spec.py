@@ -178,12 +178,66 @@ class ExperimentSpec:
                 "algorithm_options/space_options): {}".format(error)) from None
         return data
 
+    #: per-field (accepted types, human name) for dict-payload validation.
+    #: ``None`` is additionally accepted where the constructor treats it as
+    #: "use the default"; booleans are never accepted where ints are (bool
+    #: is an int subclass, but ``seed: true`` is a payload bug).
+    FIELD_TYPES: Dict[str, Any] = {
+        "name": ((str,), "a string"),
+        "os_name": ((str,), "a string"),
+        "application": ((str,), "a string"),
+        "metric": ((str,), "a string"),
+        "algorithm": ((str,), "a string"),
+        "favor": ((str,), "a string or null"),
+        "seed": ((int,), "an integer"),
+        "iterations": ((int,), "an integer"),
+        "time_budget_s": ((int, float), "a number"),
+        "plateau_trials": ((int,), "an integer"),
+        "workers": ((int,), "an integer"),
+        "batch_size": ((int,), "an integer"),
+        "execution": ((str,), "a string"),
+        "enable_skip_build": ((bool,), "a boolean"),
+        "frozen": ((dict,), "an object"),
+        "algorithm_options": ((dict,), "an object"),
+        "os_version": ((str,), "a string"),
+        "architecture": ((str,), "a string"),
+        "space_options": ((dict,), "an object"),
+    }
+
+    #: fields where an explicit null is as good as an absent key.
+    _NULLABLE = ("name", "favor", "iterations", "time_budget_s",
+                 "plateau_trials", "frozen", "algorithm_options",
+                 "space_options")
+
+    @classmethod
+    def check_field(cls, field: str, value: Any) -> None:
+        """Raise a key-naming, type-naming ValueError when *value* is malformed.
+
+        The tuning service surfaces these messages verbatim as 400 bodies,
+        so they must say which key is wrong and what was expected — not
+        just that ``int()`` failed somewhere.
+        """
+        if value is None and field in cls._NULLABLE:
+            return
+        types, expected = cls.FIELD_TYPES[field]
+        ok = isinstance(value, types) and not (
+            bool not in types and isinstance(value, bool))
+        if not ok:
+            raise ValueError(
+                "spec field {!r} must be {} (got {} {!r})".format(
+                    field, expected, type(value).__name__, value))
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
         """Rebuild a spec from :meth:`to_dict` output (unknown keys rejected)."""
+        if not isinstance(data, dict):
+            raise ValueError("spec payload must be a JSON object (got {})".format(
+                type(data).__name__))
         unknown = sorted(set(data) - set(cls.FIELDS))
         if unknown:
             raise ValueError("unknown spec fields: {}".format(", ".join(unknown)))
+        for field, value in data.items():
+            cls.check_field(field, value)
         kwargs = dict(data)
         # an absent favor key means "unspecified", an explicit null means
         # "unfavored" — mirror that distinction through the sentinel.

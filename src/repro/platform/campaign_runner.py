@@ -347,7 +347,10 @@ class _LeaseHeartbeat(SessionObserver):
 
 def _run_claimed(directory: str, lock: _ManifestLock, claim: Dict[str, Any],
                  checkpoint_every: int, campaign_name: str, lease_s: float,
-                 injector: Optional[FaultInjector]) -> Dict[str, Any]:
+                 injector: Optional[FaultInjector],
+                 observer_factory: Optional[Callable[[Dict[str, Any]],
+                                                     Any]] = None,
+                 ) -> Dict[str, Any]:
     """Run one claimed experiment to completion inside the claiming worker.
 
     Resumes from the experiment's newest *valid* checkpoint when one exists
@@ -357,6 +360,12 @@ def _run_claimed(directory: str, lock: _ManifestLock, claim: Dict[str, Any],
     captured and returned as a ``failed`` outcome so one broken grid point
     cannot take down the campaign; injected deaths and lost leases are
     :class:`BaseException`\\ s and propagate to the worker loop.
+
+    *observer_factory*, when given, is called with the manifest *claim*
+    and returns extra :class:`SessionObserver` instances attached next to
+    the lease heartbeat — the hook the tuning service uses to bridge
+    session events onto its per-job subscription queues without the
+    engine knowing the service exists.
     """
     spec_data = claim["spec"]
     name = spec_data.get("name", "<unnamed>")
@@ -374,6 +383,9 @@ def _run_claimed(directory: str, lock: _ManifestLock, claim: Dict[str, Any],
                                        every=checkpoint_every)
         wayfinder.add_observer(_LeaseHeartbeat(
             directory, lock, spec.name, claim["token"], lease_s, injector))
+        if observer_factory is not None:
+            for observer in observer_factory(claim) or ():
+                wayfinder.add_observer(observer)
         result = wayfinder.specialize()
         summary = result.summary()
         # wall-clock overhead is the one nondeterministic field; dropping it
@@ -401,8 +413,15 @@ def _run_claimed(directory: str, lock: _ManifestLock, claim: Dict[str, Any],
 
 def _worker_loop(payload: Dict[str, Any],
                  on_outcome: Optional[Callable[[Dict[str, Any]], None]] = None,
+                 observer_factory: Optional[Callable[[Dict[str, Any]],
+                                                     Any]] = None,
                  ) -> None:
     """The pull loop one worker runs until the invocation has no open work.
+
+    This is *the* claim/execute loop of the fabric — the CLI's campaign
+    workers (inline and subprocess) and the tuning service's job executor
+    all drive campaigns through it, so lease, retry, and chaos semantics
+    cannot drift between front-ends.
 
     Claims experiments from the manifest, runs them under a heartbeat, and
     transitions them to their outcome.  An injected death in a subprocess
@@ -431,7 +450,8 @@ def _worker_loop(payload: Dict[str, Any],
         try:
             outcome = _run_claimed(
                 directory, lock, claim, payload["checkpoint_every"],
-                payload["campaign"], lease_s, injector)
+                payload["campaign"], lease_s, injector,
+                observer_factory=observer_factory)
             recorded = _finish(directory, lock, claim["name"], claim["token"],
                                outcome, policy)
             if recorded is not None and on_outcome is not None:
@@ -648,9 +668,25 @@ class CampaignRunner:
             _write_manifest(self.directory, manifest)
         return manifest
 
+    def prepare(self, resume: bool = False,
+                max_experiments: Optional[int] = None) -> Dict[str, Any]:
+        """Materialize (or reconcile) the campaign manifest without running.
+
+        This is the first half of :meth:`run`, exposed so a front-end can
+        make a campaign durable *before* any worker touches it — the tuning
+        service writes the manifest at submission time, which is what makes
+        a queued-but-not-yet-started job recoverable from disk alone after
+        a server crash.  Safe to call again later with ``resume=True``.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        with _ManifestLock(self.directory):
+            return self._prepare_manifest(resume, max_experiments)
+
     def run(self, resume: bool = False,
             max_experiments: Optional[int] = None,
             progress: Optional[Callable[[Dict[str, Any], int, int], None]] = None,
+            observer_factory: Optional[Callable[[Dict[str, Any]],
+                                                Any]] = None,
             ) -> CampaignResult:
         """Run (or continue) the campaign; returns its final state.
 
@@ -660,11 +696,16 @@ class CampaignRunner:
         invocation claims (useful for smoke runs and for testing the resume
         path); the manifest keeps the rest ``pending``.  *progress* is
         called after each experiment reaches a terminal or retryable state
-        with ``(outcome, done, total)``.
+        with ``(outcome, done, total)``.  *observer_factory* (inline
+        fleets only: observers cannot cross a process boundary) is called
+        with each manifest claim and returns extra session observers to
+        attach — the tuning service's event bridge.
         """
-        os.makedirs(self.directory, exist_ok=True)
-        with _ManifestLock(self.directory):
-            manifest = self._prepare_manifest(resume, max_experiments)
+        if observer_factory is not None and self.procs != 1:
+            raise ValueError(
+                "observer_factory requires an inline fleet (procs=1): "
+                "observers cannot be sent to subprocess workers")
+        manifest = self.prepare(resume, max_experiments)
 
         todo = [entry for entry in manifest["experiments"]
                 if entry["status"] not in TERMINAL_STATUSES]
@@ -681,7 +722,8 @@ class CampaignRunner:
 
         if self.procs == 1:
             _worker_loop(self._worker_payload(incarnation=0, inline=True),
-                         on_outcome=report)
+                         on_outcome=report,
+                         observer_factory=observer_factory)
         else:
             self._run_fleet(report)
         return CampaignResult(self.directory, self._finalize())

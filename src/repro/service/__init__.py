@@ -1,0 +1,29 @@
+"""Tuning-as-a-service control plane over the campaign fabric.
+
+The engine below this package is a complete single-host system — flat-cost
+inner loop, async execution, bit-exact checkpoint/resume, a lease-governed
+campaign fabric — but reachable only through the CLI.  This package wraps it
+in a long-running HTTP/JSON service (stdlib ``http.server`` only, no new
+dependencies): spec payloads are submitted over ``POST /v1/experiments`` and
+``POST /v1/campaigns``, a per-tenant FIFO queue with a bounded worker pool
+executes them, progress streams live as NDJSON by bridging
+:class:`~repro.platform.lifecycle.SessionObserver` callbacks onto per-job
+subscription queues, and reports are served as JSON.
+
+Durability comes entirely from the campaign fabric: every job is a campaign
+directory whose manifest is written at submission time, so a restarted
+server (``repro serve --results DIR``) rebuilds its queue from the on-disk
+manifests alone — the service keeps no state files of its own.
+"""
+
+from repro.service.events import EventBridgeObserver, JobEventBus
+from repro.service.queue import JobQueue
+from repro.service.server import TuningServer, TuningService
+
+__all__ = [
+    "EventBridgeObserver",
+    "JobEventBus",
+    "JobQueue",
+    "TuningServer",
+    "TuningService",
+]

@@ -1,0 +1,166 @@
+"""Per-job event fan-out: SessionObserver callbacks onto subscriber queues.
+
+The engine already announces everything a client could want to watch —
+``on_dispatch`` / ``on_trial`` / ``on_new_incumbent`` / ``on_checkpoint``
+fire on every session — so live progress streaming is a bridge, not a new
+mechanism.  :class:`EventBridgeObserver` serializes each callback into a
+plain JSON-safe dict and publishes it on the job's :class:`JobEventBus`;
+HTTP handlers subscribe to the bus and write NDJSON lines as events arrive.
+
+The bus keeps a bounded replay buffer so a subscriber that connects
+mid-run still sees the history so far (a campaign smoke run emits a few
+hundred events; the bound only matters for million-trial campaigns, where
+the tail is the interesting part anyway).  Closing the bus delivers a
+``None`` sentinel to every subscriber, which is how streams learn the job
+reached a terminal state.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.platform.lifecycle import SessionObserver
+
+#: Events kept for replay to late subscribers, per job.
+REPLAY_LIMIT = 10000
+
+#: Per-subscriber queue capacity; a stalled consumer drops events rather
+#: than blocking the search thread (the replay buffer is authoritative).
+SUBSCRIBER_LIMIT = 10000
+
+
+class JobEventBus:
+    """Fan-out of one job's event stream to any number of subscribers.
+
+    Publishing never blocks the worker thread: subscriber queues are
+    bounded and drop on overflow (each subscriber's ``dropped`` counter is
+    reported through a synthetic event when the stream closes).
+    """
+
+    def __init__(self, replay_limit: int = REPLAY_LIMIT) -> None:
+        self._lock = threading.Lock()
+        self._replay: List[Dict[str, Any]] = []
+        self._replay_limit = replay_limit
+        self._dropped_from_replay = 0
+        self._subscribers: List["queue.Queue[Optional[Dict[str, Any]]]"] = []
+        self._sequence = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Stamp *event* with a sequence number and deliver it everywhere."""
+        with self._lock:
+            if self._closed:
+                return
+            event = dict(event, seq=self._sequence)
+            self._sequence += 1
+            self._replay.append(event)
+            if len(self._replay) > self._replay_limit:
+                del self._replay[0]
+                self._dropped_from_replay += 1
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            try:
+                subscriber.put_nowait(event)
+            except queue.Full:
+                pass
+
+    def subscribe(self) -> "queue.Queue[Optional[Dict[str, Any]]]":
+        """Return a queue pre-loaded with the replay buffer and kept live.
+
+        If the bus is already closed the queue ends with the ``None``
+        sentinel immediately, so a subscriber to a finished job still gets
+        the buffered history followed by a clean end-of-stream.
+        """
+        subscriber: "queue.Queue[Optional[Dict[str, Any]]]" = queue.Queue(
+            maxsize=max(SUBSCRIBER_LIMIT, self._replay_limit + 1))
+        with self._lock:
+            for event in self._replay:
+                subscriber.put_nowait(event)
+            if self._closed:
+                subscriber.put_nowait(None)
+            else:
+                self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self,
+                    subscriber: "queue.Queue[Optional[Dict[str, Any]]]") -> None:
+        with self._lock:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+    def close(self, event: Optional[Dict[str, Any]] = None) -> None:
+        """Publish a final *event* (if given) and end every subscription."""
+        if event is not None:
+            self.publish(event)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            subscribers = list(self._subscribers)
+            self._subscribers = []
+        for subscriber in subscribers:
+            try:
+                subscriber.put_nowait(None)
+            except queue.Full:
+                # Full queue: the consumer is stalled anyway; drain one slot
+                # so the sentinel always lands and the stream terminates.
+                try:
+                    subscriber.get_nowait()
+                except queue.Empty:
+                    pass
+                subscriber.put_nowait(None)
+
+
+def _record_event(kind: str, experiment: str, record: Any) -> Dict[str, Any]:
+    return {
+        "event": kind,
+        "experiment": experiment,
+        "trial": int(record.index),
+        "objective": record.objective,
+        "crashed": bool(record.crashed),
+        "failure_stage": record.failure_stage.value,
+        "duration_s": float(record.duration_s),
+        "worker": int(record.worker),
+    }
+
+
+class EventBridgeObserver(SessionObserver):
+    """Serializes one experiment's session callbacks onto the job's bus.
+
+    One instance is attached per claimed experiment (via the campaign
+    runner's ``observer_factory``), so every event carries the experiment
+    name and the job's stream interleaves experiments in real completion
+    order.
+    """
+
+    def __init__(self, bus: JobEventBus, experiment: str) -> None:
+        self._bus = bus
+        self._experiment = experiment
+
+    def on_dispatch(self, session, configuration, worker: int) -> None:
+        self._bus.publish({
+            "event": "dispatch",
+            "experiment": self._experiment,
+            "worker": int(worker),
+        })
+
+    def on_trial(self, session, record) -> None:
+        self._bus.publish(_record_event("trial", self._experiment, record))
+
+    def on_new_incumbent(self, session, record) -> None:
+        self._bus.publish(_record_event("new-incumbent", self._experiment,
+                                        record))
+
+    def on_checkpoint(self, session, path: str) -> None:
+        self._bus.publish({
+            "event": "checkpoint",
+            "experiment": self._experiment,
+            "trials": len(session.history),
+        })

@@ -1,0 +1,130 @@
+"""Per-tenant FIFO job scheduling with a bounded worker pool.
+
+The service multiplexes many tenants onto one host, so raw global FIFO
+would let one tenant's burst starve everyone else.  The queue instead
+keeps one FIFO per tenant and hands out jobs round-robin across tenants
+with pending work: within a tenant, submission order is strict; across
+tenants, service is fair.  A fixed pool of worker threads pulls from the
+queue — the pool bound is the host's admission control, not per-job
+parallelism (each job runs the campaign fabric's inline worker loop).
+
+The queue holds no durable state.  Jobs are made durable by their campaign
+manifests at submission time; on restart the service rescans the results
+root and re-enqueues whatever is unfinished (see ``TuningService``), so
+losing the in-memory queue loses nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+
+class JobQueue:
+    """Round-robin-across-tenants, FIFO-within-tenant job dispatcher.
+
+    ``execute`` is called from pool threads with ``(tenant, job_id)``.
+    Exceptions it raises are caught and remembered per job so one bad job
+    cannot take a worker thread down.
+    """
+
+    def __init__(self, execute: Callable[[str, str], None],
+                 workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least 1 worker")
+        self._execute = execute
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        # OrderedDict preserves tenant arrival order for the round-robin scan.
+        self._pending: "OrderedDict[str, Deque[str]]" = OrderedDict()
+        self._next_tenants: Deque[str] = deque()
+        self._active: Dict[str, str] = {}      # job_id -> tenant
+        self._errors: Dict[str, str] = {}      # job_id -> last error text
+        self._stopping = False
+        self._threads: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(target=self._worker, daemon=True,
+                                      name="job-worker-{}".format(index))
+            thread.start()
+            self._threads.append(thread)
+
+    # -- submission ---------------------------------------------------------
+    def enqueue(self, tenant: str, job_id: str) -> None:
+        with self._work_ready:
+            if self._stopping:
+                raise RuntimeError("queue is shutting down")
+            if tenant not in self._pending:
+                self._pending[tenant] = deque()
+                self._next_tenants.append(tenant)
+            self._pending[tenant].append(job_id)
+            self._work_ready.notify()
+
+    # -- introspection ------------------------------------------------------
+    def position(self, job_id: str) -> Optional[int]:
+        """0-based position of *job_id* within its tenant's FIFO, if queued."""
+        with self._lock:
+            for jobs in self._pending.values():
+                for index, queued in enumerate(jobs):
+                    if queued == job_id:
+                        return index
+        return None
+
+    def is_active(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._active
+
+    def last_error(self, job_id: str) -> Optional[str]:
+        with self._lock:
+            return self._errors.get(job_id)
+
+    def snapshot(self) -> Dict[str, List[str]]:
+        """Pending job ids per tenant (for the service's status endpoint)."""
+        with self._lock:
+            return {tenant: list(jobs)
+                    for tenant, jobs in self._pending.items() if jobs}
+
+    # -- worker side --------------------------------------------------------
+    def _take(self) -> Optional[Tuple[str, str]]:
+        """Block until a job is available (or shutdown); claim and return it."""
+        with self._work_ready:
+            while True:
+                if self._stopping:
+                    return None
+                # Rotate through tenants so each non-empty FIFO gets a turn.
+                for _ in range(len(self._next_tenants)):
+                    tenant = self._next_tenants[0]
+                    self._next_tenants.rotate(-1)
+                    jobs = self._pending.get(tenant)
+                    if jobs:
+                        job_id = jobs.popleft()
+                        if not jobs:
+                            del self._pending[tenant]
+                            self._next_tenants.remove(tenant)
+                        self._active[job_id] = tenant
+                        return tenant, job_id
+                self._work_ready.wait()
+
+    def _worker(self) -> None:
+        while True:
+            claimed = self._take()
+            if claimed is None:
+                return
+            tenant, job_id = claimed
+            try:
+                self._execute(tenant, job_id)
+            except Exception as error:  # noqa: BLE001 - worker must survive
+                with self._lock:
+                    self._errors[job_id] = "{}: {}".format(
+                        type(error).__name__, error)
+            finally:
+                with self._lock:
+                    self._active.pop(job_id, None)
+
+    def shutdown(self, timeout_s: float = 5.0) -> None:
+        """Stop dispatching and join the pool; queued jobs stay on disk."""
+        with self._work_ready:
+            self._stopping = True
+            self._work_ready.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout_s)

@@ -1,0 +1,342 @@
+"""The tuning service: durable job management over the campaign fabric.
+
+:class:`TuningService` owns the results root.  Every submitted job — a
+single experiment or a whole campaign grid — becomes one campaign
+directory ``<root>/<tenant>/<seq>`` whose manifest is written at
+submission time via :meth:`CampaignRunner.prepare`, before the job is
+queued.  That ordering is the crash-safety argument in one line: the
+moment a client gets a job id back, the job exists on disk, and a
+restarted server rebuilds its entire queue by scanning for manifests
+whose state is not ``complete`` — the service adds **no state files** of
+its own, the campaign manifest stays the single source of truth.
+
+Execution reuses the fabric end to end: each pool worker runs the same
+claim/lease/heartbeat/retry loop as ``repro campaign run`` (inline,
+``procs=1`` — cross-job parallelism comes from the pool), so a job whose
+worker dies mid-experiment is retried and quarantined through the
+existing :class:`~repro.platform.faults.RetryPolicy` path, and resuming
+after a kill reproduces byte-identical records.
+
+:class:`TuningServer` is the thin stdlib HTTP front: a
+``ThreadingHTTPServer`` serving the routes defined in
+:mod:`repro.service.api`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from http.server import ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.campaign import CampaignSpec
+from repro.core.spec import ExperimentSpec
+from repro.platform.campaign_runner import (DEFAULT_LEASE_S, MANIFEST_NAME,
+                                            TERMINAL_STATUSES, CampaignRunner,
+                                            load_manifest)
+from repro.platform.faults import RetryPolicy
+from repro.platform.results import cleanup_stale_tmp_files
+from repro.service.api import ApiError, make_handler
+from repro.service.events import EventBridgeObserver, JobEventBus
+from repro.service.queue import JobQueue
+
+#: tenants are path components; keep them boring so job directories are too.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.]{0,63}$")
+
+#: width of the per-tenant job sequence number in directory names.
+_SEQ_WIDTH = 6
+
+
+def _job_id(tenant: str, seq: int) -> str:
+    return "{}-{:0{}d}".format(tenant, seq, _SEQ_WIDTH)
+
+
+def _parse_job_id(job_id: str) -> Tuple[str, int]:
+    tenant, _, seq = job_id.rpartition("-")
+    if not tenant or not seq.isdigit() or not _TENANT_RE.match(tenant):
+        raise ApiError(404, "malformed job id {!r}".format(job_id))
+    return tenant, int(seq)
+
+
+class TuningService:
+    """Job submission, scheduling, observation, and recovery."""
+
+    def __init__(self, results_root: str, workers: int = 2,
+                 checkpoint_every: int = 1,
+                 lease_s: float = DEFAULT_LEASE_S,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        self.results_root = os.path.abspath(results_root)
+        os.makedirs(self.results_root, exist_ok=True)
+        self.checkpoint_every = int(checkpoint_every)
+        self.lease_s = float(lease_s)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._lock = threading.Lock()
+        self._next_seq: Dict[str, int] = {}
+        self._buses: Dict[str, JobEventBus] = {}
+        self.queue = JobQueue(self._execute_job, workers=workers)
+        self._recovered = self._recover()
+
+    # -- directory layout ---------------------------------------------------
+    def _job_directory(self, tenant: str, seq: int) -> str:
+        return os.path.join(self.results_root, tenant,
+                            "{:0{}d}".format(seq, _SEQ_WIDTH))
+
+    def _directory_for(self, job_id: str) -> str:
+        tenant, seq = _parse_job_id(job_id)
+        directory = self._job_directory(tenant, seq)
+        if not os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            raise ApiError(404, "no such job: {}".format(job_id))
+        return directory
+
+    def _allocate(self, tenant: str) -> Tuple[str, str]:
+        """Reserve the tenant's next sequence number; return (job_id, dir)."""
+        if not _TENANT_RE.match(tenant):
+            raise ApiError(400, "tenant must match {} (got {!r})".format(
+                _TENANT_RE.pattern, tenant))
+        with self._lock:
+            seq = self._next_seq.get(tenant, 0)
+            self._next_seq[tenant] = seq + 1
+        return _job_id(tenant, seq), self._job_directory(tenant, seq)
+
+    # -- recovery -----------------------------------------------------------
+    def _recover(self) -> List[str]:
+        """Rebuild queue state from on-disk manifests (and sweep orphans).
+
+        Scans ``<root>/<tenant>/<seq>/campaign.json``; every directory gets
+        the pid-liveness ``*.tmp`` sweep (a crashed server must not leave
+        staging orphans behind), every manifest whose state is not
+        ``complete`` is re-enqueued in (tenant, submission) order.  Also
+        seeds the per-tenant sequence counters past everything on disk.
+        """
+        recovered: List[str] = []
+        for tenant in sorted(os.listdir(self.results_root)):
+            tenant_dir = os.path.join(self.results_root, tenant)
+            if not os.path.isdir(tenant_dir) or not _TENANT_RE.match(tenant):
+                continue
+            for name in sorted(os.listdir(tenant_dir)):
+                directory = os.path.join(tenant_dir, name)
+                if not name.isdigit() or not os.path.isdir(directory):
+                    continue
+                seq = int(name)
+                with self._lock:
+                    self._next_seq[tenant] = max(
+                        self._next_seq.get(tenant, 0), seq + 1)
+                if not os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+                    continue
+                cleanup_stale_tmp_files(directory)
+                manifest = load_manifest(directory)
+                if manifest.get("state") != "complete":
+                    job_id = _job_id(tenant, seq)
+                    self.queue.enqueue(tenant, job_id)
+                    recovered.append(job_id)
+        return recovered
+
+    # -- submission ---------------------------------------------------------
+    def submit_experiment(self, tenant: str,
+                          payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate one experiment spec and submit it as a 1-point campaign.
+
+        Wrapping keeps a single durable job representation (the campaign
+        manifest) for both endpoints; the fabric's lease/retry machinery
+        then covers single experiments for free.
+        """
+        try:
+            spec = ExperimentSpec.from_dict(payload)
+        except (ValueError, TypeError) as error:
+            raise ApiError(400, str(error))
+        base = {field: getattr(spec, field) for field in spec.FIELDS
+                if field not in ("name", "application", "algorithm", "seed")}
+        campaign = CampaignSpec(
+            name=spec.name, applications=[spec.application],
+            algorithms=[spec.algorithm], seeds=[spec.seed], base=base)
+        return self._submit(tenant, campaign, kind="experiment")
+
+    def submit_campaign(self, tenant: str,
+                        payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            campaign = CampaignSpec.from_dict(payload)
+        except (ValueError, TypeError) as error:
+            raise ApiError(400, str(error))
+        return self._submit(tenant, campaign, kind="campaign")
+
+    def _submit(self, tenant: str, campaign: CampaignSpec,
+                kind: str) -> Dict[str, Any]:
+        job_id, directory = self._allocate(tenant)
+        runner = CampaignRunner(campaign, directory, procs=1,
+                                checkpoint_every=self.checkpoint_every,
+                                lease_s=self.lease_s, retry=self.retry)
+        # durability point: after prepare() the job survives anything —
+        # restart recovery finds the manifest even if enqueue never runs.
+        manifest = runner.prepare()
+        self._bus(job_id)
+        self.queue.enqueue(tenant, job_id)
+        return {
+            "job": job_id,
+            "kind": kind,
+            "campaign": campaign.name,
+            "experiments": [entry["name"]
+                            for entry in manifest["experiments"]],
+            "links": {
+                "status": "/v1/jobs/{}".format(job_id),
+                "events": "/v1/jobs/{}/events".format(job_id),
+                "report": "/v1/jobs/{}/report".format(job_id),
+            },
+        }
+
+    # -- execution ----------------------------------------------------------
+    def _bus(self, job_id: str) -> JobEventBus:
+        with self._lock:
+            bus = self._buses.get(job_id)
+            if bus is None:
+                bus = self._buses[job_id] = JobEventBus()
+            return bus
+
+    def _execute_job(self, tenant: str, job_id: str) -> None:
+        """Pool-worker entry: drive one job's campaign to its final state."""
+        directory = self._job_directory(tenant, _parse_job_id(job_id)[1])
+        bus = self._bus(job_id)
+        bus.publish({"event": "job-started", "job": job_id})
+
+        def observer_factory(claim: Dict[str, Any]) -> List[Any]:
+            bus.publish({"event": "experiment-claimed", "job": job_id,
+                         "experiment": claim["name"],
+                         "attempt": int(claim.get("attempts", 0)) + 1})
+            return [EventBridgeObserver(bus, claim["name"])]
+
+        def progress(outcome: Dict[str, Any], done: int, total: int) -> None:
+            bus.publish({"event": "experiment-finished", "job": job_id,
+                         "experiment": outcome["name"],
+                         "status": outcome["status"], "done": done,
+                         "total": total})
+
+        try:
+            runner = CampaignRunner.open(directory, procs=1,
+                                         lease_s=self.lease_s,
+                                         retry=self.retry)
+            result = runner.run(resume=True, progress=progress,
+                                observer_factory=observer_factory)
+            bus.close({"event": "job-finished", "job": job_id,
+                       "state": result.manifest["state"],
+                       "completed": len(result.completed),
+                       "failed": len(result.failed)})
+        except Exception as error:
+            bus.close({"event": "job-error", "job": job_id,
+                       "error": "{}: {}".format(type(error).__name__, error)})
+            raise
+
+    # -- observation --------------------------------------------------------
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        """The job's manifest facts plus its in-memory scheduling state."""
+        directory = self._directory_for(job_id)
+        manifest = load_manifest(directory)
+        if self.queue.is_active(job_id):
+            phase = "running"
+        elif self.queue.position(job_id) is not None:
+            phase = "queued"
+        elif manifest.get("state") == "complete":
+            phase = "complete"
+        else:
+            # on disk but neither queued nor running: the server lost it
+            # (e.g. an execution error) — visible, not silently absent.
+            phase = "stalled"
+        status = {
+            "job": job_id,
+            "phase": phase,
+            "state": manifest.get("state"),
+            "campaign": manifest["campaign"]["name"],
+            "queue_position": self.queue.position(job_id),
+            "experiments": [
+                {"name": entry["name"], "status": entry["status"],
+                 "attempts": entry.get("attempts", 0),
+                 "lease": entry.get("lease"),
+                 "retry_at": entry.get("retry_at"),
+                 "error": entry.get("error")}
+                for entry in manifest["experiments"]],
+        }
+        error = self.queue.last_error(job_id)
+        if error is not None:
+            status["execution_error"] = error
+        return status
+
+    def job_report(self, job_id: str) -> Dict[str, Any]:
+        from repro.analysis.campaign_report import campaign_report_document
+
+        return campaign_report_document(self._directory_for(job_id))
+
+    def job_events(self, job_id: str) -> JobEventBus:
+        """The job's event bus; terminal jobs get a pre-closed bus."""
+        directory = self._directory_for(job_id)
+        with self._lock:
+            bus = self._buses.get(job_id)
+        if bus is not None:
+            return bus
+        # Job known only from disk (pre-restart submission): synthesize a
+        # closed stream carrying its final state.
+        manifest = load_manifest(directory)
+        bus = JobEventBus()
+        terminal = manifest.get("state") == "complete" or all(
+            entry["status"] in TERMINAL_STATUSES
+            for entry in manifest["experiments"])
+        if terminal:
+            bus.close({"event": "job-finished", "job": job_id,
+                       "state": manifest.get("state")})
+            return bus
+        with self._lock:
+            return self._buses.setdefault(job_id, bus)
+
+    def list_jobs(self) -> Dict[str, Any]:
+        jobs: List[Dict[str, Any]] = []
+        for tenant in sorted(os.listdir(self.results_root)):
+            tenant_dir = os.path.join(self.results_root, tenant)
+            if not os.path.isdir(tenant_dir) or not _TENANT_RE.match(tenant):
+                continue
+            for name in sorted(os.listdir(tenant_dir)):
+                directory = os.path.join(tenant_dir, name)
+                if not name.isdigit() or not os.path.exists(
+                        os.path.join(directory, MANIFEST_NAME)):
+                    continue
+                manifest = load_manifest(directory)
+                job_id = _job_id(tenant, int(name))
+                jobs.append({"job": job_id, "tenant": tenant,
+                             "campaign": manifest["campaign"]["name"],
+                             "state": manifest.get("state")})
+        return {"jobs": jobs, "queued": self.queue.snapshot()}
+
+    def shutdown(self) -> None:
+        self.queue.shutdown()
+
+
+class TuningServer:
+    """``ThreadingHTTPServer`` wrapper binding a :class:`TuningService`."""
+
+    def __init__(self, service: TuningService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), make_handler(service))
+        # NDJSON streams live as long as the job; don't cap them at the
+        # default socket timeout.
+        self.httpd.daemon_threads = True
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return "http://{}:{}".format(host, port)
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def serve_in_thread(self) -> threading.Thread:
+        thread = threading.Thread(target=self.httpd.serve_forever,
+                                  daemon=True, name="tuning-server")
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.shutdown()

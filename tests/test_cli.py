@@ -501,6 +501,104 @@ class TestCampaignCLI:
         assert main(["campaign", "report", "--results", str(tmp_path)]) == 2
         assert "cannot report" in capsys.readouterr().err
 
+    def test_campaign_report_json_is_the_document(self, tmp_path, capsys):
+        from repro.analysis.campaign_report import campaign_report_document
+
+        _, spec_path = self._write_campaign(tmp_path)
+        results_dir = str(tmp_path / "out")
+        assert main(["campaign", "run", "--spec", spec_path,
+                     "--results", results_dir]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--results", results_dir,
+                     "--json"]) == 0
+        output = capsys.readouterr().out
+        document = json.loads(output)
+        assert document == campaign_report_document(results_dir)
+        # canonical serialization: the exact bytes the service's /report
+        # endpoint emits, so the two can be diffed in CI
+        assert output == json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+class TestFlagValidation:
+    """Count/duration flags all route through the shared validators."""
+
+    def test_probe_counts_validated(self):
+        # --scale-factor/--extra-generic used to be plain type=int
+        for bad in ("0", "-3", "1.5", "lots"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["probe", "--scale-factor", bad])
+        for bad in ("-1", "1.5", "lots"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["probe", "--extra-generic", bad])
+        args = build_parser().parse_args(
+            ["probe", "--scale-factor", "3", "--extra-generic", "0"])
+        assert args.scale_factor == 3 and args.extra_generic == 0
+
+    def test_run_checkpoint_cadence_validated(self):
+        for bad in ("0", "-1", "1.5", "often"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "--checkpoint-every", bad])
+        args = build_parser().parse_args(["run", "--checkpoint-every", "4"])
+        assert args.checkpoint_every == 4
+
+    def test_campaign_run_checkpoint_and_lease_validated(self):
+        for bad in ("0", "-1", "1.5", "often"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["campaign", "run", "--results", "out",
+                     "--checkpoint-every", bad])
+        for bad in ("0", "-0.5", "nan", "soon"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["campaign", "run", "--results", "out", "--lease-s", bad])
+        args = build_parser().parse_args(
+            ["campaign", "run", "--results", "out", "--checkpoint-every",
+             "2", "--lease-s", "0.25"])
+        assert args.checkpoint_every == 2 and args.lease_s == 0.25
+
+    def test_report_max_points_validated(self):
+        for bad in ("0", "-2", "2.5", "some"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["campaign", "report", "--results", "out",
+                     "--max-points", bad])
+        args = build_parser().parse_args(
+            ["campaign", "report", "--results", "out", "--max-points", "5"])
+        assert args.max_points == 5 and args.json is False
+        assert build_parser().parse_args(
+            ["campaign", "report", "--results", "out", "--json"]).json
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--results", "root"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8080
+        assert args.workers == 2 and args.checkpoint_every == 1
+        assert args.lease_s is None and args.max_attempts is None
+
+    def test_serve_requires_results(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_flags_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--results", "r",
+                                       "--port", "-1"])
+        for flag in ("--workers", "--checkpoint-every", "--max-attempts"):
+            for bad in ("0", "-2", "1.5"):
+                with pytest.raises(SystemExit):
+                    build_parser().parse_args(["serve", "--results", "r",
+                                               flag, bad])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--results", "r",
+                                       "--lease-s", "0"])
+        # port 0 is the ephemeral-port request, so it is valid
+        args = build_parser().parse_args(
+            ["serve", "--results", "r", "--port", "0", "--workers", "4",
+             "--lease-s", "2.5"])
+        assert args.port == 0 and args.workers == 4 and args.lease_s == 2.5
+
 
 class TestCompare:
     def test_compare_two_algorithms(self, capsys):
