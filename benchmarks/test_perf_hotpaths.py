@@ -84,6 +84,9 @@ FOREST_QUERY_ROWS = 512 if SMOKE else 4096
 #: minimum speedup of vectorized forest prediction over the per-row oracle.
 FOREST_SPEEDUP_FLOOR = 2.0 if SMOKE else 5.0
 
+#: trial budget per run in the warm-start transfer benchmark.
+WARM_TRIALS = 30 if SMOKE else 80
+
 
 def _record_artifact(section: str, payload: Dict) -> None:
     """Merge one benchmark section into the BENCH_hotpaths.json artifact."""
@@ -595,3 +598,77 @@ def test_forest_scoring():
     assert speedup >= FOREST_SPEEDUP_FLOOR, (
         "forest batch prediction speedup x{:.1f} below the x{:.1f} floor".format(
             speedup, FOREST_SPEEDUP_FLOOR))
+
+
+# -- transfer-learning warm start ------------------------------------------------------
+
+def test_warm_start_transfer(tmp_path):
+    """Zoo warm-start does not lose to cold start on a held-out application.
+
+    Trains DeepTune on two donor applications over the same Linux space
+    (same version/seed/space_options, so the space fingerprints match),
+    publishes both into a surrogate zoo, then tunes a held-out third
+    application twice with identical budgets: cold and warm-started from
+    the zoo's nearest donor.  The virtual clock is deterministic, so the
+    warm run's time-to-best must not exceed the cold run's — the paper's
+    Figure 5 transfer claim at benchmark scale.
+    """
+    from repro.core.wayfinder import Wayfinder
+    from repro.deeptune.importance import parameter_importance
+    from repro.deeptune.transfer import publish_zoo_entry
+
+    space_options = {"extra_compile": 20, "extra_runtime": 12, "extra_boot": 4}
+    # no warmup_iterations key: the cold run keeps the default random
+    # warmup, the warm run skips it (the paper's TL configuration).
+    algorithm_options = {"candidate_pool_size": 64,
+                         "training_steps_per_iteration": 8}
+    seed = 21
+
+    def run(application, warm_start=None):
+        wayfinder = Wayfinder.for_linux(
+            application=application, metric="throughput", seed=seed,
+            algorithm="deeptune", favor="runtime",
+            space_options=space_options,
+            algorithm_options=algorithm_options, warm_start=warm_start)
+        result = wayfinder.specialize(iterations=WARM_TRIALS)
+        return wayfinder, result
+
+    zoo = str(tmp_path / "zoo")
+    for donor_app in ("nginx", "redis"):
+        wayfinder, result = run(donor_app)
+        encoder = wayfinder.algorithm.encoder
+        features, objectives, _ = result.history.training_arrays(encoder)
+        entry = publish_zoo_entry(
+            zoo, donor_app, encoder, wayfinder.algorithm.model,
+            parameter_importance(encoder, features, objectives),
+            metadata={"experiment": "bench-" + donor_app})
+        assert entry is not None
+
+    cold_wayfinder, cold = run("sqlite")
+    assert cold_wayfinder.warm_start is None
+    # min_similarity=0.0 pins donor adoption: the benchmark certifies the
+    # transfer effect, not the (separately tested) similarity gate.
+    warm_wayfinder, warm = run("sqlite",
+                               warm_start={"zoo": zoo, "min_similarity": 0.0})
+    assert warm_wayfinder.warm_start is not None
+    assert warm_wayfinder.algorithm.warmup_iterations == 0
+
+    _record_artifact("warm_start_transfer", {
+        "trials": WARM_TRIALS,
+        "target": "sqlite",
+        "donor": warm_wayfinder.warm_start["donor"],
+        "similarity": warm_wayfinder.warm_start["similarity"],
+        "donor_observations": warm_wayfinder.warm_start["observations"],
+        "cold_time_to_best_s": cold.time_to_best_s,
+        "warm_time_to_best_s": warm.time_to_best_s,
+        "cold_best_objective": cold.best_performance,
+        "warm_best_objective": warm.best_performance,
+    })
+    print("\nwarm start: cold ttb {:.0f} s, warm ttb {:.0f} s "
+          "(donor {}, similarity {:.3f})".format(
+              cold.time_to_best_s or 0.0, warm.time_to_best_s or 0.0,
+              warm_wayfinder.warm_start["donor"],
+              warm_wayfinder.warm_start["similarity"]))
+    assert warm.time_to_best_s <= cold.time_to_best_s, (
+        "warm-started time-to-best ({:.0f} s) lost to cold start "
+        "({:.0f} s)".format(warm.time_to_best_s, cold.time_to_best_s))

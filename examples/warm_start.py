@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Transfer-learning warm start from a persisted surrogate zoo (§3.3).
+
+Campaigns persist every trained DeepTune model into a ``zoo/`` directory
+keyed by application and configuration-space fingerprint.  A later
+experiment on a *new* application over the same space can declare
+``warm_start:`` (or pass ``--warm-start`` on the CLI) and have its model
+initialized from the most similar donor — similarity is the cosine of the
+two applications' parameter-importance vectors, the paper's Figure 5
+signal.  This example builds a small zoo from two donor applications,
+then tunes a held-out third application cold and warm and compares the
+trajectories.
+
+The same zoo mechanics run automatically inside campaigns: every
+completed DeepTune experiment publishes its model, and a campaign spec
+whose base carries ``warm_start: {zoo: <donor campaign dir>}`` adopts
+donors on startup (``campaign report`` then shows the provenance table).
+
+Usage:
+    python examples/warm_start.py [donor_iterations] [search_iterations]
+"""
+
+import sys
+import tempfile
+
+from repro import Wayfinder
+from repro.analysis.reporting import format_table
+from repro.deeptune.importance import parameter_importance
+from repro.deeptune.transfer import publish_zoo_entry
+
+#: a reduced filler-parameter tail keeps the example fast; donors and the
+#: target must share the space (same version/seed/options) to be
+#: fingerprint-compatible.
+SPACE_OPTIONS = {"extra_compile": 20, "extra_runtime": 12, "extra_boot": 4}
+SEED = 11
+
+
+def specialize(application, iterations, warm_start=None):
+    wayfinder = Wayfinder.for_linux(
+        application=application, metric="throughput", algorithm="deeptune",
+        seed=SEED, space_options=SPACE_OPTIONS, warm_start=warm_start)
+    result = wayfinder.specialize(iterations=iterations)
+    return wayfinder, result
+
+
+def main() -> None:
+    donor_iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    search_iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+
+    with tempfile.TemporaryDirectory(prefix="wayfinder-zoo-") as zoo:
+        for application in ("nginx", "redis"):
+            print("Training donor on {} ({} iterations)...".format(
+                application, donor_iterations))
+            wayfinder, result = specialize(application, donor_iterations)
+            encoder = wayfinder.algorithm.encoder
+            features, objectives, _ = result.history.training_arrays(encoder)
+            entry = publish_zoo_entry(
+                zoo, application, encoder, wayfinder.algorithm.model,
+                parameter_importance(encoder, features, objectives),
+                metadata={"experiment": "donor-" + application})
+            print("  published {} ({} observations)".format(
+                entry["id"], entry["observations"]))
+
+        print("\nTuning sqlite cold and warm-started from the zoo...")
+        _, cold = specialize("sqlite", search_iterations)
+        warm_wayfinder, warm = specialize(
+            "sqlite", search_iterations,
+            warm_start={"zoo": zoo, "min_similarity": 0.0})
+        provenance = warm_wayfinder.warm_start
+        assert provenance is not None, "expected a zoo donor to be adopted"
+
+        print(format_table(
+            ("quantity", "cold start", "warm start"),
+            [
+                ("best objective",
+                 "{:.2f}".format(cold.best_performance),
+                 "{:.2f}".format(warm.best_performance)),
+                ("time to best (min)",
+                 "{:.0f}".format((cold.time_to_best_s or 0) / 60),
+                 "{:.0f}".format((warm.time_to_best_s or 0) / 60)),
+                ("crash rate",
+                 "{:.0%}".format(cold.crash_rate),
+                 "{:.0%}".format(warm.crash_rate)),
+                ("donor", "-", "{} (similarity {:.3f})".format(
+                    provenance["donor"], provenance["similarity"])),
+            ],
+            title="sqlite specialization, {} iterations".format(
+                search_iterations),
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Docs link check: every relative link in the documentation must resolve.
+
+Scans markdown files (README.md, ROADMAP.md, docs/*.md by default) for
+inline links and image references, and fails when a relative target does
+not exist on disk.  External links (http/https/mailto) and pure anchors
+are skipped; a ``path#anchor`` target is checked for the path part only.
+
+Usage:
+    python scripts/check_doc_links.py [file-or-dir ...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+DEFAULT_TARGETS = ("README.md", "ROADMAP.md", "docs")
+
+
+def markdown_files(targets: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for target in targets:
+        if os.path.isdir(target):
+            for name in sorted(os.listdir(target)):
+                if name.endswith(".md"):
+                    files.append(os.path.join(target, name))
+        elif os.path.exists(target):
+            files.append(target)
+    return files
+
+
+def broken_links(path: str) -> List[Tuple[int, str]]:
+    """(line number, target) pairs whose relative targets do not resolve."""
+    base = os.path.dirname(os.path.abspath(path))
+    broken: List[Tuple[int, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                if not os.path.exists(os.path.join(base, relative)):
+                    broken.append((number, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or list(DEFAULT_TARGETS)
+    files = markdown_files(targets)
+    if not files:
+        print("no markdown files found under {}".format(targets),
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in files:
+        for number, target in broken_links(path):
+            print("{}:{}: broken link -> {}".format(path, number, target),
+                  file=sys.stderr)
+            failures += 1
+    checked = len(files)
+    if failures:
+        print("{} broken link{} across {} file{}".format(
+            failures, "" if failures == 1 else "s",
+            checked, "" if checked == 1 else "s"), file=sys.stderr)
+        return 1
+    print("docs link check: {} file{} clean".format(
+        checked, "" if checked == 1 else "s"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""CI smoke for transfer-learning warm start across two CLI campaigns.
+
+Choreography:
+
+1. run a tiny donor campaign (DeepTune on two applications) through
+   ``repro campaign run`` — completing experiments must publish their
+   trained models into ``<results>/zoo/``;
+2. run a second campaign on a held-out application whose base declares
+   ``warm_start:`` pointing at the donor campaign directory;
+3. assert the target campaign's manifest records warm-start provenance
+   (donor application + similarity) in the experiment summary, and that
+   ``campaign report`` renders the provenance table.
+
+Usage:
+    PYTHONPATH=src python scripts/warm_start_smoke.py warm-smoke-results
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+#: donors and the target share the space (same seed/options) so the zoo
+#: fingerprints are compatible; applications differ.
+DONOR_CAMPAIGN = """\
+campaign:
+  name: warm-donors
+  applications:
+    - nginx
+    - redis
+  algorithms:
+    - deeptune
+  seeds:
+    - 0
+  base:
+    metric: auto
+    iterations: 6
+    space_options:
+      extra_compile: 20
+      extra_runtime: 12
+      extra_boot: 4
+    algorithm_options:
+      warmup_iterations: 3
+      candidate_pool_size: 32
+      training_steps_per_iteration: 4
+      hidden_dims:
+        - 24
+        - 12
+      n_centroids: 8
+"""
+
+TARGET_CAMPAIGN = """\
+campaign:
+  name: warm-targets
+  applications:
+    - sqlite
+  algorithms:
+    - deeptune
+  seeds:
+    - 0
+  base:
+    metric: auto
+    iterations: 6
+    space_options:
+      extra_compile: 20
+      extra_runtime: 12
+      extra_boot: 4
+    algorithm_options:
+      candidate_pool_size: 32
+      training_steps_per_iteration: 4
+      hidden_dims:
+        - 24
+        - 12
+      n_centroids: 8
+    warm_start:
+      zoo: {donor_dir}
+      min_similarity: 0.0
+"""
+
+
+def run_cli(*args):
+    subprocess.run([sys.executable, "-m", "repro.cli", *args], check=True)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="warm-smoke-")
+    donor_dir = os.path.join(root, "donors")
+    target_dir = os.path.join(root, "targets")
+    os.makedirs(root, exist_ok=True)
+
+    donor_spec = os.path.join(root, "donors.yaml")
+    with open(donor_spec, "w") as handle:
+        handle.write(DONOR_CAMPAIGN)
+    run_cli("campaign", "run", "--spec", donor_spec, "--results", donor_dir,
+            "--procs", "2")
+
+    zoo_index = os.path.join(donor_dir, "zoo", "index.json")
+    with open(zoo_index) as handle:
+        entries = json.load(handle)["entries"]
+    applications = sorted(entry["application"] for entry in entries.values())
+    if applications != ["nginx", "redis"]:
+        sys.exit("zoo holds {} instead of the two donors".format(applications))
+    print("donor campaign published {} zoo entries: {}".format(
+        len(entries), ", ".join(sorted(entries))))
+
+    target_spec = os.path.join(root, "targets.yaml")
+    with open(target_spec, "w") as handle:
+        handle.write(TARGET_CAMPAIGN.format(donor_dir=donor_dir))
+    run_cli("campaign", "run", "--spec", target_spec, "--results", target_dir,
+            "--procs", "1")
+
+    with open(os.path.join(target_dir, "campaign.json")) as handle:
+        manifest = json.load(handle)
+    (experiment,) = manifest["experiments"]
+    provenance = (experiment.get("summary") or {}).get("warm_start")
+    if not provenance:
+        sys.exit("target experiment completed without warm-start provenance")
+    if provenance["donor"] not in ("nginx", "redis"):
+        sys.exit("unexpected donor: {}".format(provenance))
+    print("warm-started {} from donor {} (similarity {})".format(
+        experiment["name"], provenance["donor"], provenance["similarity"]))
+
+    report = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "campaign", "report",
+         "--results", target_dir],
+        check=True, stdout=subprocess.PIPE, text=True).stdout
+    if "Warm-started experiments" not in report:
+        sys.exit("campaign report does not render the warm-start table")
+    if provenance["donor"] not in report:
+        sys.exit("campaign report does not show the donor application")
+    print("campaign report renders the warm-start provenance table; OK")
+
+
+if __name__ == "__main__":
+    main()

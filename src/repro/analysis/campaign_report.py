@@ -215,6 +215,31 @@ def per_iteration_cost_series(results: CampaignResults,
             for index in range(horizon)]
 
 
+def warm_start_document(results: CampaignResults) -> Dict[str, Any]:
+    """Warm-start provenance per experiment as raw table data.
+
+    Completed experiments that adopted a zoo donor carry a ``warm_start``
+    block in their stored summary (donor application, zoo entry,
+    similarity score); this surfaces it instead of silently dropping it.
+    Rows are empty for cold-started campaigns, and the table renders only
+    when rows exist — same contract as the failed-experiments table.
+    """
+    rows: List[List[Any]] = []
+    for entry in results.completed:
+        provenance = (entry.get("summary") or {}).get("warm_start")
+        if not provenance:
+            continue
+        rows.append([entry["name"],
+                     provenance.get("donor"),
+                     provenance.get("similarity"),
+                     provenance.get("observations")])
+    return {
+        "title": "Warm-started experiments (donor picked from the surrogate zoo)",
+        "columns": ["experiment", "donor", "similarity", "donor obs"],
+        "rows": rows,
+    }
+
+
 def failed_experiments_document(results: CampaignResults) -> Dict[str, Any]:
     """Failed/quarantined experiments as raw table data (rows may be empty)."""
     failed = [entry for entry in results.experiments
@@ -254,6 +279,7 @@ def campaign_report_document(directory: str) -> Dict[str, Any]:
         "best_objective": best_objective_document(results),
         "time_to_best": time_to_best_document(results),
         "per_iteration_cost": series,
+        "warm_start": warm_start_document(results),
         "failed": failed_experiments_document(results),
     }
 
@@ -281,6 +307,16 @@ def render_campaign_report(directory: str, max_points: int = 12) -> str:
                 title="{}: per-iteration cost ({})".format(results.name,
                                                            algorithm),
                 max_points=max_points))
+    # rendered only when any experiment warm-started, so cold campaigns
+    # keep their historical report bytes
+    warm = warm_start_document(results)
+    if warm["rows"]:
+        sections.append("")
+        sections.append(format_table(
+            tuple(warm["columns"]),
+            [(name, donor, _fmt(similarity, "{:.3f}"), observations)
+             for name, donor, similarity, observations in warm["rows"]],
+            title=warm["title"]))
     # rendered only when failures exist, so a chaos run whose experiments
     # all ultimately completed reports byte-identically to a clean run
     failed = failed_experiments_document(results)

@@ -6,15 +6,39 @@ means their performance is impacted by similar parameters (Nginx, Redis and
 SQLite cluster together; NPB stands apart).  The similarity of two importance
 vectors is their cosine similarity, which is 1 on the diagonal by
 construction and decreases as the sets of influential parameters diverge.
+
+This module is also the donor-selection layer of the **surrogate model
+zoo** (see :mod:`repro.deeptune.transfer` for the on-disk format):
+:func:`select_donor` ranks zoo entries against a target experiment's
+importance vector with exactly the Figure 5 machinery
+(:func:`cross_similarity_matrix` over the sorted union of parameter
+names) and applies the compatibility rules —
+
+* the donor's space fingerprint must equal the target's (same encoded
+  geometry; cross-space transfer is refused, not attempted);
+* the donor must come from a *different* application (warm-starting an
+  application from its own surrogate is resuming, not transfer);
+* the donor must have trained on at least one observation;
+* the best similarity score must clear ``min_similarity``, otherwise the
+  experiment cold-starts.
+
+Selection is deterministic: ties break toward the lexicographically
+smallest entry id, so every worker that reads the same zoo picks the same
+donor — a requirement of the campaign fabric's byte-determinism
+invariants.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 Array = np.ndarray
+
+#: below this cosine similarity a donor is considered unrelated (the
+#: Figure 5 off-cluster cells sit well under it) and cold start wins.
+DEFAULT_MIN_SIMILARITY = 0.2
 
 
 def _as_matrix(importances: Dict[str, Dict[str, float]],
@@ -49,6 +73,47 @@ def cross_similarity_matrix(importances: Dict[str, Dict[str, float]],
         for j in range(n):
             result[i, j] = cosine_similarity(matrix[i], matrix[j])
     return result
+
+
+def select_donor(entries: Sequence[Dict[str, Any]], target_application: str,
+                 target_fingerprint: str,
+                 target_importance: Dict[str, float],
+                 min_similarity: float = DEFAULT_MIN_SIMILARITY,
+                 donor: Optional[str] = None,
+                 ) -> Optional[Tuple[Dict[str, Any], float]]:
+    """Pick the nearest-neighbour zoo entry for a warm start, or ``None``.
+
+    *entries* are zoo index records (see :mod:`repro.deeptune.transfer`);
+    the winner is the compatible entry whose importance vector has the
+    highest cosine similarity to *target_importance* (ties toward the
+    smaller entry id).  *donor*, when given, restricts candidates to that
+    application — an explicit donor still has to pass the fingerprint and
+    ``min_similarity`` gates.  Returns ``(entry, similarity)``.
+    """
+    candidates = [
+        entry for entry in entries
+        if entry.get("fingerprint") == target_fingerprint
+        and entry.get("application") != target_application
+        and int(entry.get("observations", 0)) > 0
+        and isinstance(entry.get("importance"), dict)
+        and (donor is None or entry.get("application") == donor)
+    ]
+    if not candidates:
+        return None
+    candidates.sort(key=lambda entry: str(entry.get("id")))
+    labels = ["__target__"] + [str(entry["id"]) for entry in candidates]
+    importances = {"__target__": dict(target_importance)}
+    for entry in candidates:
+        importances[str(entry["id"])] = {
+            str(name): float(value)
+            for name, value in entry["importance"].items()}
+    matrix = cross_similarity_matrix(importances, labels)
+    scores = matrix[0, 1:]
+    best = int(np.argmax(scores))  # first max wins = smallest id on ties
+    score = float(scores[best])
+    if score < min_similarity:
+        return None
+    return candidates[best], score
 
 
 def similarity_report(matrix: Array, applications: Sequence[str]) -> str:

@@ -16,6 +16,8 @@ the reproduction:
     $ python -m repro.cli run --application nginx --iterations 200 \
           --results results/ --checkpoint-every 5
     $ python -m repro.cli run --resume linux-nginx-deeptune --results results/
+    $ python -m repro.cli run --application sqlite --algorithm deeptune \
+          --warm-start campaign-out/ --iterations 100
     $ python -m repro.cli compare --application nginx --iterations 60
     $ python -m repro.cli compare --application nginx --favor none \
           --time-budget-s 7200 --workers 4 --batch-size 4
@@ -141,6 +143,16 @@ def _add_run_parser(subparsers) -> None:
                              "search round, async hands each worker its next "
                              "proposal the moment it finishes a trial "
                              "(default: batch, or the job file's value)")
+    parser.add_argument("--warm-start", metavar="ZOO",
+                        help="warm-start DeepTune from a surrogate zoo: a "
+                             "zoo/ directory, or a campaign results "
+                             "directory containing one. The nearest donor "
+                             "by parameter-importance similarity seeds the "
+                             "model; falls back to cold start when no "
+                             "compatible donor exists")
+    parser.add_argument("--warm-start-min-similarity", type=_rate, default=None,
+                        help="minimum donor similarity in [0, 1]; donors "
+                             "below it are ignored (default: 0.2)")
     parser.add_argument("--results", help="directory to store the exploration history")
     parser.add_argument("--name", help="name of the stored history (default: derived)")
     parser.add_argument("--checkpoint-every", type=_positive_int, default=None,
@@ -322,14 +334,16 @@ def _spec_from_flags(os_name: str, application: str, metric: str, algorithm: str
                      batch_size: int = 1, iterations: Optional[int] = None,
                      time_budget_s: Optional[float] = None,
                      plateau_trials: Optional[int] = None,
-                     execution: str = "batch") -> ExperimentSpec:
+                     execution: str = "batch",
+                     warm_start: Optional[dict] = None) -> ExperimentSpec:
     return ExperimentSpec(os_name=os_name, application=application,
                           metric=metric, algorithm=algorithm,
                           favor=_cli_favor(favor), seed=seed, workers=workers,
                           batch_size=batch_size, execution=execution,
                           iterations=iterations,
                           time_budget_s=time_budget_s,
-                          plateau_trials=plateau_trials)
+                          plateau_trials=plateau_trials,
+                          warm_start=warm_start)
 
 
 def _build_wayfinder(os_name: str, application: str, metric: str, algorithm: str,
@@ -341,8 +355,21 @@ def _build_wayfinder(os_name: str, application: str, metric: str, algorithm: str
         workers=workers, batch_size=batch_size))
 
 
+def _warm_start_from_args(args: argparse.Namespace) -> Optional[dict]:
+    """The ``warm_start:`` spec block the --warm-start flags describe."""
+    if args.warm_start is None:
+        if args.warm_start_min_similarity is not None:
+            raise SystemExit("--warm-start-min-similarity requires --warm-start")
+        return None
+    warm_start = {"zoo": args.warm_start}
+    if args.warm_start_min_similarity is not None:
+        warm_start["min_similarity"] = args.warm_start_min_similarity
+    return warm_start
+
+
 def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
     """Build the experiment spec a ``run`` invocation describes."""
+    warm_start = _warm_start_from_args(args)
     if args.job:
         job = load_job_file(args.job)
         # explicit CLI flags override the job file's settings
@@ -353,7 +380,8 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
                              ("execution", args.execution),
                              ("iterations", args.iterations),
                              ("time_budget_s", args.time_budget_s),
-                             ("plateau_trials", args.plateau)):
+                             ("plateau_trials", args.plateau),
+                             ("warm_start", warm_start)):
             if value is not None:
                 overrides[field] = value
         return job.to_spec(**overrides)
@@ -366,7 +394,8 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         execution=args.execution if args.execution is not None else "batch",
         iterations=args.iterations if args.iterations is not None else 100,
         time_budget_s=args.time_budget_s,
-        plateau_trials=args.plateau)
+        plateau_trials=args.plateau,
+        warm_start=warm_start)
 
 
 class _ProgressObserver(SessionObserver):
@@ -420,7 +449,8 @@ def _command_run(args: argparse.Namespace) -> int:
         for flag, value in (("--algorithm", args.algorithm),
                             ("--workers", args.workers),
                             ("--batch-size", args.batch_size),
-                            ("--execution", args.execution)):
+                            ("--execution", args.execution),
+                            ("--warm-start", args.warm_start)):
             if value is not None:
                 print("--resume: {} cannot be changed on a resumed run "
                       "(the checkpointed state depends on it)".format(flag),

@@ -363,6 +363,7 @@ class JobFile:
         execution: str = "batch",
         algorithm: str = "deeptune",
         plateau_trials: Optional[int] = None,
+        warm_start: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.name = name
         self.os_name = os_name
@@ -386,6 +387,9 @@ class JobFile:
         self.algorithm = algorithm
         #: optional early stop: trials without a new incumbent before giving up.
         self.plateau_trials = plateau_trials
+        #: optional surrogate-zoo warm start: {"zoo": dir, "min_similarity":
+        #: float, "donor": app} — see repro.deeptune.transfer.
+        self.warm_start = dict(warm_start) if warm_start else None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -405,6 +409,7 @@ class JobFile:
                 "execution": self.execution,
                 "algorithm": self.algorithm,
                 "plateau_trials": self.plateau_trials,
+                "warm_start": self.warm_start,
             },
             "parameters": [parameter.to_dict() for parameter in self.space.parameters()],
         }
@@ -435,6 +440,7 @@ class JobFile:
             execution=job.get("execution") or "batch",
             algorithm=job.get("algorithm") or "deeptune",
             plateau_trials=job.get("plateau_trials"),
+            warm_start=job.get("warm_start"),
         )
 
     def to_spec(self, **overrides: Any):
@@ -482,6 +488,7 @@ class JobFile:
             "batch_size": self.batch_size,
             "execution": self.execution,
             "frozen": dict(self.frozen),
+            "warm_start": dict(self.warm_start) if self.warm_start else None,
         }
         fields.update(overrides)
         return ExperimentSpec(**fields)

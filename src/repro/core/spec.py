@@ -68,7 +68,15 @@ class ExperimentSpec:
         "seed", "iterations", "time_budget_s", "plateau_trials", "workers",
         "batch_size", "execution", "enable_skip_build", "frozen",
         "algorithm_options", "os_version", "architecture", "space_options",
+        "warm_start",
     )
+
+    #: accepted keys of the ``warm_start`` block -> (types, human name).
+    WARM_START_KEYS: Dict[str, Any] = {
+        "zoo": ((str,), "a string (zoo or campaign directory)"),
+        "min_similarity": ((int, float), "a number"),
+        "donor": ((str,), "a string (application name)"),
+    }
 
     def __init__(
         self,
@@ -90,6 +98,7 @@ class ExperimentSpec:
         os_version: str = "v4.19",
         architecture: str = "x86_64",
         space_options: Optional[Dict[str, Any]] = None,
+        warm_start: Optional[Dict[str, Any]] = None,
         name: Optional[str] = None,
     ) -> None:
         if os_name not in _KNOWN_OS:
@@ -127,6 +136,8 @@ class ExperimentSpec:
         if execution not in EXECUTION_MODES:
             raise ValueError("unknown execution mode {!r}; expected one of {}".format(
                 execution, ", ".join(EXECUTION_MODES)))
+        if warm_start is not None:
+            warm_start = self._validate_warm_start(warm_start)
 
         self.os_name = os_name
         # The Unikraft experiment always targets the §4.4 Nginx image, exactly
@@ -152,8 +163,37 @@ class ExperimentSpec:
         self.os_version = os_version
         self.architecture = architecture
         self.space_options = _jsonable(dict(space_options or {}))
+        # None survives (cold start); old serialized specs have no key at
+        # all, and from_dict maps both to the same spec.
+        self.warm_start = None if warm_start is None else _jsonable(dict(warm_start))
         self.name = name or "{}-{}-{}".format(self.os_name, self.application,
                                               self.algorithm)
+
+    @classmethod
+    def _validate_warm_start(cls, warm_start: Any) -> Dict[str, Any]:
+        """Validate a ``warm_start`` block, naming the offending key."""
+        if not isinstance(warm_start, dict):
+            raise ValueError(
+                "spec field 'warm_start' must be an object (got {} {!r})".format(
+                    type(warm_start).__name__, warm_start))
+        unknown = sorted(set(warm_start) - set(cls.WARM_START_KEYS))
+        if unknown:
+            raise ValueError("unknown warm_start keys: {} (expected {})".format(
+                ", ".join(unknown), ", ".join(sorted(cls.WARM_START_KEYS))))
+        if "zoo" not in warm_start:
+            raise ValueError("warm_start requires a 'zoo' key naming the zoo "
+                             "(or campaign results) directory")
+        for key, value in warm_start.items():
+            types, expected = cls.WARM_START_KEYS[key]
+            if not isinstance(value, types) or isinstance(value, bool):
+                raise ValueError(
+                    "warm_start key {!r} must be {} (got {} {!r})".format(
+                        key, expected, type(value).__name__, value))
+        similarity = warm_start.get("min_similarity")
+        if similarity is not None and not 0.0 <= float(similarity) <= 1.0:
+            raise ValueError("warm_start key 'min_similarity' must be within "
+                             "[0, 1] (got {!r})".format(similarity))
+        return dict(warm_start)
 
     # -- favored kinds -----------------------------------------------------------
     @property
@@ -202,12 +242,13 @@ class ExperimentSpec:
         "os_version": ((str,), "a string"),
         "architecture": ((str,), "a string"),
         "space_options": ((dict,), "an object"),
+        "warm_start": ((dict,), "an object"),
     }
 
     #: fields where an explicit null is as good as an absent key.
     _NULLABLE = ("name", "favor", "iterations", "time_budget_s",
                  "plateau_trials", "frozen", "algorithm_options",
-                 "space_options")
+                 "space_options", "warm_start")
 
     @classmethod
     def check_field(cls, field: str, value: Any) -> None:

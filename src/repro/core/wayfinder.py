@@ -22,12 +22,21 @@ uninterrupted run trial for trial.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.analysis.similarity import DEFAULT_MIN_SIMILARITY, select_donor
 from repro.apps.base import Application, BenchmarkTool
 from repro.apps.registry import default_bench_tool_for, get_application
+from repro.config.encoding import ConfigEncoder
 from repro.config.space import Configuration, ConfigSpace
 from repro.core.spec import FAVOR_PRESETS, ExperimentSpec
+from repro.deeptune.importance import parameter_importance
+from repro.deeptune.model import DeepTuneModel
+from repro.deeptune.transfer import (ZooError, load_zoo_index, load_zoo_model,
+                                     space_fingerprint, transfer_model,
+                                     zoo_directory, zoo_entry_id)
 from repro.platform.history import ExplorationHistory
 from repro.platform.lifecycle import IncumbentPlateau, SessionObserver, StopCondition
 from repro.platform.metrics import (
@@ -241,10 +250,111 @@ class Wayfinder:
         options = dict(spec.algorithm_options)
         if spec.algorithm in ("deeptune", "bayesian", "unicorn"):
             options.setdefault("maximize", self.metric.maximize)
+        #: warm-start provenance (donor app, similarity) once a zoo donor is
+        #: adopted; None for cold starts and non-DeepTune algorithms.
+        self.warm_start: Optional[Dict[str, Any]] = None
+        if (spec.algorithm == "deeptune" and spec.warm_start is not None
+                and "model" not in options):
+            resolved = self._resolve_warm_start()
+            if resolved is not None:
+                options["model"], self.warm_start = resolved
+                # the paper's TL configuration: learned weights, empty
+                # replay buffer, no random warmup — the donor model guides
+                # proposals from iteration 0 (explicit algorithm_options
+                # still win).
+                options.setdefault("warmup_iterations", 0)
         self.algorithm = create_algorithm(
             spec.algorithm, self.os_model.space, seed=spec.seed,
             favored_kinds=self.favored_kinds, **options)
+        if self.warm_start is not None:
+            # ride the algorithm's export/import state so checkpoint/resume
+            # reports the same donor the original run adopted.
+            self.algorithm.provenance = dict(self.warm_start)
         self._session: Optional[SpecializationSession] = None
+
+    # -- warm start --------------------------------------------------------------------
+    def _resolve_warm_start(self) -> Optional[Tuple[DeepTuneModel,
+                                                    Dict[str, Any]]]:
+        """Resolve the spec's ``warm_start`` block to a donor model.
+
+        Every failure path — missing/empty/corrupt zoo, no fingerprint-
+        compatible entry, similarity below the threshold, unreadable donor
+        model — returns ``None`` and the experiment cold-starts; warm start
+        is an accelerator, never a new way for a run to fail.  Resolution
+        is a deterministic function of the spec and the zoo bytes, so every
+        resume and chaos replay adopts the same donor.
+        """
+        block = self.spec.warm_start
+        zoo_dir = zoo_directory(block["zoo"])
+        entries = list(load_zoo_index(zoo_dir).values())
+        if not entries:
+            return None
+        encoder = ConfigEncoder(self.os_model.space)
+        fingerprint = space_fingerprint(encoder)
+        selection = select_donor(
+            entries, self.spec.application, fingerprint,
+            self._target_importance(encoder, entries, fingerprint),
+            min_similarity=float(block.get("min_similarity",
+                                           DEFAULT_MIN_SIMILARITY)),
+            donor=block.get("donor"))
+        if selection is None:
+            return None
+        entry, score = selection
+        try:
+            donor_model = load_zoo_model(zoo_dir, entry)
+        except ZooError:
+            return None
+        if donor_model.input_dim != encoder.width:
+            return None
+        provenance = {
+            "donor": entry.get("application"),
+            "entry": entry.get("id"),
+            "experiment": entry.get("experiment"),
+            "similarity": round(float(score), 6),
+            "observations": int(entry.get("observations", 0)),
+        }
+        return transfer_model(donor_model), provenance
+
+    def _target_importance(self, encoder: ConfigEncoder, entries,
+                           fingerprint: str) -> Dict[str, float]:
+        """The target's Figure 5 reference vector for donor ranking.
+
+        When the zoo already holds an entry for this application on this
+        space, its stored importance vector is the reference.  Otherwise —
+        the held-out-application case — a small seeded probe evaluates
+        random configurations through the simulator (the paper's §3.3
+        methodology) and scores importance on the measurements.  The probe
+        uses its own sampler and simulator seeded from the spec, so the
+        search session's RNG streams are untouched and the result is
+        identical on every resume.
+        """
+        own_id = zoo_entry_id(self.spec.application, fingerprint)
+        for entry in entries:
+            if (entry.get("id") == own_id
+                    and isinstance(entry.get("importance"), dict)):
+                return {str(name): float(value)
+                        for name, value in entry["importance"].items()}
+        return self._probe_importance(encoder)
+
+    def _probe_importance(self, encoder: ConfigEncoder,
+                          n_probe: int = 16) -> Dict[str, float]:
+        from repro.search.base import ConfigurationSampler
+
+        probe_seed = self.spec.seed + 515151
+        sampler = ConfigurationSampler(self.os_model.space, seed=probe_seed,
+                                       favored_kinds=self.favored_kinds)
+        simulator = SystemSimulator(self.os_model, self.application,
+                                    self.bench_tool, hardware=self.hardware,
+                                    seed=probe_seed)
+        configurations = [sampler.sample() for _ in range(n_probe)]
+        targets = np.empty(len(configurations))
+        for index, configuration in enumerate(configurations):
+            outcome = simulator.evaluate(configuration)
+            objective = self.metric.extract(outcome)
+            targets[index] = (np.nan if outcome.crashed or objective is None
+                              else float(objective))
+        return parameter_importance(
+            encoder, encoder.encode_batch(configurations), targets)
 
     # -- spec passthroughs -------------------------------------------------------------
     @property

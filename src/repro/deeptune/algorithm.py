@@ -79,6 +79,10 @@ class DeepTuneSearch(SearchAlgorithm):
         )
         #: True when the model was pre-trained on another application.
         self.transferred = model is not None and model.observation_count > 0
+        #: warm-start provenance (donor application, zoo entry, similarity)
+        #: set by the front-end that injected a pre-trained model; surfaced
+        #: in run summaries and campaign reports.  None for cold starts.
+        self.provenance: Optional[dict] = None
 
         # Observed encoded vectors, kept in a preallocated matrix grown by
         # amortized doubling: propose() reads a slice view instead of
@@ -228,6 +232,7 @@ class DeepTuneSearch(SearchAlgorithm):
         state = super().export_state()
         state["model"] = copy.deepcopy(self.model)
         state["transferred"] = self.transferred
+        state["provenance"] = copy.deepcopy(self.provenance)
         state["observed_matrix"] = self._observed_matrix[:self._observed_count].copy()
         state["best_values"] = [c.as_dict() for c in self._best_configurations]
         state["best_objectives"] = list(self._best_objectives)
@@ -239,6 +244,9 @@ class DeepTuneSearch(SearchAlgorithm):
         super().import_state(state)
         self.model = copy.deepcopy(state["model"])
         self.transferred = bool(state["transferred"])
+        # .get(): checkpoints written before the surrogate zoo carry no
+        # provenance field and must keep resuming.
+        self.provenance = copy.deepcopy(state.get("provenance"))
         observed = np.array(state["observed_matrix"], dtype=np.float64)
         self._observed_count = observed.shape[0]
         self._observed_matrix = ensure_row_capacity(

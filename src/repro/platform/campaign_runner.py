@@ -345,6 +345,43 @@ class _LeaseHeartbeat(SessionObserver):
             self.injector.maybe_kill()
 
 
+def _publish_to_zoo(directory: str, lock: _ManifestLock,
+                    wayfinder: Wayfinder, spec: ExperimentSpec,
+                    campaign_name: str, result) -> None:
+    """Persist a completed experiment's trained surrogate into the zoo.
+
+    Only DeepTune experiments publish (the model is the search's own
+    surrogate); the entry — model weights plus the Figure 5 parameter-
+    importance vector of the run's history — goes to ``<directory>/zoo/``
+    keyed by (application, space fingerprint), read-modify-written under
+    the manifest lock so concurrent workers cannot interleave index
+    updates.  Publication is strictly best-effort: a zoo failure must
+    never turn a completed experiment into a failed one, so every error
+    is swallowed here.
+    """
+    try:
+        from repro.deeptune.importance import parameter_importance
+        from repro.deeptune.transfer import ZOO_DIR_NAME, publish_zoo_entry
+
+        encoder = getattr(wayfinder.algorithm, "encoder", None)
+        model = wayfinder.trained_model()
+        if encoder is None or model is None or spec.algorithm != "deeptune":
+            return
+        features, objectives, _ = result.history.training_arrays(encoder)
+        importance = parameter_importance(encoder, features, objectives)
+        with lock:
+            publish_zoo_entry(
+                os.path.join(directory, ZOO_DIR_NAME), spec.application,
+                encoder, model, importance, metadata={
+                    "experiment": spec.name,
+                    "campaign": campaign_name,
+                    "algorithm": spec.algorithm,
+                    "seed": spec.seed,
+                })
+    except Exception:  # noqa: BLE001 - zoo writes are best-effort
+        pass
+
+
 def _run_claimed(directory: str, lock: _ManifestLock, claim: Dict[str, Any],
                  checkpoint_every: int, campaign_name: str, lease_s: float,
                  injector: Optional[FaultInjector],
@@ -391,6 +428,12 @@ def _run_claimed(directory: str, lock: _ManifestLock, claim: Dict[str, Any],
         # wall-clock overhead is the one nondeterministic field; dropping it
         # keeps stored results byte-identical across process counts/resumes.
         summary.pop("search_overhead_s", None)
+        # donor provenance is deterministic (a function of the spec and the
+        # external zoo bytes) and survives resume via the algorithm state,
+        # so it is safe inside the byte-equality-pinned summary.
+        provenance = getattr(wayfinder.algorithm, "provenance", None)
+        if provenance is not None:
+            summary["warm_start"] = provenance
         store.save_history(spec.name, result.history, metadata={
             "campaign": campaign_name,
             "experiment": spec.name,
@@ -404,6 +447,8 @@ def _run_claimed(directory: str, lock: _ManifestLock, claim: Dict[str, Any],
             "execution": spec.execution,
             "stop_reason": summary.get("stop_reason"),
         })
+        _publish_to_zoo(directory, lock, wayfinder, spec, campaign_name,
+                        result)
         return {"name": spec.name, "status": STATUS_COMPLETE,
                 "summary": summary, "error": None}
     except Exception:
