@@ -87,6 +87,19 @@ FOREST_SPEEDUP_FLOOR = 2.0 if SMOKE else 5.0
 #: trial budget per run in the warm-start transfer benchmark.
 WARM_TRIALS = 30 if SMOKE else 80
 
+#: synthetic campaign shape for the report-aggregation benchmark: 2
+#: algorithms x 2 seeds, each experiment REPORT_TRIALS trials (10^5 total
+#: at full budget).
+REPORT_EXPERIMENTS = 4
+REPORT_TRIALS = 2_000 if SMOKE else 25_000
+#: minimum speedup of the streaming columnar report path over the
+#: materializing (record-dict) reader.  Relaxed under smoke budgets where
+#: fixed per-experiment overheads dominate the small stores.
+REPORT_SPEEDUP_FLOOR = 2.0 if SMOKE else 5.0
+#: compressed payload sidecar must be at most this fraction of its raw
+#: (uncompressed JSONL) size.
+SIDECAR_COMPRESSION_CEILING = 0.5
+
 
 def _record_artifact(section: str, payload: Dict) -> None:
     """Merge one benchmark section into the BENCH_hotpaths.json artifact."""
@@ -551,6 +564,164 @@ def test_million_trial_store(tmp_path):
         "checkpoint write time grew x{:.2f} with constant new-trial count — "
         "an O(history) component crept back in (bound {:.2f})".format(
             checkpoint_ratio, CHECKPOINT_RATIO_BOUND))
+
+
+# -- streaming campaign report ---------------------------------------------------------
+
+def _report_campaign(directory: str) -> None:
+    """Write a synthetic completed campaign: manifest + per-experiment stores."""
+    import random
+
+    from repro.platform.campaign_runner import (MANIFEST_FORMAT_VERSION,
+                                                MANIFEST_NAME)
+    from repro.platform.results import ResultsStore
+
+    space = _flat_space()
+    rng = random.Random(31)
+    pool = [space.sample_configuration(rng) for _ in range(64)]
+    store = ResultsStore(directory)
+    entries = []
+    experiment = 0
+    for algorithm in ("deeptune", "random"):
+        for seed in (1, 2):
+            name = "bench-report-{:02d}".format(experiment)
+            history = ExplorationHistory(ThroughputMetric())
+            for index in range(REPORT_TRIALS):
+                crashed = (index + experiment) % 10 == 0
+                history.add(TrialRecord(
+                    index=index, configuration=pool[index % len(pool)],
+                    objective=None if crashed
+                    else 100.0 + ((index * 37 + experiment) % 100) / 10.0,
+                    crashed=crashed,
+                    failure_stage=FailureStage.RUN if crashed
+                    else FailureStage.NONE,
+                    failure_reason="boom" if crashed else "",
+                    metric_value=None, memory_mb=None,
+                    duration_s=60.0 + (index % 9) * 1.5,
+                    started_at_s=60.0 * index, worker=index % 4))
+            store.save_history(name, history)
+            entries.append({
+                "name": name,
+                "spec": {"name": name, "application": "nginx",
+                         "algorithm": algorithm, "seed": seed},
+                "status": "complete", "attempts": 1, "claims": 1,
+                "lease": None, "retry_at": None,
+                "summary": history.summary(), "error": None,
+            })
+            experiment += 1
+    manifest = {
+        "kind": "campaign",
+        "format_version": MANIFEST_FORMAT_VERSION,
+        "campaign": {"name": "bench-report"},
+        "invocation": None,
+        "state": "complete",
+        "experiments": entries,
+    }
+    with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+
+
+def _materialized_report_document(directory: str) -> Dict:
+    """The pre-columnar reader: record dicts materialized for every trial."""
+    from repro.analysis import campaign_report as cr
+
+    results = cr.load_campaign(directory)
+    series = []
+    for algorithm in results.axis_values("algorithm"):
+        points = cr.per_iteration_cost_series_reference(results, algorithm)
+        if points:
+            series.append({"algorithm": algorithm,
+                           "points": [[index, cost] for index, cost in points]})
+    return {
+        "campaign": results.name,
+        "experiments": len(results.experiments),
+        "status": results.status_counts(),
+        "best_objective": cr.best_objective_document(results),
+        "time_to_best": cr.time_to_best_document(results),
+        "per_iteration_cost": series,
+        "warm_start": cr.warm_start_document(results),
+        "failed": cr.failed_experiments_document(results),
+    }
+
+
+def test_report_aggregation_streams_columns(tmp_path):
+    """The streaming report tier beats the materializing reader >= 5x.
+
+    Builds a completed 4-experiment campaign (10^5 trials total at full
+    budget), then times ``campaign_report_document`` — which streams
+    ``duration_s``/``index`` off the columnar mmap — against the retained
+    materializing oracle that JSON-decodes every stored payload.  The two
+    documents must serialize to identical bytes (the same pin
+    ``tests/test_storage_compat.py`` applies across store formats), and the
+    block-compressed payload sidecar must stay at or under half its raw
+    size.
+    """
+    from repro.analysis.campaign_report import campaign_report_document
+    from repro.platform.results import ResultsStore, open_history_view
+
+    directory = str(tmp_path / "campaign")
+    os.makedirs(directory)
+    _report_campaign(directory)
+
+    def best_of(fn, repeats: int) -> Tuple[float, Dict]:
+        timings = []
+        document: Dict = {}
+        for _ in range(repeats):
+            started = time.perf_counter()
+            document = fn()
+            timings.append(time.perf_counter() - started)
+        return min(timings), document
+
+    # every call loads the campaign fresh — both paths pay manifest +
+    # open costs, the difference is pure aggregation strategy.
+    streaming_s, streaming = best_of(
+        lambda: campaign_report_document(directory), repeats=3)
+    materialized_s, materialized = best_of(
+        lambda: _materialized_report_document(directory), repeats=1)
+    assert (json.dumps(streaming, sort_keys=True)
+            == json.dumps(materialized, sort_keys=True)), (
+        "streaming report diverged from the materializing reader")
+    speedup = materialized_s / max(streaming_s, 1e-12)
+
+    store = ResultsStore(directory)
+    raw_bytes = 0
+    compressed_bytes = 0
+    for name in store.list_histories():
+        if not name.startswith("bench-report-"):
+            continue  # the campaign manifest itself lists as a .json entry
+        view = open_history_view(store.history_path(name))
+        columns = view.columns
+        if len(columns):
+            raw_bytes += int(columns["payload_offset"][-1]
+                             + columns["payload_length"][-1])
+        compressed_bytes += os.path.getsize(store.history_trial_paths(name)[1])
+    ratio = compressed_bytes / max(raw_bytes, 1)
+
+    _record_artifact("report_aggregation", {
+        "experiments": REPORT_EXPERIMENTS,
+        "trials_total": REPORT_EXPERIMENTS * REPORT_TRIALS,
+        "materialized_ms": materialized_s * 1e3,
+        "streaming_ms": streaming_s * 1e3,
+        "speedup": speedup,
+        "floor": REPORT_SPEEDUP_FLOOR,
+    })
+    _record_artifact("payload_sidecar", {
+        "raw_bytes": raw_bytes,
+        "compressed_bytes": compressed_bytes,
+        "ratio": ratio,
+        "ceiling": SIDECAR_COMPRESSION_CEILING,
+    })
+    print("\nreport aggregation: materialized {:.1f} ms, streaming {:.1f} ms "
+          "(x{:.1f}); sidecar {:.0f} KiB -> {:.0f} KiB (x{:.2f})".format(
+              materialized_s * 1e3, streaming_s * 1e3, speedup,
+              raw_bytes / 1024.0, compressed_bytes / 1024.0, ratio))
+    assert speedup >= REPORT_SPEEDUP_FLOOR, (
+        "streaming report only x{:.2f} over the materializing reader "
+        "(floor {:.1f})".format(speedup, REPORT_SPEEDUP_FLOOR))
+    assert ratio <= SIDECAR_COMPRESSION_CEILING, (
+        "compressed sidecar is x{:.2f} of raw (ceiling {:.2f})".format(
+            ratio, SIDECAR_COMPRESSION_CEILING))
 
 
 # -- vectorized forest scoring ---------------------------------------------------------

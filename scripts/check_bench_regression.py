@@ -20,7 +20,12 @@ by more than the threshold (default 25%).  Guarded metrics:
 * ``million_trial_store.checkpoint_time_ratio`` — checkpoint write must be
   O(new trials), not O(history) (lower is better);
 * ``forest_scoring.speedup`` — flattened-tree batch prediction vs the
-  per-row oracle (higher is better).
+  per-row oracle (higher is better);
+* ``report_aggregation.streaming_ms`` — campaign report wall-time over a
+  10^5-trial multi-experiment campaign via the streaming columnar tier
+  (lower is better);
+* ``payload_sidecar.ratio`` — block-compressed payload sidecar bytes as a
+  fraction of the raw JSONL bytes (lower is better, deterministic).
 
 Metrics missing from the previous artifact (e.g. sections introduced by a
 newer PR) are reported as "new" and skipped, so the guard never blocks the
@@ -45,6 +50,8 @@ GUARDED_METRICS: List[Tuple[str, str, str]] = [
     ("million_trial_store", "flat_ratio", "lower"),
     ("million_trial_store", "checkpoint_time_ratio", "lower"),
     ("forest_scoring", "speedup", "higher"),
+    ("report_aggregation", "streaming_ms", "lower"),
+    ("payload_sidecar", "ratio", "lower"),
 ]
 
 

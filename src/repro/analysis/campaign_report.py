@@ -10,10 +10,15 @@ plain-text :func:`~repro.analysis.reporting.format_table` /
 :func:`~repro.analysis.reporting.format_series` helpers, so a campaign
 report needs no plotting dependency — it is the text form of the figures.
 
-The aggregation works off the raw JSON documents (records carry objective,
-duration and timing fields) and therefore never needs to rebuild the
-configuration spaces, which keeps ``campaign report`` instant even for
-campaigns over experiment-scale spaces.
+The aggregation is the *streaming* tier of the storage lane: table builders
+fold the manifest's per-experiment summaries (never trial records), and the
+per-iteration cost series reads ``duration_s``/``index`` straight off each
+experiment's mmap-backed :class:`~repro.platform.trialstore.ColumnarHistoryView`
+— so a report over many 10⁵-trial experiments costs O(trials) numpy column
+work and zero payload parsing, instead of JSON-decoding every stored
+configuration.  It also never needs to rebuild the configuration spaces,
+which keeps ``campaign report`` instant even for campaigns over
+experiment-scale spaces.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.analysis.reporting import format_series, format_table
 from repro.platform.campaign_runner import (STATUS_COMPLETE, STATUS_FAILED,
                                             STATUS_FAILED_PERMANENT,
                                             load_manifest)
+from repro.platform.trialstore import ColumnarHistoryView
 
 
 class CampaignResults:
@@ -35,6 +41,7 @@ class CampaignResults:
         self.directory = directory
         self.manifest = manifest
         self._documents: Dict[str, Dict[str, Any]] = {}
+        self._views: Dict[str, ColumnarHistoryView] = {}
 
     @property
     def name(self) -> str:
@@ -64,18 +71,33 @@ class CampaignResults:
                 values.append(value)
         return values
 
+    def view(self, name: str) -> ColumnarHistoryView:
+        """The lazy columnar view of experiment *name* (cached).
+
+        Numeric aggregation should go through this: columns stream off the
+        mmap and the payload sidecar is never opened, so the cost is
+        O(trials) column reads rather than O(total payload bytes) JSON.
+        """
+        if name not in self._views:
+            from repro.platform.results import open_history_view
+
+            path = os.path.join(self.directory, name + ".json")
+            self._views[name] = open_history_view(path)
+        return self._views[name]
+
     def document(self, name: str) -> Dict[str, Any]:
         """The stored history document of experiment *name* (cached).
 
-        Records live in the columnar sidecars since results format 2;
-        :func:`load_history_document` reads the manifest-referenced prefix
-        and attaches it, so report code keeps the inline-records shape.
+        Records live in the columnar sidecars since results format 2; this
+        materializes the manifest-referenced prefix under ``"records"``, so
+        callers that genuinely need configurations keep the inline-records
+        shape.  Aggregation code should prefer :meth:`view`.
         """
         if name not in self._documents:
-            from repro.platform.results import load_history_document
-
-            path = os.path.join(self.directory, name + ".json")
-            self._documents[name] = load_history_document(path)
+            view = self.view(name)
+            document = dict(view.document)
+            document["records"] = view.record_dicts()
+            self._documents[name] = document
         return self._documents[name]
 
 
@@ -198,6 +220,40 @@ def per_iteration_cost_series(results: CampaignResults,
     ``duration_s`` keyed by trial index; the series is the per-index mean,
     truncated to the shortest experiment so every point averages the same
     population.
+
+    The per-experiment gather is the O(trials) part and runs vectorized on
+    the columnar view (stable argsort + column fancy-index, no payload
+    parsing).  The cross-experiment reduction stays on
+    :func:`statistics.mean` — its exact rational summation is what the
+    pre-columnar reader used, so the emitted floats are bit-identical
+    (:func:`per_iteration_cost_series_reference` pins this in tests).
+    """
+    per_experiment: List[Any] = []
+    for entry in _completed_matching(results, algorithm=algorithm):
+        durations = results.view(entry["name"]).cost_by_iteration()
+        if len(durations):
+            per_experiment.append(durations)
+    if not per_experiment:
+        return []
+    horizon = min(len(durations) for durations in per_experiment)
+    if len(per_experiment) == 1:
+        # mean([x]) == x exactly, so a single experiment's column can be
+        # emitted directly — the common case for per-algorithm sweeps.
+        column = per_experiment[0]
+        return [(float(index), float(column[index]))
+                for index in range(horizon)]
+    return [(float(index),
+             mean(float(durations[index]) for durations in per_experiment))
+            for index in range(horizon)]
+
+
+def per_iteration_cost_series_reference(
+        results: CampaignResults,
+        algorithm: str) -> List[Tuple[float, float]]:
+    """The pre-columnar oracle for :func:`per_iteration_cost_series`.
+
+    Materializes every record dict and aggregates them the way the original
+    reader did; retained so tests can pin the streaming path bit-identical.
     """
     per_experiment: List[List[float]] = []
     for entry in _completed_matching(results, algorithm=algorithm):

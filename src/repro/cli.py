@@ -240,11 +240,14 @@ def _add_campaign_parser(subparsers) -> None:
                                  "transient (retryable) failure")
 
     report_parser = campaign_subparsers.add_parser(
-        "report", help="render the cross-experiment tables and figure series")
+        "report", help="render the cross-experiment tables and figure series "
+                       "(aggregates stream off the columnar trial store, no "
+                       "payload parsing)")
     report_parser.add_argument("--results", required=True,
                                help="campaign directory to aggregate")
     report_parser.add_argument("--max-points", type=_positive_int, default=12,
-                               help="points per rendered figure series")
+                               help="points per rendered figure series "
+                                    "(must be a positive integer)")
     report_parser.add_argument("--json", action="store_true",
                                help="emit the machine-readable report "
                                     "document (identical bytes to the "

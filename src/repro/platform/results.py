@@ -186,15 +186,19 @@ def cleanup_stale_tmp_files(directory: str) -> List[str]:
 class ResultsStore:
     """Save and load exploration histories and checkpoints as JSON documents."""
 
-    FORMAT_VERSION = 2
-    CHECKPOINT_FORMAT_VERSION = 2
+    FORMAT_VERSION = 3
+    CHECKPOINT_FORMAT_VERSION = 3
     CHECKPOINT_SUFFIX = ".checkpoint.json"
     #: columnar sidecars holding the trial rows a manifest references (see
     #: :mod:`repro.platform.trialstore`): fixed-width numeric columns in
     #: ``.trials.bin``, variable-width configuration payloads in
-    #: ``.trials.jsonl``.  Format version 2 manifests carry only metadata,
-    #: summaries, and a ``trials`` row count; version-1 documents with inline
-    #: records are still loadable.
+    #: ``.trials.jsonl``.  Manifests carry only metadata, summaries, and a
+    #: ``trials`` row count; format version 3 adds a block-compressed
+    #: payload sidecar whose index travels as ``payload_blocks`` (with
+    #: ``payload_format`` naming the sidecar's on-disk form, so a legacy
+    #: raw sidecar keeps resuming unconverted).  Version-2 manifests (raw
+    #: sidecars) and version-1 documents with inline records are still
+    #: loadable.
     TRIAL_COLUMNS_SUFFIX = ".trials.bin"
     TRIAL_PAYLOADS_SUFFIX = ".trials.jsonl"
     #: rolling backup of the previous checkpoint: the fallback when the
@@ -246,8 +250,11 @@ class ResultsStore:
         columns_path, payloads_path = self.history_trial_paths(name)
         records = history.records_since(0)
         columns, payloads = trialstore.serialize_records(records)
+        frames, blocks = trialstore.compress_payload_blocks(
+            payloads, 0, trialstore.PAYLOAD_HEADER_SIZE)
         atomic_write_bytes(columns_path, trialstore.make_header() + columns)
-        atomic_write_bytes(payloads_path, payloads)
+        atomic_write_bytes(payloads_path,
+                           trialstore.make_payload_header() + frames)
         document = {
             "format_version": self.FORMAT_VERSION,
             "metric": history.metric.name,
@@ -256,6 +263,8 @@ class ResultsStore:
             "trials": len(records),
             "trial_columns": os.path.basename(columns_path),
             "trial_payloads": os.path.basename(payloads_path),
+            "payload_format": trialstore.PAYLOAD_FORMAT_BLOCKS,
+            "payload_blocks": blocks,
         }
         text = json.dumps(document, indent=2) + "\n"
         return atomic_write_text(self._path(name), text)
@@ -417,23 +426,44 @@ def _sidecar_paths(manifest_path: str, document: Dict[str, object]) -> tuple:
 def load_history_document(path: str) -> Dict[str, object]:
     """Load a stored history manifest with its records attached.
 
-    Version-2 manifests hold no inline records; this reads the referenced
+    Version-2/3 manifests hold no inline records; this reads the referenced
     prefix of the columnar sidecars and attaches it under ``"records"`` —
     shaped exactly like the version-1 inline documents — so analysis code
     keeps a single document shape.  Corrupt or short sidecars raise
     ``ValueError`` just like a corrupt manifest would.
+
+    This is the materializing reader; aggregation that only needs numeric
+    columns should use :func:`open_history_view` instead, which never
+    parses payloads it is not asked for.
     """
     with open(path) as handle:
         document = json.load(handle)
     version = document.get("format_version")
     if version == 1:
         return document
-    if version != ResultsStore.FORMAT_VERSION:
+    if version not in (2, ResultsStore.FORMAT_VERSION):
         raise ValueError("unsupported results format version: {!r}".format(version))
     columns_path, payloads_path = _sidecar_paths(path, document)
     document["records"] = trialstore.read_record_dicts(
-        columns_path, payloads_path, int(document.get("trials", 0)))
+        columns_path, payloads_path, int(document.get("trials", 0)),
+        document.get("payload_blocks"))
     return document
+
+
+def open_history_view(path: str) -> trialstore.ColumnarHistoryView:
+    """Open a stored history/checkpoint manifest as a lazy columnar view.
+
+    Unlike :func:`load_history_document`, no records are materialized:
+    numeric columns come straight off the mmap and payloads decode on
+    demand through the sidecar's block index.  Version-1 documents (inline
+    records) are wrapped behind the same interface.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    version = document.get("format_version")
+    if version not in (1, 2, ResultsStore.FORMAT_VERSION):
+        raise ValueError("unsupported results format version: {!r}".format(version))
+    return trialstore.ColumnarHistoryView(path, document)
 
 
 class SessionCheckpointer:
@@ -484,13 +514,14 @@ class SessionCheckpointer:
     def build_document(self) -> Dict[str, object]:
         session = self.session
         columns_path, payloads_path = self.store.checkpoint_trial_paths(self.name)
+        writer = self._trial_writer()
         state = {
             "algorithm": session.algorithm.export_state(),
             "backend": session.backend.export_state(),
             "search_overhead_s": session.search_overhead_s,
             "batches_run": session.batches_run,
         }
-        return {
+        document = {
             "format_version": ResultsStore.CHECKPOINT_FORMAT_VERSION,
             "kind": "checkpoint",
             "spec": self.spec.to_dict(),
@@ -502,6 +533,13 @@ class SessionCheckpointer:
             "trial_payloads": os.path.basename(payloads_path),
             "state": encode_state(state),
         }
+        if writer.compressed:
+            document["payload_format"] = trialstore.PAYLOAD_FORMAT_BLOCKS
+            document["payload_blocks"] = writer.blocks
+        else:
+            # a store resumed from a raw (pre-v3) sidecar keeps appending raw.
+            document["payload_format"] = trialstore.PAYLOAD_FORMAT_RAW
+        return document
 
     def save(self) -> str:
         writer = self._trial_writer()
@@ -531,12 +569,13 @@ def load_checkpoint_file(path: str) -> Dict[str, object]:
     version = document.get("format_version")
     if version == 1:
         return document
-    if version != ResultsStore.CHECKPOINT_FORMAT_VERSION:
+    if version not in (2, ResultsStore.CHECKPOINT_FORMAT_VERSION):
         raise ValueError("unsupported checkpoint format version: {!r}".format(
             version))
     columns_path, payloads_path = _sidecar_paths(path, document)
     document["records"] = trialstore.read_record_dicts(
-        columns_path, payloads_path, int(document.get("trials", 0)))
+        columns_path, payloads_path, int(document.get("trials", 0)),
+        document.get("payload_blocks"))
     return document
 
 

@@ -6,10 +6,29 @@ history, so checkpoint cost grows O(history) and the Figure 7/8 flat-cost
 invariant dies in the results layer.  This module stores the fixed-width
 numeric measurements of every trial (objective, crash flags, timestamps,
 worker attribution) as rows of one packed numpy structured dtype in an
-append-only binary file, with a compact JSON-lines sidecar holding the
-variable-width payload (configuration values, failure reason).  Each row
-carries the byte offset and length of its sidecar line, so both files
-support random access and prefix truncation.
+append-only binary file, with a sidecar holding the variable-width payload
+(configuration values, failure reason) as one compact JSON line per trial.
+Each row carries the byte offset and length of its payload line *in the
+uncompressed payload stream*, so both files support random access and
+prefix truncation.
+
+The payload sidecar has two on-disk forms:
+
+* **raw** (format v2) — the JSON lines stored verbatim; row offsets are
+  file offsets.
+* **block-compressed** (format v3) — the same line stream cut at line
+  boundaries into zlib-compressed blocks, each framed by a small header
+  (:data:`BLOCK_MAGIC`, compressed size, raw size) behind a file-level
+  magic header.  Row offsets stay *logical* (uncompressed-stream) offsets;
+  the block index maps logical ranges to physical frames.  The index
+  travels in the JSON manifest (``payload_blocks``) so readers seek
+  without scanning, and is recoverable from the frames alone
+  (:func:`scan_payload_blocks`) so the writer needs no manifest.
+
+New sidecars are written block-compressed; an existing raw sidecar keeps
+appending raw (the format is sticky per store), so older manifests —
+including the rolling ``.prev`` fallback — always reference byte ranges in
+the format they were written against.
 
 Two properties carry the crash-safety story:
 
@@ -19,7 +38,9 @@ Two properties carry the crash-safety story:
   append past the manifest's count is invisible, and the rolling ``.prev``
   manifest fallback of :class:`~repro.platform.results.ResultsStore` keeps
   working unchanged because an older manifest simply references a shorter
-  prefix of the same files.
+  prefix of the same files — for block-compressed sidecars, a shorter
+  prefix of *whole blocks*, because manifests are only ever written at
+  block boundaries.
 * **Deterministic bytes** — a trial's row and sidecar line are pure
   functions of the record, and the platform's bit-exact resume invariant
   means every worker (re)computes identical records.  A presumed-dead
@@ -30,6 +51,10 @@ Readers get zero-copy access: :func:`open_columns` maps the binary file
 read-only with :func:`numpy.memmap`, and field access on the returned
 structured array (``columns["objective"]``) is a view into the mapping, so
 training-scale reads never materialize per-record Python objects.
+:class:`ColumnarHistoryView` packages that for the analysis tier: lazy
+column views over one stored manifest plus an on-demand payload decoder,
+so cross-experiment aggregation streams off the mmap and never parses a
+payload it does not need.
 """
 
 from __future__ import annotations
@@ -37,6 +62,9 @@ from __future__ import annotations
 import json
 import os
 import struct
+import zlib
+from bisect import bisect_right
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -89,6 +117,139 @@ def check_header(header: bytes, path: str) -> None:
         raise ValueError(
             "unsupported trial column layout in {} (version {}, itemsize {})".format(
                 path, version, itemsize))
+
+
+#: file magic + layout version of a block-compressed payload sidecar.  A raw
+#: (format v2) sidecar is a stream of JSON lines and can never start with
+#: this magic (lines always start with ``{``), so the first 8 bytes of the
+#: file identify its format unambiguously.
+PAYLOAD_MAGIC = b"REPROPLZ"
+PAYLOAD_LAYOUT_VERSION = 1
+PAYLOAD_HEADER_SIZE = 16  # magic (8) + version (u4) + reserved (u4)
+
+#: per-block frame: magic (4) + compressed size (u4) + raw size (u4).
+BLOCK_MAGIC = b"RPLB"
+BLOCK_HEADER_SIZE = 12
+
+#: target uncompressed bytes per block.  Blocks only split at payload line
+#: boundaries, so a block can run past the target by up to one line.
+DEFAULT_BLOCK_RAW_BYTES = 1 << 18
+
+#: ``payload_format`` manifest values: raw JSON lines vs. compressed blocks.
+PAYLOAD_FORMAT_RAW = 2
+PAYLOAD_FORMAT_BLOCKS = 3
+
+
+def make_payload_header() -> bytes:
+    return PAYLOAD_MAGIC + struct.pack("<II", PAYLOAD_LAYOUT_VERSION, 0)
+
+
+def check_payload_header(header: bytes, path: str) -> None:
+    """Validate a compressed-sidecar header; raises ``ValueError`` on mismatch."""
+    if len(header) < PAYLOAD_HEADER_SIZE or header[:8] != PAYLOAD_MAGIC:
+        raise ValueError(
+            "{} is not a block-compressed payload sidecar".format(path))
+    version, _reserved = struct.unpack("<II", header[8:PAYLOAD_HEADER_SIZE])
+    if version != PAYLOAD_LAYOUT_VERSION:
+        raise ValueError(
+            "unsupported payload block layout in {} (version {})".format(
+                path, version))
+
+
+def payload_is_blocked(path: str) -> bool:
+    """Whether *path* is a block-compressed (format v3) payload sidecar."""
+    with open(path, "rb") as handle:
+        return handle.read(len(PAYLOAD_MAGIC)) == PAYLOAD_MAGIC
+
+
+def compress_payload_blocks(
+        payload: bytes, raw_offset: int, physical_offset: int,
+        block_raw_bytes: int = DEFAULT_BLOCK_RAW_BYTES,
+        level: int = 6) -> Tuple[bytes, List[Dict[str, int]]]:
+    """Frame *payload* (whole JSON lines) into compressed blocks.
+
+    Returns ``(frames, entries)``: the bytes to append at *physical_offset*
+    and the matching index entries (``offset``/``size`` are physical frame
+    positions, ``raw_offset``/``raw_size`` the logical uncompressed range
+    starting at *raw_offset*).  Blocks split only at line boundaries, so
+    every row's payload line decodes from whole blocks.  ``zlib.compress``
+    is deterministic, preserving the store's deterministic-bytes invariant.
+    """
+    frames: List[bytes] = []
+    entries: List[Dict[str, int]] = []
+    position = 0
+    physical = physical_offset
+    logical = raw_offset
+    total = len(payload)
+    while position < total:
+        cut = position + block_raw_bytes
+        if cut >= total:
+            cut = total
+        else:
+            boundary = payload.find(b"\n", cut - 1)
+            cut = total if boundary < 0 else boundary + 1
+        chunk = payload[position:cut]
+        compressed = zlib.compress(chunk, level)
+        frame = BLOCK_MAGIC + struct.pack(
+            "<II", len(compressed), len(chunk)) + compressed
+        frames.append(frame)
+        entries.append({"offset": physical, "size": len(frame),
+                        "raw_offset": logical, "raw_size": len(chunk)})
+        physical += len(frame)
+        logical += len(chunk)
+        position = cut
+    return b"".join(frames), entries
+
+
+def decode_payload_block(frame: bytes, path: str) -> bytes:
+    """Decompress one framed block; raises ``ValueError`` on any corruption."""
+    if len(frame) < BLOCK_HEADER_SIZE or frame[:4] != BLOCK_MAGIC:
+        raise ValueError("{} holds a corrupt payload block".format(path))
+    compressed_size, raw_size = struct.unpack("<II", frame[4:BLOCK_HEADER_SIZE])
+    body = frame[BLOCK_HEADER_SIZE:BLOCK_HEADER_SIZE + compressed_size]
+    if len(body) < compressed_size:
+        raise ValueError("{} holds a truncated payload block".format(path))
+    try:
+        raw = zlib.decompress(body)
+    except zlib.error as error:
+        raise ValueError(
+            "{} holds an undecodable payload block: {}".format(path, error))
+    if len(raw) != raw_size:
+        raise ValueError(
+            "{} holds a payload block of unexpected size".format(path))
+    return raw
+
+
+def scan_payload_blocks(path: str) -> List[Dict[str, int]]:
+    """Recover the block index of *path* by walking its frames.
+
+    A torn tail (incomplete frame header or body) ends the scan cleanly —
+    exactly the prefix-validity rule: complete frames stay valid forever.
+    Garbage *within* the walked region raises ``ValueError``.
+    """
+    blocks: List[Dict[str, int]] = []
+    with open(path, "rb") as handle:
+        check_payload_header(handle.read(PAYLOAD_HEADER_SIZE), path)
+        physical = PAYLOAD_HEADER_SIZE
+        raw_offset = 0
+        while True:
+            frame_header = handle.read(BLOCK_HEADER_SIZE)
+            if len(frame_header) < BLOCK_HEADER_SIZE:
+                break
+            if frame_header[:4] != BLOCK_MAGIC:
+                raise ValueError(
+                    "{} holds a corrupt payload block at byte {}".format(
+                        path, physical))
+            compressed_size, raw_size = struct.unpack("<II", frame_header[4:])
+            body = handle.read(compressed_size)
+            if len(body) < compressed_size:
+                break
+            size = BLOCK_HEADER_SIZE + compressed_size
+            blocks.append({"offset": physical, "size": size,
+                           "raw_offset": raw_offset, "raw_size": raw_size})
+            physical += size
+            raw_offset += raw_size
+    return blocks
 
 
 def encode_payload(record: TrialRecord) -> bytes:
@@ -182,27 +343,298 @@ def open_columns(path: str, count: int) -> np.ndarray:
     return columns
 
 
-def read_payloads(path: str, columns: np.ndarray) -> List[Dict[str, object]]:
+class RawPayloadReader:
+    """Random access over a raw (format v2) payload sidecar."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+
+    def read(self, offset: int, length: int) -> bytes:
+        if length == 0:
+            return b""
+        with open(self._path, "rb") as handle:
+            handle.seek(offset)
+            blob = handle.read(length)
+        if len(blob) < length:
+            raise ValueError(
+                "{} is shorter than its trial rows reference".format(self._path))
+        return blob
+
+    def read_prefix(self, end: int) -> bytes:
+        return self.read(0, end)
+
+
+class BlockPayloadReader:
+    """Random access over a block-compressed (format v3) payload sidecar.
+
+    Offsets are logical (uncompressed-stream) positions — the same offsets
+    trial rows carry regardless of sidecar format.  A small LRU of
+    decompressed blocks makes sequential row iteration decompress each
+    block once.
+    """
+
+    _CACHE_BLOCKS = 4
+
+    def __init__(self, path: str, blocks: Sequence[Dict[str, int]]) -> None:
+        self._path = path
+        self._blocks = [dict(block) for block in blocks]
+        self._starts = [int(block["raw_offset"]) for block in self._blocks]
+        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
+
+    @property
+    def coverage(self) -> int:
+        """Logical bytes covered by complete blocks."""
+        if not self._blocks:
+            return 0
+        last = self._blocks[-1]
+        return int(last["raw_offset"]) + int(last["raw_size"])
+
+    def _load(self, position: int) -> bytes:
+        cached = self._cache.get(position)
+        if cached is not None:
+            self._cache.move_to_end(position)
+            return cached
+        block = self._blocks[position]
+        with open(self._path, "rb") as handle:
+            handle.seek(int(block["offset"]))
+            frame = handle.read(int(block["size"]))
+        raw = decode_payload_block(frame, self._path)
+        if len(raw) != int(block["raw_size"]):
+            raise ValueError(
+                "{} holds a payload block of unexpected size".format(self._path))
+        self._cache[position] = raw
+        while len(self._cache) > self._CACHE_BLOCKS:
+            self._cache.popitem(last=False)
+        return raw
+
+    def read(self, offset: int, length: int) -> bytes:
+        if length == 0:
+            return b""
+        end = offset + length
+        if offset < 0 or end > self.coverage:
+            raise ValueError(
+                "{} is shorter than its trial rows reference".format(self._path))
+        position = bisect_right(self._starts, offset) - 1
+        pieces: List[bytes] = []
+        cursor = offset
+        while cursor < end:
+            block = self._blocks[position]
+            raw = self._load(position)
+            start = cursor - int(block["raw_offset"])
+            take = min(end, int(block["raw_offset"]) + int(block["raw_size"])) - cursor
+            pieces.append(raw[start:start + take])
+            cursor += take
+            position += 1
+        return b"".join(pieces)
+
+    def read_prefix(self, end: int) -> bytes:
+        return self.read(0, end)
+
+
+def open_payload_reader(path: str,
+                        blocks: Optional[Sequence[Dict[str, int]]] = None):
+    """The right payload reader for *path*, sniffed from its first bytes.
+
+    *blocks* is the manifest-carried index for a compressed sidecar; when
+    absent it is recovered by :func:`scan_payload_blocks`.  A manifest that
+    claims blocks over a raw file is corrupt and raises ``ValueError``.
+    """
+    if payload_is_blocked(path):
+        if blocks is None:
+            blocks = scan_payload_blocks(path)
+        return BlockPayloadReader(path, blocks)
+    if blocks:
+        raise ValueError(
+            "{} is not a block-compressed payload sidecar but its manifest "
+            "carries a block index".format(path))
+    return RawPayloadReader(path)
+
+
+def read_payloads(path: str, columns: np.ndarray,
+                  blocks: Optional[Sequence[Dict[str, int]]] = None
+                  ) -> List[Dict[str, object]]:
     """Decode the sidecar lines referenced by *columns* (one dict per row)."""
     if len(columns) == 0:
         return []
     end = int(columns["payload_offset"][-1] + columns["payload_length"][-1])
-    with open(path, "rb") as handle:
-        blob = handle.read(end)
-    if len(blob) < end:
-        raise ValueError("{} is shorter than its trial rows reference".format(path))
+    blob = open_payload_reader(path, blocks).read_prefix(end)
     payloads = []
     for offset, length in zip(columns["payload_offset"], columns["payload_length"]):
         payloads.append(json.loads(blob[int(offset):int(offset + length)]))
     return payloads
 
 
-def read_record_dicts(columns_path: str, payloads_path: str,
-                      count: int) -> List[Dict[str, object]]:
+def read_record_dicts(columns_path: str, payloads_path: str, count: int,
+                      blocks: Optional[Sequence[Dict[str, int]]] = None
+                      ) -> List[Dict[str, object]]:
     """Load the first *count* trials as ``record_to_dict``-shaped dicts."""
     columns = open_columns(columns_path, count)
-    payloads = read_payloads(payloads_path, columns)
+    payloads = read_payloads(payloads_path, columns, blocks)
     return [row_to_dict(row, payload) for row, payload in zip(columns, payloads)]
+
+
+_STAGE_CODES_BY_VALUE = {stage.value: code
+                         for code, stage in enumerate(FAILURE_STAGES)}
+
+
+def rows_from_record_dicts(entries: Sequence[Dict[str, object]]) -> np.ndarray:
+    """Synthesize ``TRIAL_DTYPE`` rows from ``record_to_dict``-shaped dicts.
+
+    This is the compatibility shim that lets :class:`ColumnarHistoryView`
+    serve numeric columns over a format-v1 document that inlined its
+    records; payload offsets are zeroed because inline records keep their
+    payloads in the dicts themselves.
+    """
+    rows = np.empty(len(entries), dtype=TRIAL_DTYPE)
+    nan = float("nan")
+    for position, entry in enumerate(entries):
+        objective = entry.get("objective")
+        metric = entry.get("metric_value")
+        memory = entry.get("memory_mb")
+        rows[position] = (
+            int(entry.get("index", position)),
+            nan if objective is None else float(objective),
+            nan if metric is None else float(metric),
+            nan if memory is None else float(memory),
+            float(entry.get("duration_s", 0.0)),
+            float(entry.get("started_at_s", 0.0)),
+            0,
+            0,
+            int(entry.get("worker", 0)),
+            objective is not None,
+            metric is not None,
+            memory is not None,
+            bool(entry.get("crashed", False)),
+            _STAGE_CODES_BY_VALUE.get(str(entry.get("failure_stage", "")), 0),
+            bool(entry.get("build_skipped", False)),
+        )
+    return rows
+
+
+class ColumnarHistoryView:
+    """Lazy zero-copy view over one stored history/checkpoint document.
+
+    The view is the streaming read tier for analysis: numeric aggregation
+    (best objective, per-iteration cost, crash counts) runs on mmap-backed
+    column views and never opens the payload sidecar; payload access is
+    per-row and on-demand through the sidecar's block index, so decoding
+    one configuration from a 10⁵-trial store touches one block, not the
+    whole file.  Format-v1 documents (inline records) are served through
+    synthesized columns, so callers see one interface across all formats.
+    """
+
+    def __init__(self, manifest_path: str, document: Dict[str, object]) -> None:
+        self._manifest_path = manifest_path
+        self._document = document
+        self._columns: Optional[np.ndarray] = None
+        self._reader = None
+        self._inline = "trial_columns" not in document
+        if self._inline:
+            self._records = list(document.get("records", []))
+            self._count = len(self._records)
+        else:
+            self._records = None
+            self._count = int(document.get("trials", 0))
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def document(self) -> Dict[str, object]:
+        """The manifest document this view was opened over (records excluded)."""
+        return self._document
+
+    def _sidecar_path(self, key: str) -> str:
+        name = self._document.get(key)
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                "{} does not reference its trial sidecar files".format(
+                    self._manifest_path))
+        directory = os.path.dirname(os.path.abspath(self._manifest_path))
+        return os.path.join(directory, os.path.basename(name))
+
+    @property
+    def columns(self) -> np.ndarray:
+        """The packed ``TRIAL_DTYPE`` rows (zero-copy memmap for v2/v3)."""
+        if self._columns is None:
+            if self._inline:
+                self._columns = rows_from_record_dicts(self._records)
+            else:
+                self._columns = open_columns(
+                    self._sidecar_path("trial_columns"), self._count)
+        return self._columns
+
+    @property
+    def objective(self) -> np.ndarray:
+        """float64 objectives, NaN where absent (zero-copy view)."""
+        return self.columns["objective"]
+
+    @property
+    def has_objective(self) -> np.ndarray:
+        return self.columns["has_objective"].view(np.bool_)
+
+    @property
+    def cost(self) -> np.ndarray:
+        """Per-trial evaluation cost (``duration_s``), in completion order."""
+        return self.columns["duration_s"]
+
+    @property
+    def iteration(self) -> np.ndarray:
+        """Per-trial iteration index (``index`` column)."""
+        return self.columns["index"]
+
+    @property
+    def worker(self) -> np.ndarray:
+        return self.columns["worker"]
+
+    @property
+    def crashed(self) -> np.ndarray:
+        return self.columns["crashed"].view(np.bool_)
+
+    def cost_by_iteration(self) -> np.ndarray:
+        """Durations reordered by ascending iteration index (stable)."""
+        columns = self.columns
+        order = np.argsort(columns["index"], kind="stable")
+        return columns["duration_s"][order]
+
+    def _payload_reader(self):
+        if self._reader is None:
+            self._reader = open_payload_reader(
+                self._sidecar_path("trial_payloads"),
+                self._document.get("payload_blocks"))
+        return self._reader
+
+    def payload(self, position: int) -> Dict[str, object]:
+        """Decode one row's payload (configuration + failure reason)."""
+        if self._inline:
+            entry = self._records[position]
+            return {"configuration": entry.get("configuration", {}),
+                    "failure_reason": entry.get("failure_reason", "")}
+        row = self.columns[position]
+        line = self._payload_reader().read(
+            int(row["payload_offset"]), int(row["payload_length"]))
+        return json.loads(line)
+
+    def record_dict(self, position: int) -> Dict[str, object]:
+        """One trial as a ``record_to_dict``-shaped dict."""
+        if self._inline:
+            return self._records[position]
+        return row_to_dict(self.columns[position], self.payload(position))
+
+    def record_dicts(self) -> List[Dict[str, object]]:
+        """All trials as dicts — the materializing path, for compat readers."""
+        if self._inline:
+            return list(self._records)
+        columns = self.columns
+        payloads = read_payloads(
+            self._sidecar_path("trial_payloads"), columns,
+            self._document.get("payload_blocks"))
+        return [row_to_dict(row, payload)
+                for row, payload in zip(columns, payloads)]
 
 
 class TrialStoreWriter:
@@ -215,11 +647,20 @@ class TrialStoreWriter:
     per checkpoint: ``append`` the records added since the last save, then
     ``flush``, then write the manifest carrying the new row count; a crash
     at any instant leaves the manifest pointing at a fully durable prefix.
+
+    The sidecar format is sticky: a fresh (empty) sidecar is written
+    block-compressed (format v3) and every flush frames its payload bytes
+    into whole zlib blocks; an existing raw sidecar keeps appending raw so
+    byte ranges referenced by older manifests — including the rolling
+    ``.prev`` fallback — stay valid verbatim.  For a compressed store,
+    :attr:`blocks` exposes the durable block index for manifest embedding.
     """
 
-    def __init__(self, columns_path: str, payloads_path: str) -> None:
+    def __init__(self, columns_path: str, payloads_path: str,
+                 block_raw_bytes: int = DEFAULT_BLOCK_RAW_BYTES) -> None:
         self.columns_path = columns_path
         self.payloads_path = payloads_path
+        self._block_raw_bytes = int(block_raw_bytes)
         created = not os.path.exists(columns_path)
         self._columns = open(columns_path, "a+b")
         self._payloads = open(payloads_path, "a+b")
@@ -239,13 +680,72 @@ class TrialStoreWriter:
         # division drops the partial tail, and every complete row is durable
         # because payloads flush before their columns do.
         self.count = (size - HEADER_SIZE) // TRIAL_DTYPE.itemsize
-        self._payload_offset = self._payload_end(self.count)
         self._pending: List[TrialRecord] = []
+        self._payloads.seek(0, os.SEEK_END)
+        payload_size = self._payloads.tell()
+        self._payloads.seek(0)
+        sniff = self._payloads.read(len(PAYLOAD_MAGIC))
         # drop torn tails now: the files are opened in append mode, so every
         # write lands at EOF — EOF must therefore sit exactly after the last
-        # complete row / its last referenced payload byte.
-        self._columns.truncate(HEADER_SIZE + self.count * TRIAL_DTYPE.itemsize)
-        self._payloads.truncate(self._payload_offset)
+        # complete row / its last referenced payload byte (for a compressed
+        # sidecar, after the block holding that byte).
+        if payload_size >= PAYLOAD_HEADER_SIZE and sniff == PAYLOAD_MAGIC:
+            self._compressed = True
+            self._payloads.seek(0)
+            check_payload_header(self._payloads.read(PAYLOAD_HEADER_SIZE),
+                                 payloads_path)
+            self._blocks: List[Dict[str, int]] = scan_payload_blocks(
+                payloads_path)
+            coverage = 0
+            if self._blocks:
+                last = self._blocks[-1]
+                coverage = int(last["raw_offset"]) + int(last["raw_size"])
+            # rows referencing past the complete blocks lost their payload
+            # to a torn frame; drop them with it.
+            if self.count:
+                columns = open_columns(self.columns_path, self.count)
+                ends = np.asarray(
+                    columns["payload_offset"] + columns["payload_length"],
+                    dtype=np.int64)
+                self.count = int(np.searchsorted(ends, coverage, side="right"))
+            self._columns.truncate(
+                HEADER_SIZE + self.count * TRIAL_DTYPE.itemsize)
+            self._payload_offset = self._payload_end(self.count)
+            self._physical_end = PAYLOAD_HEADER_SIZE
+            self._trim_blocks(self._payload_offset)
+        elif payload_size == 0 and self.count == 0:
+            # a fresh store: block-compressed from byte zero.
+            self._compressed = True
+            self._blocks = []
+            self._columns.truncate(HEADER_SIZE)
+            self._payloads.truncate(0)
+            self._payloads.write(make_payload_header())
+            self._payloads.flush()
+            self._payload_offset = 0
+            self._physical_end = PAYLOAD_HEADER_SIZE
+        else:
+            # an existing raw (format v2) sidecar: appends stay raw.
+            self._compressed = False
+            self._blocks = []
+            self._payload_offset = self._payload_end(self.count)
+            self._columns.truncate(
+                HEADER_SIZE + self.count * TRIAL_DTYPE.itemsize)
+            self._payloads.truncate(self._payload_offset)
+            self._physical_end = self._payload_offset
+        self._columns.seek(0, os.SEEK_END)
+        self._payloads.seek(0, os.SEEK_END)
+
+    @property
+    def compressed(self) -> bool:
+        """Whether the sidecar is block-compressed (format v3)."""
+        return self._compressed
+
+    @property
+    def blocks(self) -> Optional[List[Dict[str, int]]]:
+        """Durable block index copies for manifest embedding (``None`` raw)."""
+        if not self._compressed:
+            return None
+        return [dict(block) for block in self._blocks]
 
     def _payload_end(self, count: int) -> int:
         if count == 0:
@@ -253,6 +753,52 @@ class TrialStoreWriter:
         columns = open_columns(self.columns_path, count)
         last = columns[count - 1]
         return int(last["payload_offset"] + last["payload_length"])
+
+    def _trim_blocks(self, target_raw_end: int) -> None:
+        """Truncate the compressed sidecar to *target_raw_end* logical bytes.
+
+        Whole blocks past the target are dropped; a block straddling it is
+        split — its surviving prefix re-framed as a fresh block — so the
+        durable stream ends exactly at the last referenced payload byte,
+        mirroring the raw format's truncation semantics.  Only blocks past
+        the last manifest write are ever split (manifests land at flush —
+        hence block — boundaries), so indexes embedded in older manifests
+        keep referencing untouched frames.
+        """
+        kept: List[Dict[str, int]] = []
+        covered = 0
+        physical = PAYLOAD_HEADER_SIZE
+        straddler: Optional[Dict[str, int]] = None
+        for block in self._blocks:
+            end = int(block["raw_offset"]) + int(block["raw_size"])
+            if end <= target_raw_end:
+                kept.append(block)
+                covered = end
+                physical = int(block["offset"]) + int(block["size"])
+            elif int(block["raw_offset"]) < target_raw_end:
+                straddler = block
+                break
+            else:
+                break
+        prefix = b""
+        if straddler is not None:
+            # read the straddling block's bytes *before* truncating them away.
+            self._payloads.seek(int(straddler["offset"]))
+            frame = self._payloads.read(int(straddler["size"]))
+            raw = decode_payload_block(frame, self.payloads_path)
+            prefix = raw[:target_raw_end - int(straddler["raw_offset"])]
+        self._payloads.truncate(physical)
+        self._payloads.seek(0, os.SEEK_END)
+        if prefix:
+            frames, entries = compress_payload_blocks(
+                prefix, covered, physical, self._block_raw_bytes)
+            self._payloads.write(frames)
+            kept.extend(entries)
+            physical += len(frames)
+        self._payloads.flush()
+        os.fsync(self._payloads.fileno())
+        self._blocks = kept
+        self._physical_end = physical
 
     def rewind(self, count: int) -> None:
         """Truncate both files to exactly *count* rows and position after them."""
@@ -264,7 +810,11 @@ class TrialStoreWriter:
                     count, self.count))
         payload_end = self._payload_end(count)
         self._columns.truncate(HEADER_SIZE + count * TRIAL_DTYPE.itemsize)
-        self._payloads.truncate(payload_end)
+        if self._compressed:
+            self._trim_blocks(payload_end)
+        else:
+            self._payloads.truncate(payload_end)
+            self._physical_end = payload_end
         self._columns.seek(0, os.SEEK_END)
         self._payloads.seek(0, os.SEEK_END)
         self.count = count
@@ -282,9 +832,20 @@ class TrialStoreWriter:
         if self._pending:
             columns, payloads = serialize_records(self._pending,
                                                   self._payload_offset)
-            self._payloads.write(payloads)
-            self._payloads.flush()
-            os.fsync(self._payloads.fileno())
+            if self._compressed:
+                frames, entries = compress_payload_blocks(
+                    payloads, self._payload_offset, self._physical_end,
+                    self._block_raw_bytes)
+                self._payloads.write(frames)
+                self._payloads.flush()
+                os.fsync(self._payloads.fileno())
+                self._blocks.extend(entries)
+                self._physical_end += len(frames)
+            else:
+                self._payloads.write(payloads)
+                self._payloads.flush()
+                os.fsync(self._payloads.fileno())
+                self._physical_end += len(payloads)
             self._columns.write(columns)
             self._columns.flush()
             os.fsync(self._columns.fileno())

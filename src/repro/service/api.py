@@ -3,12 +3,14 @@
 Routes::
 
     GET  /v1/health              liveness probe
-    GET  /v1/jobs                all jobs on disk + queued snapshot
+    GET  /v1/jobs                paginated job listing (``?offset=&limit=``,
+                                 stable (tenant, seq) order) + queued snapshot
     POST /v1/experiments         submit one ExperimentSpec payload
     POST /v1/campaigns           submit one CampaignSpec payload
     GET  /v1/jobs/{id}           manifest-backed status (attempts, leases)
     GET  /v1/jobs/{id}/events    live progress as NDJSON (one JSON per line)
-    GET  /v1/jobs/{id}/report    campaign report tables as JSON
+    GET  /v1/jobs/{id}/report    campaign report tables as JSON (cached by
+                                 manifest fingerprint while unchanged)
 
 Submission bodies are ``{"tenant": "...", "spec": {...}}`` /
 ``{"tenant": "...", "campaign": {...}}``; ``tenant`` defaults to
@@ -151,7 +153,11 @@ def make_handler(service) -> type:
                     self._send_json(200, {"status": "ok"})
                     return
                 if path == "/v1/jobs":
-                    self._send_json(200, service.list_jobs())
+                    query = parse_qs(parsed.query)
+                    offset = self._int_param(query, "offset", minimum=0)
+                    limit = self._int_param(query, "limit", minimum=1)
+                    self._send_json(200, service.list_jobs(
+                        offset=0 if offset is None else offset, limit=limit))
                     return
                 match = _JOB_ROUTE.match(path)
                 if not match:
@@ -171,6 +177,23 @@ def make_handler(service) -> type:
             except Exception as error:  # noqa: BLE001 - HTTP boundary
                 self._send_json(500, {"error": "{}: {}".format(
                     type(error).__name__, error)})
+
+        @staticmethod
+        def _int_param(query: Dict[str, Any], key: str,
+                       minimum: int) -> Optional[int]:
+            """Validated integer query parameter; ``None`` when absent."""
+            values = query.get(key)
+            if not values:
+                return None
+            try:
+                value = int(values[0])
+            except ValueError:
+                raise ApiError(400, "query parameter {!r} must be an "
+                               "integer (got {!r})".format(key, values[0]))
+            if value < minimum:
+                raise ApiError(400, "query parameter {!r} must be >= "
+                               "{}".format(key, minimum))
+            return value
 
         def _stream_events(self, job_id: str,
                            query: Dict[str, Any]) -> None:

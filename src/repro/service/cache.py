@@ -1,0 +1,69 @@
+"""Manifest-fingerprint-keyed caching of campaign report documents.
+
+Building a campaign report streams every completed experiment's numeric
+columns — cheap, but still O(total trials) — while the service may serve
+``GET /v1/jobs/{id}/report`` for the same unchanged campaign hundreds of
+times (dashboards poll).  The campaign manifest is the perfect cache key:
+every fact a report depends on flows through it.  Completed experiments'
+history documents are immutable once written, and an experiment only
+*becomes* completed by a manifest update (status + summary), so the report
+is a pure function of the manifest bytes.  Hashing those bytes is
+O(manifest) — kilobytes of per-experiment entries, independent of trial
+count — which makes a repeat report effectively O(1).
+
+The cache is bounded LRU and thread-safe; the tuning service's pool
+workers mutate manifests while API threads read reports concurrently, and
+a racy read simply rebuilds against whichever manifest version it saw —
+the same answer an uncached request would have produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Tuple
+
+
+class ReportCache:
+    """Bounded LRU of report documents keyed by campaign-manifest digest."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        self._capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Tuple[str, Dict[str, Any]]]" = \
+            OrderedDict()
+        #: observability counters (read under no lock; approximate is fine).
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def fingerprint(manifest_path: str) -> str:
+        """Content digest of the manifest — the report's full dependency set."""
+        with open(manifest_path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+
+    def get(self, directory: str, manifest_path: str,
+            build: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
+        """The cached report for *directory*, rebuilt via *build* when stale.
+
+        The returned document is shared across callers — treat it as
+        read-only (the HTTP layer only serializes it).
+        """
+        key = os.path.abspath(directory)
+        fingerprint = self.fingerprint(manifest_path)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == fingerprint:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1]
+        document = build()
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (fingerprint, document)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        return document

@@ -38,6 +38,7 @@ from repro.platform.campaign_runner import (DEFAULT_LEASE_S, MANIFEST_NAME,
 from repro.platform.faults import RetryPolicy
 from repro.platform.results import cleanup_stale_tmp_files
 from repro.service.api import ApiError, make_handler
+from repro.service.cache import ReportCache
 from repro.service.events import EventBridgeObserver, JobEventBus
 from repro.service.queue import JobQueue
 
@@ -74,6 +75,7 @@ class TuningService:
         self._lock = threading.Lock()
         self._next_seq: Dict[str, int] = {}
         self._buses: Dict[str, JobEventBus] = {}
+        self.reports = ReportCache()
         self.queue = JobQueue(self._execute_job, workers=workers)
         self._recovered = self._recover()
 
@@ -260,9 +262,20 @@ class TuningService:
         return status
 
     def job_report(self, job_id: str) -> Dict[str, Any]:
+        """The canonical report document, cached by manifest fingerprint.
+
+        Every fact a report aggregates flows through the campaign manifest
+        (completed experiments' histories are immutable once their manifest
+        entry says so), so an unchanged manifest digest means an unchanged
+        report — repeated polls of a finished campaign cost one manifest
+        hash, not O(total trials) aggregation.
+        """
         from repro.analysis.campaign_report import campaign_report_document
 
-        return campaign_report_document(self._directory_for(job_id))
+        directory = self._directory_for(job_id)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        return self.reports.get(directory, manifest_path,
+                                lambda: campaign_report_document(directory))
 
     def job_events(self, job_id: str) -> JobEventBus:
         """The job's event bus; terminal jobs get a pre-closed bus."""
@@ -285,8 +298,17 @@ class TuningService:
         with self._lock:
             return self._buses.setdefault(job_id, bus)
 
-    def list_jobs(self) -> Dict[str, Any]:
-        jobs: List[Dict[str, Any]] = []
+    def list_jobs(self, offset: int = 0,
+                  limit: Optional[int] = None) -> Dict[str, Any]:
+        """Stable-ordered job listing with offset/limit pagination.
+
+        Jobs order by (tenant, sequence) ascending — submission order
+        within a tenant — so pages are stable across calls while jobs only
+        get appended.  The directory scan touches names only; manifests
+        load for the returned page alone, keeping a page request O(page)
+        rather than O(all manifests).
+        """
+        identifiers: List[Tuple[str, int]] = []
         for tenant in sorted(os.listdir(self.results_root)):
             tenant_dir = os.path.join(self.results_root, tenant)
             if not os.path.isdir(tenant_dir) or not _TENANT_RE.match(tenant):
@@ -296,12 +318,21 @@ class TuningService:
                 if not name.isdigit() or not os.path.exists(
                         os.path.join(directory, MANIFEST_NAME)):
                     continue
-                manifest = load_manifest(directory)
-                job_id = _job_id(tenant, int(name))
-                jobs.append({"job": job_id, "tenant": tenant,
-                             "campaign": manifest["campaign"]["name"],
-                             "state": manifest.get("state")})
-        return {"jobs": jobs, "queued": self.queue.snapshot()}
+                identifiers.append((tenant, int(name)))
+        offset = max(0, int(offset))
+        page = identifiers[offset:] if limit is None \
+            else identifiers[offset:offset + int(limit)]
+        jobs: List[Dict[str, Any]] = []
+        for tenant, seq in page:
+            manifest = load_manifest(self._job_directory(tenant, seq))
+            jobs.append({"job": _job_id(tenant, seq), "tenant": tenant,
+                         "campaign": manifest["campaign"]["name"],
+                         "state": manifest.get("state")})
+        document = {"jobs": jobs, "queued": self.queue.snapshot(),
+                    "total": len(identifiers), "offset": offset}
+        if limit is not None:
+            document["limit"] = int(limit)
+        return document
 
     def shutdown(self) -> None:
         self.queue.shutdown()

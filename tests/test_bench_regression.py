@@ -22,6 +22,8 @@ def artifact(**overrides):
         "million_trial_store": {"flat_ratio": 1.1,
                                 "checkpoint_time_ratio": 1.1},
         "forest_scoring": {"speedup": 6.0},
+        "report_aggregation": {"streaming_ms": 50.0},
+        "payload_sidecar": {"ratio": 0.2},
     }
     for section, patch in overrides.items():
         document.setdefault(section, {}).update(patch)
@@ -75,6 +77,23 @@ class TestCompare:
         current = artifact(deeptune_flat_iteration={"ratio": 1.3})
         assert bench.compare(artifact(), current, 0.5) == []
         assert len(bench.compare(artifact(), current, 0.1)) == 1
+
+    def test_report_streaming_time_is_guarded(self):
+        # the streaming report metric is lower-is-better wall time
+        current = artifact(report_aggregation={"streaming_ms": 80.0})
+        (message,) = bench.compare(artifact(), current, 0.25)
+        assert "report_aggregation.streaming_ms" in message
+        assert bench.compare(
+            artifact(), artifact(report_aggregation={"streaming_ms": 40.0}),
+            0.25) == []
+
+    def test_sidecar_compression_ratio_is_guarded(self):
+        # compressed/raw bytes growing past the allowance must flag
+        current = artifact(payload_sidecar={"ratio": 0.4})
+        (message,) = bench.compare(artifact(), current, 0.25)
+        assert "payload_sidecar.ratio" in message
+        assert bench.compare(
+            artifact(), artifact(payload_sidecar={"ratio": 0.1}), 0.25) == []
 
 
 class TestMain:

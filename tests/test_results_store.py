@@ -99,7 +99,7 @@ class TestResultsStore:
         with open(path) as handle:
             text = handle.read()
         with open(path, "w") as handle:
-            handle.write(text.replace('"format_version": 2', '"format_version": 99'))
+            handle.write(text.replace('"format_version": 3', '"format_version": 99'))
         with pytest.raises(ValueError):
             store.load_history("run", small_linux_model.space)
 

@@ -578,3 +578,134 @@ class TestReportDocument:
         directory = self._campaign_dir(tmp_path)
         document = campaign_report_document(directory)
         assert json.loads(json.dumps(document)) == document
+
+
+def fake_job(root, tenant, seq, campaign="camp", state="complete"):
+    """A minimal complete on-disk job: directory + loadable manifest."""
+    from repro.platform.campaign_runner import MANIFEST_FORMAT_VERSION
+
+    directory = os.path.join(root, tenant, "{:06d}".format(seq))
+    os.makedirs(directory, exist_ok=True)
+    manifest = {"kind": "campaign",
+                "format_version": MANIFEST_FORMAT_VERSION,
+                "campaign": {"name": campaign}, "invocation": None,
+                "experiments": [], "state": state}
+    with open(os.path.join(directory, "campaign.json"), "w") as handle:
+        json.dump(manifest, handle)
+    return directory
+
+
+class TestJobsPagination:
+    def _service(self, service_root, jobs=7):
+        for seq in range(jobs):
+            tenant = "acme" if seq % 2 == 0 else "zeta"
+            fake_job(service_root, tenant, seq, campaign="c{}".format(seq))
+        service = TuningService(service_root, workers=1)
+        service.shutdown()  # listing is disk-driven; no workers needed
+        return service
+
+    def test_stable_tenant_then_sequence_order(self, service_root):
+        service = self._service(service_root)
+        body = service.list_jobs()
+        assert [job["job"] for job in body["jobs"]] == [
+            "acme-000000", "acme-000002", "acme-000004", "acme-000006",
+            "zeta-000001", "zeta-000003", "zeta-000005"]
+        assert body["total"] == 7 and body["offset"] == 0
+        assert "limit" not in body
+
+    def test_offset_and_limit_slice_the_listing(self, service_root):
+        service = self._service(service_root)
+        everything = [job["job"] for job in service.list_jobs()["jobs"]]
+        body = service.list_jobs(offset=2, limit=3)
+        assert [job["job"] for job in body["jobs"]] == everything[2:5]
+        assert body["total"] == 7
+        assert body["offset"] == 2 and body["limit"] == 3
+        # walking pages tiles the full listing with no gaps or overlaps
+        paged = []
+        for offset in range(0, 7, 3):
+            paged.extend(job["job"] for job in
+                         service.list_jobs(offset=offset, limit=3)["jobs"])
+        assert paged == everything
+        # past-the-end pages are empty, not errors
+        assert service.list_jobs(offset=99, limit=3)["jobs"] == []
+
+    def test_http_pagination_and_validation(self, server, service_root):
+        base = server.url
+        for seq in range(3):
+            fake_job(service_root, "acme", seq)
+        status, body = http_json(base + "/v1/jobs?offset=1&limit=1")
+        assert status == 200
+        assert [job["job"] for job in body["jobs"]] == ["acme-000001"]
+        assert body["total"] == 3
+        # malformed or out-of-range parameters are structured 400s
+        for query in ("offset=abc", "limit=zero", "offset=-1", "limit=0"):
+            status, body = http_json(base + "/v1/jobs?" + query)
+            assert status == 400, query
+            assert "query parameter" in body["error"]
+
+
+class TestReportCache:
+    def test_cache_hits_until_the_manifest_changes(self, tmp_path):
+        from repro.service.cache import ReportCache
+
+        manifest = str(tmp_path / "campaign.json")
+        with open(manifest, "w") as handle:
+            handle.write("{\"v\": 1}")
+        cache = ReportCache()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return {"report": len(builds)}
+
+        directory = str(tmp_path)
+        assert cache.get(directory, manifest, build) == {"report": 1}
+        assert cache.get(directory, manifest, build) == {"report": 1}
+        assert len(builds) == 1 and cache.hits == 1
+        # any manifest byte change invalidates
+        with open(manifest, "w") as handle:
+            handle.write("{\"v\": 2}")
+        assert cache.get(directory, manifest, build) == {"report": 2}
+        assert len(builds) == 2
+
+    def test_lru_eviction_is_bounded(self, tmp_path):
+        from repro.service.cache import ReportCache
+
+        cache = ReportCache(capacity=2)
+        manifests = []
+        for index in range(3):
+            manifest = str(tmp_path / "m{}.json".format(index))
+            with open(manifest, "w") as handle:
+                handle.write("{}")
+            manifests.append((str(tmp_path / "d{}".format(index)), manifest))
+        for directory, manifest in manifests:
+            cache.get(directory, manifest, dict)
+        assert cache.misses == 3
+        # the oldest entry (d0) was evicted; d2 is still warm
+        cache.get(*manifests[2], build=dict)
+        assert cache.hits == 1
+        cache.get(*manifests[0], build=dict)
+        assert cache.misses == 4
+
+    def test_job_report_builds_once_per_manifest_version(self, service_root,
+                                                         monkeypatch):
+        import repro.analysis.campaign_report as campaign_report
+
+        directory = fake_job(service_root, "acme", 0)
+        service = TuningService(service_root, workers=1)
+        service.shutdown()
+        builds = []
+
+        def counting_document(path):
+            builds.append(path)
+            return {"document": len(builds)}
+
+        monkeypatch.setattr(campaign_report, "campaign_report_document",
+                            counting_document)
+        assert service.job_report("acme-000000") == {"document": 1}
+        assert service.job_report("acme-000000") == {"document": 1}
+        assert builds == [directory]
+        # a manifest rewrite (new experiment completed, say) rebuilds
+        fake_job(service_root, "acme", 0, campaign="renamed")
+        assert service.job_report("acme-000000") == {"document": 2}
+        assert len(builds) == 2

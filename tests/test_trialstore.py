@@ -260,6 +260,178 @@ class TestManifestFallback:
         assert document["trials"] == len(reference)
 
 
+class TestCompressedSidecar:
+    """Format-v3 specifics: block frames, sticky formats, torn-tail recovery."""
+
+    def _records(self, small_space, n, seed=13):
+        rng = random.Random(seed)
+        return [random_record(small_space, rng, i) for i in range(n)]
+
+    def _paths(self, tmp_path, stem="b"):
+        return (str(tmp_path / (stem + ".trials.bin")),
+                str(tmp_path / (stem + ".trials.jsonl")))
+
+    def test_fresh_writer_creates_a_blocked_sidecar(self, tmp_path, small_space):
+        columns_path, payloads_path = self._paths(tmp_path)
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            assert writer.compressed
+            writer.extend(self._records(small_space, 6))
+            writer.flush()
+            blocks = writer.blocks
+        assert trialstore.payload_is_blocked(payloads_path)
+        with open(payloads_path, "rb") as handle:
+            assert handle.read(8) == trialstore.PAYLOAD_MAGIC
+        assert blocks == trialstore.scan_payload_blocks(payloads_path)
+        # logical offsets and sizes tile the uncompressed stream exactly
+        assert blocks[0]["raw_offset"] == 0
+        for before, after in zip(blocks, blocks[1:]):
+            assert after["raw_offset"] == \
+                before["raw_offset"] + before["raw_size"]
+
+    def test_legacy_raw_sidecar_stays_raw_on_append(self, tmp_path,
+                                                    small_space):
+        records = self._records(small_space, 10)
+        columns_path, payloads_path = self._paths(tmp_path, "raw")
+        # lay down the pre-v3 format by hand: headerless JSONL payloads
+        columns, payloads = trialstore.serialize_records(records[:6])
+        with open(columns_path, "wb") as handle:
+            handle.write(trialstore.make_header() + columns)
+        with open(payloads_path, "wb") as handle:
+            handle.write(payloads)
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            assert writer.count == 6
+            assert not writer.compressed  # sticky: never upgraded in place
+            assert writer.blocks is None
+            writer.extend(records[6:])
+            writer.flush()
+        assert not trialstore.payload_is_blocked(payloads_path)
+        # JSON-bytes comparison: NaN objectives defeat float equality
+        assert json.dumps(read_record_dicts(columns_path, payloads_path, 10),
+                          sort_keys=True) \
+            == json.dumps([record_to_dict(r) for r in records],
+                          sort_keys=True)
+
+    def test_multi_block_flush_reads_back(self, tmp_path, small_space):
+        records = self._records(small_space, 40)
+        columns_path, payloads_path = self._paths(tmp_path, "m")
+        with TrialStoreWriter(columns_path, payloads_path,
+                              block_raw_bytes=256) as writer:
+            writer.extend(records)
+            writer.flush()
+            blocks = writer.blocks
+        assert len(blocks) > 3  # the tiny budget forced many frames
+        # every block boundary falls on a JSONL line boundary
+        reader = trialstore.open_payload_reader(payloads_path, blocks)
+        for entry in blocks:
+            raw = reader.read(entry["raw_offset"], entry["raw_size"])
+            assert raw.endswith(b"\n")
+        assert json.dumps(
+            read_record_dicts(columns_path, payloads_path, 40, blocks),
+            sort_keys=True) \
+            == json.dumps([record_to_dict(r) for r in records],
+                          sort_keys=True)
+
+    def test_reopen_scans_frames_without_a_manifest(self, tmp_path,
+                                                    small_space):
+        records = self._records(small_space, 12)
+        columns_path, payloads_path = self._paths(tmp_path, "s")
+        with TrialStoreWriter(columns_path, payloads_path,
+                              block_raw_bytes=512) as writer:
+            writer.extend(records[:7])
+            writer.flush()
+        with TrialStoreWriter(columns_path, payloads_path,
+                              block_raw_bytes=512) as writer:
+            assert writer.count == 7  # recovered from the frames alone
+            writer.extend(records[7:])
+            writer.flush()
+        assert json.dumps(
+            read_record_dicts(columns_path, payloads_path, 12,
+                              trialstore.scan_payload_blocks(payloads_path)),
+            sort_keys=True) \
+            == json.dumps([record_to_dict(r) for r in records],
+                          sort_keys=True)
+
+    def test_torn_block_tail_drops_uncovered_rows(self, tmp_path, small_space):
+        records = self._records(small_space, 20)
+        columns_path, payloads_path = self._paths(tmp_path, "t")
+        with TrialStoreWriter(columns_path, payloads_path,
+                              block_raw_bytes=512) as writer:
+            writer.extend(records)
+            writer.flush()
+            blocks = writer.blocks
+        assert len(blocks) >= 2
+        # crash mid-frame: the last block's frame loses its final bytes
+        with open(payloads_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(payloads_path) - 4)
+        survivors = trialstore.scan_payload_blocks(payloads_path)
+        assert survivors == blocks[:-1]  # whole-block prefix validity
+        with TrialStoreWriter(columns_path, payloads_path,
+                              block_raw_bytes=512) as writer:
+            # rows whose payload lived in the torn frame are dropped; the
+            # remainder reads back bit-exactly
+            count = writer.count
+            coverage = survivors[-1]["raw_offset"] + survivors[-1]["raw_size"]
+            assert 0 < count < 20
+            assert json.dumps(
+                read_record_dicts(columns_path, payloads_path, count,
+                                  writer.blocks), sort_keys=True) \
+                == json.dumps([record_to_dict(r) for r in records[:count]],
+                              sort_keys=True)
+            assert writer.blocks == survivors
+            assert coverage >= sum(
+                len(trialstore.encode_payload(r)) for r in records[:count])
+
+    def test_mid_block_rewind_splits_the_straddling_frame(self, tmp_path,
+                                                          small_space):
+        records = self._records(small_space, 16)
+        columns_path, payloads_path = self._paths(tmp_path, "w")
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            writer.extend(records)
+            writer.flush()  # one flush → one big block; rewind lands inside it
+            writer.rewind(5)
+            assert writer.count == 5
+            replacement = self._records(small_space, 5, seed=99)[:5]
+            for index, record in enumerate(replacement):
+                record.index = 5 + index
+            writer.extend(replacement)
+            writer.flush()
+        assert json.dumps(
+            read_record_dicts(columns_path, payloads_path, 10,
+                              trialstore.scan_payload_blocks(payloads_path)),
+            sort_keys=True) \
+            == json.dumps(
+                [record_to_dict(r) for r in records[:5] + replacement],
+                sort_keys=True)
+
+    def test_corrupt_frame_raises_value_error(self, tmp_path, small_space):
+        columns_path, payloads_path = self._paths(tmp_path, "c")
+        with TrialStoreWriter(columns_path, payloads_path) as writer:
+            writer.extend(self._records(small_space, 4))
+            writer.flush()
+            blocks = writer.blocks
+        # flip bytes inside the zlib stream, keeping the frame header intact
+        with open(payloads_path, "r+b") as handle:
+            handle.seek(trialstore.PAYLOAD_HEADER_SIZE
+                        + trialstore.BLOCK_HEADER_SIZE + 2)
+            handle.write(b"\xff\xff\xff\xff")
+        with pytest.raises(ValueError):
+            read_record_dicts(columns_path, payloads_path, 4, blocks)
+
+    def test_blocked_manifest_over_raw_sidecar_rejected(self, tmp_path,
+                                                        small_space):
+        records = self._records(small_space, 3)
+        columns_path, payloads_path = self._paths(tmp_path, "x")
+        columns, payloads = trialstore.serialize_records(records)
+        with open(columns_path, "wb") as handle:
+            handle.write(trialstore.make_header() + columns)
+        with open(payloads_path, "wb") as handle:
+            handle.write(payloads)
+        bogus = [{"offset": trialstore.PAYLOAD_HEADER_SIZE, "size": 10,
+                  "raw_offset": 0, "raw_size": len(payloads)}]
+        with pytest.raises(ValueError):
+            trialstore.open_payload_reader(payloads_path, bogus)
+
+
 def test_configuration_payloads_roundtrip_unicode(tmp_path, small_space):
     record = random_record(small_space, random.Random(1), 0)
     record.failure_reason = "φάσμα — 🙂 \"quoted\"\nline"
